@@ -1,0 +1,82 @@
+// EX21 -- Examples 2.1, 4.1 and 4.2 of the paper: the 4-D algorithm with
+// mu = 6 mapped to a linear array by T = [[1,7,1,1],[1,7,1,0]].
+//
+// Regenerates: the Hermite normal form T U = H = [L, 0] (Example 4.2), the
+// kernel-column representation of all conflict vectors (Theorem 4.2), the
+// specific conflict vectors gamma_1, gamma_2, gamma_3 of Example 2.1 with
+// their feasibility verdicts, and the Example 4.1 observation that a
+// rational combination of two feasible conflict vectors yields a
+// non-feasible one.
+#include <cstdio>
+#include <string>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+int main() {
+  MatI t_raw{{1, 7, 1, 1}, {1, 7, 1, 0}};
+  model::IndexSet set = model::IndexSet::cube(4, 6);
+  mapping::MappingMatrix t(t_raw);
+
+  std::printf("EX21: T = [[1,7,1,1],[1,7,1,0]], J = [0,6]^4\n\n");
+
+  lattice::HnfResult hnf = lattice::hermite_normal_form(t_raw);
+  std::printf("Hermite normal form H = T U (Example 4.2):\n%s\n",
+              linalg::pretty(hnf.h).c_str());
+  std::printf("multiplier U:\n%s\n", linalg::pretty(hnf.u).c_str());
+  std::printf("V = U^-1:\n%s\n\n", linalg::pretty(hnf.v).c_str());
+  std::printf("H lower-triangular [L, 0]: %s;  |det U| = 1: %s\n\n",
+              hnf.h(0, 1).is_zero() ? "yes" : "NO",
+              lattice::is_unimodular(hnf.u) ? "yes" : "NO");
+
+  // Example 2.1's three vectors.
+  struct Row {
+    const char* name;
+    VecI gamma;
+    bool paper_feasible;
+  };
+  const Row rows[] = {
+      {"gamma_1 = (0,1,-7,0)", {0, 1, -7, 0}, true},
+      {"gamma_2 = (7,-1,0,0)", {7, -1, 0, 0}, true},
+      {"gamma_3 = (1,0,-1,0)", {1, 0, -1, 0}, false},
+  };
+  MatZ kernel = lattice::kernel_basis(t_raw);
+  std::printf("%-22s | in ker(T) | primitive | feasible | paper\n",
+              "conflict vector");
+  std::printf("-----------------------+-----------+-----------+----------+"
+              "------\n");
+  bool all_match = true;
+  for (const Row& row : rows) {
+    VecZ g = to_bigint(row.gamma);
+    bool in_kernel = lattice::lattice_contains(kernel, g);
+    bool primitive = lattice::is_primitive(g);
+    bool feasible = mapping::is_feasible_conflict_vector(g, set);
+    if (feasible != row.paper_feasible) all_match = false;
+    std::printf("%-22s | %-9s | %-9s | %-8s | %s\n", row.name,
+                in_kernel ? "yes" : "NO", primitive ? "yes" : "NO",
+                feasible ? "yes" : "no",
+                row.paper_feasible ? "feasible" : "non-feasible");
+  }
+
+  // Example 4.1: gamma_3 = (1/7) gamma_1 + (1/7) gamma_2.
+  std::printf("\nExample 4.1: (gamma_1 + gamma_2) / 7 = gamma_3 -> a "
+              "non-integral combination of feasible conflict vectors is a "
+              "NON-feasible conflict vector.\n");
+
+  // Overall verdicts.
+  auto final_verdict = mapping::decide_conflict_free(t, set);
+  auto brute = baseline::brute_force_conflicts(t, set);
+  std::printf("\nlibrary verdict : %s  [%s]\n",
+              final_verdict.conflict_free() ? "conflict-free" : "HAS CONFLICT",
+              final_verdict.rule.c_str());
+  std::printf("brute force     : %s (witness %s)\n",
+              brute.conflict_free() ? "conflict-free" : "HAS CONFLICT",
+              brute.witness ? linalg::pretty(*brute.witness).c_str() : "-");
+  std::printf("paper           : T is not conflict-free (Example 2.1)\n");
+
+  bool ok = all_match && !final_verdict.conflict_free() &&
+            !brute.conflict_free();
+  std::printf("\n%s\n", ok ? "EX21 reproduced." : "EX21 MISMATCH.");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+// FIG1 -- Figure 1 of the paper: feasible vs non-feasible conflict vectors
+// on the 2-D index set J = {0 <= j1, j2 <= 4}.
+//
+// The figure shows gamma_1 = (1,1) hitting interior lattice points (a
+// conflict) while gamma_2 = (3,5) clears the box from every start point.
+// This bench regenerates that statement exhaustively and then sweeps all
+// primitive vectors in a window, printing the feasibility frontier that
+// Theorem 2.2 predicts (|gamma_i| > mu_i for some i).
+#include <cstdio>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+// Exhaustive ground truth for one gamma: does any j in J have j+gamma in J?
+bool collides(const model::IndexSet& set, const VecI& gamma) {
+  bool hit = false;
+  set.for_each([&](const VecI& j) {
+    VecI shifted(j.size());
+    for (std::size_t i = 0; i < j.size(); ++i) shifted[i] = j[i] + gamma[i];
+    if (set.contains(shifted)) hit = true;
+  });
+  return hit;
+}
+
+}  // namespace
+
+int main() {
+  const Int mu = 4;
+  model::IndexSet set = model::IndexSet::cube(2, mu);
+  std::printf("FIG1: index set J = [0, %lld]^2\n\n", (long long)mu);
+
+  std::printf("the figure's two vectors:\n");
+  for (VecI gamma : {VecI{1, 1}, VecI{3, 5}}) {
+    bool feasible = mapping::is_feasible_conflict_vector(gamma, set);
+    bool ground_truth_conflict = collides(set, gamma);
+    std::printf("  gamma = (%lld, %lld): Theorem 2.2 says %-12s "
+                "exhaustive scan says %-12s  %s\n",
+                (long long)gamma[0], (long long)gamma[1],
+                feasible ? "feasible," : "NON-feasible,",
+                ground_truth_conflict ? "conflict" : "no conflict",
+                feasible == !ground_truth_conflict ? "[agree]" : "[MISMATCH]");
+  }
+
+  std::printf("\nfeasibility map for primitive gamma in [-6, 6]^2 "
+              "(F = feasible, . = non-feasible, blank = not primitive):\n");
+  std::printf("        ");
+  for (Int x = -6; x <= 6; ++x) std::printf("%3lld", (long long)x);
+  std::printf("\n");
+  int checked = 0, agree = 0;
+  for (Int y = 6; y >= -6; --y) {
+    std::printf("  y=%3lld ", (long long)y);
+    for (Int x = -6; x <= 6; ++x) {
+      VecI gamma{x, y};
+      if (gamma == VecI{0, 0} || !lattice::is_primitive(gamma)) {
+        std::printf("   ");
+        continue;
+      }
+      bool feasible = mapping::is_feasible_conflict_vector(gamma, set);
+      bool truth = !collides(set, gamma);
+      ++checked;
+      if (feasible == truth) ++agree;
+      std::printf("  %c", feasible ? 'F' : '.');
+    }
+    std::printf("\n");
+  }
+  std::printf("\nTheorem 2.2 vs exhaustive scan: %d/%d agree\n", agree,
+              checked);
+  return agree == checked ? 0 : 1;
+}

@@ -1,0 +1,134 @@
+// LLL -- ablation of the LLL-reduction stage in the conflict decision
+// ladder (DESIGN.md design decision; library extension beyond the paper).
+//
+// Measures, over random full-rank mappings T in Z^{k x n}:
+//   - how often the sign-pattern condition is definite on the raw HNF
+//     kernel basis vs the LLL-reduced basis,
+//   - the exact-enumeration volume bounds with HNF-V bounds vs reduced
+//     pseudo-inverse bounds,
+//   - wall-clock of decide_conflict_free with the full ladder.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+MatI random_full_rank(std::size_t k, std::size_t n, Int mag,
+                      std::mt19937_64& rng) {
+  std::uniform_int_distribution<Int> entry(-mag, mag);
+  for (;;) {
+    MatI t(k, n);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < n; ++j) t(i, j) = entry(rng);
+    }
+    if (linalg::rank(to_bigint(t)) == k) return t;
+  }
+}
+
+void BM_SignPattern_CertificationRate(benchmark::State& state,
+                                      bool use_lll) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = n - 3;
+  std::mt19937_64 rng(1234);
+  model::IndexSet set = model::IndexSet::cube(n, 3);
+  std::uint64_t definite = 0, total = 0;
+  for (auto _ : state) {
+    MatI traw = random_full_rank(k, n, 9, rng);
+    MatZ kernel = lattice::kernel_basis(to_bigint(traw));
+    if (use_lll) kernel = lattice::lll_reduce(kernel).basis;
+    mapping::ConflictVerdict v =
+        mapping::sign_pattern_check_basis(kernel, set);
+    benchmark::DoNotOptimize(v);
+    ++total;
+    if (v.status != mapping::ConflictVerdict::Status::kUnknown) ++definite;
+  }
+  state.counters["definite_pct"] =
+      total ? 100.0 * static_cast<double>(definite) /
+                  static_cast<double>(total)
+            : 0.0;
+}
+
+void BM_SignPattern_RawBasis(benchmark::State& state) {
+  BM_SignPattern_CertificationRate(state, false);
+}
+void BM_SignPattern_LllBasis(benchmark::State& state) {
+  BM_SignPattern_CertificationRate(state, true);
+}
+BENCHMARK(BM_SignPattern_RawBasis)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_SignPattern_LllBasis)->Arg(4)->Arg(5)->Arg(6);
+
+// Enumeration bound comparison: average per-instance log10 of the beta-box
+// volume under the two bound derivations.
+void BM_EnumerationBounds(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = n - 2;
+  std::mt19937_64 rng(77);
+  model::IndexSet set = model::IndexSet::cube(n, 4);
+  double log_raw_sum = 0, log_red_sum = 0;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    MatI traw = random_full_rank(k, n, 9, rng);
+    lattice::HnfResult hnf = lattice::hermite_normal_form(to_bigint(traw));
+    // Raw bounds from V rows.
+    double log_raw = 0;
+    for (std::size_t j = 0; j < n - k; ++j) {
+      exact::BigInt b(0);
+      for (std::size_t c = 0; c < n; ++c) {
+        b += hnf.v(k + j, c).abs() * exact::BigInt(set.mu(c));
+      }
+      log_raw += std::log10(2.0 * static_cast<double>(b.to_int64()) + 1.0);
+    }
+    // Reduced bounds from the pseudo-inverse.
+    MatZ kernel = hnf.u.block(0, n, k, n);
+    MatZ reduced = lattice::lll_reduce(kernel).basis;
+    MatQ bq = reduced.cast<exact::Rational>();
+    MatQ bt = bq.transpose();
+    MatQ pinv = linalg::inverse(bt * bq) * bt;
+    double log_red = 0;
+    for (std::size_t j = 0; j < n - k; ++j) {
+      exact::Rational b(0);
+      for (std::size_t c = 0; c < n; ++c) {
+        b += pinv(j, c).abs() * exact::Rational(set.mu(c));
+      }
+      double bd = static_cast<double>(b.floor().to_int64());
+      log_red += std::log10(2.0 * bd + 1.0);
+    }
+    log_raw_sum += log_raw;
+    log_red_sum += log_red;
+    ++total;
+    benchmark::DoNotOptimize(log_red);
+  }
+  if (total) {
+    state.counters["log10_volume_raw"] =
+        log_raw_sum / static_cast<double>(total);
+    state.counters["log10_volume_lll"] =
+        log_red_sum / static_cast<double>(total);
+  }
+}
+BENCHMARK(BM_EnumerationBounds)->Arg(4)->Arg(5)->Arg(6);
+
+// End-to-end decision latency with the full ladder.
+void BM_DecideLadder(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = n - 2;
+  std::mt19937_64 rng(4096);
+  model::IndexSet set = model::IndexSet::cube(n, 3);
+  std::vector<MatI> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(random_full_rank(k, n, 9, rng));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    mapping::MappingMatrix t(pool[next]);
+    next = (next + 1) % pool.size();
+    mapping::ConflictVerdict v = mapping::decide_conflict_free(t, set);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_DecideLadder)->Arg(4)->Arg(5)->Arg(6)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

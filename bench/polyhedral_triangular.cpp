@@ -1,0 +1,76 @@
+// POLY -- library extension beyond Assumption 2.1: optimal conflict-free
+// schedules over the TRUE triangular LU iteration space, compared with
+// embedding the triangle in the bounding cube (the transformation the
+// paper prescribes for non-box domains).
+//
+// Measured rows: optimal makespan on the triangle vs on the cube with the
+// same S, the wasted index points of the embedding, and the ILP-based
+// feasibility machinery doing Theorem 2.2's job on a non-box domain.
+#include <cstdio>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+int main() {
+  std::printf("POLY: triangular LU domain vs cube embedding, S = [0,0,1]\n\n");
+  std::printf("  mu | |J| tri | |J| cube | t(triangle) | t(cube) | "
+              "Pi(triangle)\n");
+  std::printf("  ---+---------+----------+-------------+---------+---------"
+              "----\n");
+  bool ok = true;
+  for (Int mu : {2, 3, 4, 5}) {
+    search::PolyhedralAlgorithm tri = search::triangular_lu(mu);
+    MatI space{{0, 0, 1}};
+    search::PolyhedralSearchResult t_tri =
+        search::polyhedral_optimal_schedule(tri, space);
+
+    model::UniformDependenceAlgorithm cube(
+        "lu_cube", model::IndexSet::cube(3, mu), MatI::identity(3));
+    search::SearchResult t_cube = search::procedure_5_1(cube, space);
+
+    if (!t_tri.found || !t_cube.found) {
+      std::printf("  %2lld | SEARCH FAILED\n", (long long)mu);
+      ok = false;
+      continue;
+    }
+    if (t_tri.makespan > t_cube.makespan) ok = false;  // must not be worse
+    std::printf("  %2lld | %7lld | %8lld | %11lld | %7lld | %s%s\n",
+                (long long)mu,
+                (long long)tri.index_set.count_points().to_int64(),
+                (long long)cube.index_set().size().to_int64(),
+                (long long)t_tri.makespan, (long long)t_cube.makespan,
+                linalg::pretty(t_tri.pi).c_str(),
+                t_tri.certified_optimal ? "" : " (uncertified)");
+  }
+
+  // Feasibility cross-check highlights: vectors that are non-feasible on
+  // the cube but feasible on the triangle (the embedding is conservative).
+  const Int mu = 4;
+  model::IndexSet box = model::IndexSet::cube(3, mu);
+  model::PolyhedralIndexSet tri =
+      model::PolyhedralIndexSet::simplex_chain(3, mu);
+  int relaxed = 0, total = 0;
+  for (Int a = -mu; a <= mu; ++a) {
+    for (Int b = -mu; b <= mu; ++b) {
+      for (Int c = -mu; c <= mu; ++c) {
+        VecI gamma{a, b, c};
+        if ((a | b | c) == 0 || !lattice::is_primitive(gamma)) continue;
+        bool box_feasible = mapping::is_feasible_conflict_vector(gamma, box);
+        bool tri_feasible =
+            model::is_feasible_conflict_vector_polyhedral(gamma, tri);
+        ++total;
+        if (!box_feasible && tri_feasible) ++relaxed;
+        if (box_feasible && !tri_feasible) ok = false;  // impossible
+      }
+    }
+  }
+  std::printf("\nfeasibility on the true triangle vs the cube (mu = 4):\n"
+              "  %d of %d primitive gammas in the +-mu cube are conflict "
+              "directions on the cube but FEASIBLE on the triangle\n"
+              "  (the reverse never happens: the triangle is a subset)\n",
+              relaxed, total);
+
+  std::printf("\n%s\n", ok ? "POLY reproduced." : "POLY MISMATCH.");
+  return ok ? 0 : 1;
+}

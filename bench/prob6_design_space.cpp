@@ -1,0 +1,79 @@
+// PROB6 -- Problems 6.1 and 6.2 (the paper's Section 6 future work,
+// implemented in search/space_optimal.*): space-optimal mappings for a
+// fixed schedule, and the (makespan, array cost) Pareto frontier of the
+// joint design space, for matmul and transitive closure.
+#include <cstdio>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+void frontier(const char* name,
+              const model::UniformDependenceAlgorithm& algo, Int max_entry) {
+  search::SpaceSearchOptions options;
+  options.max_entry = max_entry;
+  search::DesignSpaceResult r = search::explore_design_space(algo, options);
+  std::printf("\n%s: %llu candidate spaces, %llu feasible; Pareto frontier "
+              "(makespan vs processors + wire):\n",
+              name, (unsigned long long)r.spaces_tested,
+              (unsigned long long)r.feasible_spaces);
+  std::printf("  %-14s | %-14s | t    | PEs | wire | cost\n", "S", "Pi");
+  std::printf("  ---------------+----------------+------+-----+------+-----\n");
+  for (const auto& p : r.pareto) {
+    std::printf("  %-14s | %-14s | %4lld | %3lld | %4lld | %4lld\n",
+                linalg::pretty(p.space.row_vector(0)).c_str(),
+                linalg::pretty(p.pi).c_str(), (long long)p.makespan,
+                (long long)p.cost.processors, (long long)p.cost.wire_length,
+                (long long)p.cost.total());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PROB6: space-optimal and joint design-space search "
+              "(Problems 6.1/6.2)\n");
+
+  // Problem 6.1 on the paper's two running examples.
+  {
+    const Int mu = 4;
+    model::UniformDependenceAlgorithm algo = model::matmul(mu);
+    search::SpaceSearchResult r =
+        search::space_optimal_mapping(algo, VecI{1, mu, 1});
+    std::printf("\nProblem 6.1, matmul mu=4, Pi = [1,4,1]:\n");
+    if (r.found) {
+      std::printf("  best S = %s: %lld PEs + %lld wire = cost %lld "
+                  "(paper's S = [1,1,-1]: 13 + 3 = 16)\n",
+                  linalg::pretty(r.space.row_vector(0)).c_str(),
+                  (long long)r.cost.processors, (long long)r.cost.wire_length,
+                  (long long)r.cost.total());
+    } else {
+      std::printf("  no conflict-free space found\n");
+    }
+  }
+  {
+    const Int mu = 4;
+    model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+    search::SpaceSearchResult r =
+        search::space_optimal_mapping(algo, VecI{mu + 1, 1, 1});
+    std::printf("\nProblem 6.1, transitive closure mu=4, Pi = [5,1,1]:\n");
+    if (r.found) {
+      std::printf("  best S = %s: %lld PEs + %lld wire = cost %lld "
+                  "(paper's S = [0,0,1]: 5 + 1 = 6)\n",
+                  linalg::pretty(r.space.row_vector(0)).c_str(),
+                  (long long)r.cost.processors, (long long)r.cost.wire_length,
+                  (long long)r.cost.total());
+    } else {
+      std::printf("  no conflict-free space found\n");
+    }
+  }
+
+  // Problem 6.2 frontiers.
+  frontier("matmul mu=4 (1-D arrays, |s| <= 1)", model::matmul(4), 1);
+  frontier("matmul mu=4 (1-D arrays, |s| <= 2)", model::matmul(4), 2);
+  frontier("transitive closure mu=4 (1-D arrays, |s| <= 1)",
+           model::transitive_closure(4), 1);
+  return 0;
+}

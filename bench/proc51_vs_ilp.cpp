@@ -1,0 +1,102 @@
+// PROC51 -- cost of the two Section-5 solution routes, and the paper's
+// complexity remark on Procedure 5.1 (O(n^(2mu+1)) candidate enumeration):
+//   - Procedure 5.1 with the exact conflict oracle,
+//   - Procedure 5.1 with the published-theorem oracle,
+//   - Procedure 5.1 with the brute-force oracle of [23] (scan all of J),
+//   - the ILP formulation (5.1)-(5.2) + verification,
+// on matmul and transitive closure across problem sizes.
+#include <benchmark/benchmark.h>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+void BM_Procedure51_Matmul(benchmark::State& state,
+                           search::ConflictOracle oracle) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  MatI space{{1, 1, -1}};
+  search::SearchOptions options;
+  options.oracle = oracle;
+  for (auto _ : state) {
+    search::SearchResult r = search::procedure_5_1(algo, space, options);
+    benchmark::DoNotOptimize(r);
+    if (!r.found) state.SkipWithError("search failed");
+    state.counters["candidates"] = static_cast<double>(r.candidates_tested);
+    state.counters["makespan"] = static_cast<double>(r.makespan);
+  }
+}
+
+void BM_Proc51_Exact(benchmark::State& state) {
+  BM_Procedure51_Matmul(state, search::ConflictOracle::kExact);
+}
+void BM_Proc51_PaperTheorems(benchmark::State& state) {
+  BM_Procedure51_Matmul(state, search::ConflictOracle::kPaperTheorems);
+}
+void BM_Proc51_BruteForce(benchmark::State& state) {
+  BM_Procedure51_Matmul(state, search::ConflictOracle::kBruteForce);
+}
+
+BENCHMARK(BM_Proc51_Exact)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Proc51_PaperTheorems)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+// The [23]-style full-scan oracle pays |J| per candidate; keep sizes small.
+BENCHMARK(BM_Proc51_BruteForce)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_IlpRoute_Matmul(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  MatI space{{1, 1, -1}};
+  for (auto _ : state) {
+    search::IlpMappingResult r =
+        search::solve_k_equals_n_minus_1(algo, space);
+    benchmark::DoNotOptimize(r);
+    state.counters["ilp_nodes"] = static_cast<double>(r.ilp_nodes);
+    state.counters["found"] = r.found ? 1 : 0;
+  }
+}
+BENCHMARK(BM_IlpRoute_Matmul)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MapperAuto_Matmul(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  MatI space{{1, 1, -1}};
+  core::Mapper mapper;
+  for (auto _ : state) {
+    core::MappingSolution s = mapper.find_time_optimal(algo, space);
+    benchmark::DoNotOptimize(s);
+    if (!s.found) state.SkipWithError("mapper failed");
+  }
+}
+BENCHMARK(BM_MapperAuto_Matmul)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Procedure51_TransitiveClosure(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+  MatI space{{0, 0, 1}};
+  for (auto _ : state) {
+    search::SearchResult r = search::procedure_5_1(algo, space);
+    benchmark::DoNotOptimize(r);
+    if (!r.found) state.SkipWithError("search failed");
+    state.counters["candidates"] = static_cast<double>(r.candidates_tested);
+  }
+}
+BENCHMARK(BM_Procedure51_TransitiveClosure)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_IlpRoute_TransitiveClosure(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+  MatI space{{0, 0, 1}};
+  for (auto _ : state) {
+    search::IlpMappingResult r =
+        search::solve_k_equals_n_minus_1(algo, space);
+    benchmark::DoNotOptimize(r);
+    state.counters["found"] = r.found ? 1 : 0;
+  }
+}
+BENCHMARK(BM_IlpRoute_TransitiveClosure)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

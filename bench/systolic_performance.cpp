@@ -1,0 +1,95 @@
+// SIMPERF -- throughput of the cycle-accurate systolic simulator (the
+// substrate behind FIG23 and every "clean simulation" verdict): structural
+// and value-level simulation of matmul arrays across problem sizes, plus
+// conflict-decision microbenchmarks.
+#include <benchmark/benchmark.h>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+void BM_Simulate_Matmul(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  // [2, 1, mu-1] is conflict-free for every mu >= 2.
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{2, 1, mu - 1});
+  systolic::ArrayDesign design = systolic::design_dedicated_array(algo, t);
+  for (auto _ : state) {
+    systolic::SimulationReport r = systolic::simulate(algo, design);
+    benchmark::DoNotOptimize(r);
+    if (!r.clean()) state.SkipWithError("unexpected conflicts");
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(algo.index_set().size_u64()));
+}
+BENCHMARK(BM_Simulate_Matmul)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_Simulate_MatmulValues(benchmark::State& state) {
+  const Int mu = state.range(0);
+  MatI a(mu + 1, mu + 1), b(mu + 1, mu + 1);
+  for (std::size_t i = 0; i <= static_cast<std::size_t>(mu); ++i) {
+    for (std::size_t j = 0; j <= static_cast<std::size_t>(mu); ++j) {
+      a(i, j) = static_cast<Int>(i + j);
+      b(i, j) = static_cast<Int>(i) - static_cast<Int>(j);
+    }
+  }
+  model::SemanticAlgorithm sem = model::semantic_matmul(mu, a, b);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{2, 1, mu - 1});
+  systolic::ArrayDesign design =
+      systolic::design_dedicated_array(sem.structure, t);
+  for (auto _ : state) {
+    systolic::SimulationReport r = systolic::simulate(sem, design);
+    benchmark::DoNotOptimize(r);
+    if (!r.values_match) state.SkipWithError("value mismatch");
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(sem.structure.index_set().size_u64()));
+}
+BENCHMARK(BM_Simulate_MatmulValues)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Decide_ConflictFree(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::IndexSet set = model::IndexSet::cube(3, mu);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{2, 1, mu - 1});
+  for (auto _ : state) {
+    mapping::ConflictVerdict v = mapping::decide_conflict_free(t, set);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Decide_ConflictFree)->Arg(4)->Arg(32)->Arg(256)->Arg(4096);
+
+void BM_Decide_BruteForce(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::IndexSet set = model::IndexSet::cube(3, mu);
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{2, 1, mu - 1});
+  for (auto _ : state) {
+    mapping::ConflictVerdict v = baseline::brute_force_conflicts(t, set);
+    benchmark::DoNotOptimize(v);
+  }
+  (void)algo;
+}
+BENCHMARK(BM_Decide_BruteForce)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Decide_5D_SignPattern(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm bit = bitlevel::bit_matmul(mu, 2);
+  MatI space{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}};
+  // (1, 1, 8, 2, 1) separates (k, l, p) injectively for 2-bit operands at
+  // any mu: |2 gamma_l + gamma_p| <= 7 < 8 forces the kernel to zero.
+  VecI pi{1, 1, 8, 2, 1};
+  mapping::MappingMatrix t(space, pi);
+  for (auto _ : state) {
+    mapping::ConflictVerdict v =
+        mapping::decide_conflict_free(t, bit.index_set());
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Decide_5D_SignPattern)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Bring-your-own loop nest: mapping a user-defined uniform dependence
+// algorithm that is NOT in the gallery.
+//
+// The workload here is a 3-D wavefront stencil (Gauss-Seidel-style sweep):
+//     for t, i, j:  v(t,i,j) = f(v(t-1,i,j), v(t,i-1,j), v(t,i,j-1),
+//                                v(t-1,i+1,j), v(t-1,i,j+1))
+// whose dependence columns are (1,0,0), (0,1,0), (0,0,1), (1,-1,0),
+// (1,0,-1).  The example builds it from a textual spec exactly as the CLI
+// would, asks the Mapper for the time-optimal conflict-free projection
+// onto a 2-D array, and prints the one-page design report.
+#include <cstdio>
+#include <iostream>
+
+#include "sysmap.hpp"
+
+int main() {
+  using namespace sysmap;
+
+  // Textual spec, as accepted by sysmap_cli --bounds/--deps.
+  model::UniformDependenceAlgorithm stencil = core::make_custom_algorithm(
+      "3 4 4",
+      "1 0 0 1 1;"
+      "0 1 0 -1 0;"
+      "0 0 1 0 -1");
+  std::cout << "custom stencil: n = " << stencil.dimension()
+            << ", m = " << stencil.num_dependences()
+            << ", |J| = " << stencil.index_set().size().to_string() << "\n";
+  std::cout << "free-schedule bound: "
+            << schedule::free_schedule_makespan(stencil) << " cycles\n\n";
+
+  // Project onto the (i, j) plane: one PE per grid point, time folds t.
+  MatI space{{0, 1, 0}, {0, 0, 1}};
+  core::MapperOptions options;
+  options.simulate = true;
+  core::MappingSolution s =
+      core::Mapper(options).find_time_optimal(stencil, space);
+  if (!s.found) {
+    std::cerr << "no conflict-free schedule found\n";
+    return 1;
+  }
+
+  core::ReportOptions ropt;
+  ropt.include_frames = true;
+  ropt.max_frames = 2;
+  std::cout << core::render_report(stencil, s, ropt);
+
+  return s.simulation->clean() ? 0 : 1;
+}

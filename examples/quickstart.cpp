@@ -1,0 +1,67 @@
+// Quickstart: map 3-D matrix multiplication onto a linear systolic array.
+//
+// This walks the full pipeline of the paper on Example 5.1:
+//   1. describe the algorithm structurally as (J, D),
+//   2. pick the space mapping S = [1, 1, -1] (projection onto a line),
+//   3. ask the Mapper for the time-optimal conflict-free schedule Pi,
+//   4. design the dedicated array (Figure 2) and simulate it (Figure 3),
+//   5. verify the array computes the real matrix product.
+#include <iostream>
+
+#include "sysmap.hpp"
+
+int main() {
+  using namespace sysmap;
+  const Int mu = 4;  // problem size: (mu+1) x (mu+1) matrices
+
+  // 1. The algorithm: C = A * B as a uniform dependence algorithm
+  //    (Equation 3.4 of the paper): J = [0, mu]^3, D = I_3.
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  std::cout << "algorithm: " << algo.name() << ", n = " << algo.dimension()
+            << ", |J| = " << algo.index_set().size().to_string() << "\n";
+  std::cout << "D =\n"
+            << linalg::pretty(algo.dependence_matrix()) << "\n\n";
+
+  // 2-3. Find the time-optimal conflict-free schedule for S = [1, 1, -1].
+  MatI space{{1, 1, -1}};
+  core::MapperOptions options;
+  options.simulate = true;
+  core::Mapper mapper(options);
+  core::MappingSolution solution = mapper.find_time_optimal(algo, space);
+  if (!solution.found) {
+    std::cerr << "no conflict-free schedule found\n";
+    return 1;
+  }
+  std::cout << "optimal schedule Pi = " << linalg::pretty(solution.pi)
+            << "  (method: " << solution.method_used << ")\n";
+  std::cout << "makespan t = " << solution.makespan << " = mu(mu+2)+1\n";
+  std::cout << "certified by: " << solution.verdict.rule << "\n\n";
+
+  // 4. The array design (Figure 2): P = S D, K = I, buffers on each link.
+  const systolic::ArrayDesign& design = *solution.array;
+  std::cout << systolic::link_diagram(algo, design) << "\n";
+
+  // 5. Space-time diagram (Figure 3) and simulation report.
+  std::cout << "space-time diagram (rows = cycles, columns = PEs):\n";
+  std::cout << systolic::space_time_diagram(algo, design) << "\n";
+  std::cout << "simulation: " << solution.simulation->summary() << "\n\n";
+
+  // Value-level check: run actual matrices through the array.
+  MatI a(mu + 1, mu + 1), b(mu + 1, mu + 1);
+  for (std::size_t i = 0; i <= static_cast<std::size_t>(mu); ++i) {
+    for (std::size_t j = 0; j <= static_cast<std::size_t>(mu); ++j) {
+      a(i, j) = static_cast<Int>(i * 5 + j + 1);
+      b(i, j) = static_cast<Int>(i) - static_cast<Int>(2 * j) + 3;
+    }
+  }
+  model::SemanticAlgorithm semantic = model::semantic_matmul(mu, a, b);
+  systolic::SimulationReport value_run = systolic::simulate(semantic, design);
+  std::cout << "value-level execution: " << value_run.summary() << "\n\n";
+
+  // Host-side view: when each operand must enter and each result leaves
+  // (the data skew at the edges of Figure 3).
+  std::cout << "host I/O schedule:\n"
+            << systolic::io_schedule(algo, design).summary() << "\n";
+
+  return value_run.values_match && value_run.clean() ? 0 : 1;
+}

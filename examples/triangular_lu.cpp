@@ -1,0 +1,71 @@
+// Triangular LU on its true polyhedral iteration space (library extension
+// lifting the paper's Assumption 2.1).
+//
+// The paper requires constant-bounded (box) index sets and suggests
+// transforming other domains into boxes.  For LU decomposition the real
+// domain is the simplex chain 0 <= j1 <= j2 <= j3 <= mu; embedding it in
+// the cube wastes ~5/6 of the points and, as this example shows, schedule
+// quality: the triangle admits strictly faster conflict-free schedules
+// under the same space mapping.
+#include <cstdio>
+
+#include "sysmap.hpp"
+
+int main() {
+  using namespace sysmap;
+  const Int mu = 4;
+
+  search::PolyhedralAlgorithm tri = search::triangular_lu(mu);
+  std::printf("triangular LU, 0 <= j1 <= j2 <= j3 <= %lld: %s points "
+              "(cube: %lld)\n\n",
+              (long long)mu, tri.index_set.count_points().to_string().c_str(),
+              (long long)((mu + 1) * (mu + 1) * (mu + 1)));
+
+  MatI space{{0, 0, 1}};
+  search::PolyhedralSearchResult best =
+      search::polyhedral_optimal_schedule(tri, space);
+  if (!best.found) {
+    std::fprintf(stderr, "no conflict-free schedule found\n");
+    return 1;
+  }
+  std::printf("optimal schedule on the triangle: Pi = %s, t = %lld%s\n",
+              linalg::pretty(best.pi).c_str(), (long long)best.makespan,
+              best.certified_optimal ? " (certified optimal)" : "");
+  std::printf("certified by: %s\n\n", best.verdict.rule.c_str());
+
+  // Compare with the cube embedding the paper would use.
+  model::UniformDependenceAlgorithm cube("lu_cube",
+                                         model::IndexSet::cube(3, mu),
+                                         MatI::identity(3));
+  search::SearchResult boxed = search::procedure_5_1(cube, space);
+  std::printf("cube-embedded optimum: Pi = %s, t = %lld\n",
+              boxed.found ? linalg::pretty(boxed.pi).c_str() : "-",
+              boxed.found ? (long long)boxed.makespan : -1);
+  std::printf("triangle saves %lld cycles (%.0f%%)\n\n",
+              (long long)(boxed.makespan - best.makespan),
+              100.0 * (double)(boxed.makespan - best.makespan) /
+                  (double)boxed.makespan);
+
+  // Show a few conflict vectors that the cube forbids but the triangle
+  // tolerates (why the triangle schedules faster).
+  std::printf("sample gammas: cube-infeasible but triangle-feasible:\n");
+  model::IndexSet box = model::IndexSet::cube(3, mu);
+  int shown = 0;
+  for (Int a = -mu; a <= mu && shown < 5; ++a) {
+    for (Int b = -mu; b <= mu && shown < 5; ++b) {
+      for (Int c = -mu; c <= mu && shown < 5; ++c) {
+        VecI gamma{a, b, c};
+        if ((a == 0 && b == 0 && c == 0) || !lattice::is_primitive(gamma)) {
+          continue;
+        }
+        if (!mapping::is_feasible_conflict_vector(gamma, box) &&
+            model::is_feasible_conflict_vector_polyhedral(gamma,
+                                                          tri.index_set)) {
+          std::printf("  %s\n", linalg::pretty(gamma).c_str());
+          ++shown;
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "baseline/brute_force.hpp"
+
+#include <map>
+#include <utility>
+
+#include "lattice/kernel.hpp"
+#include "search/procedure51.hpp"
+
+namespace sysmap::baseline {
+
+mapping::ConflictVerdict brute_force_conflicts(const mapping::MappingMatrix& t,
+                                               const model::IndexSet& set) {
+  mapping::ConflictVerdict out;
+  out.rule = "brute force: full index-set scan";
+  std::map<VecI, VecI> image;  // tau(j) -> first j mapped there
+  bool conflict = false;
+  set.for_each_while([&](const VecI& j) {
+    VecI key = t.apply(j);
+    auto [it, inserted] = image.emplace(std::move(key), j);
+    if (!inserted) {
+      VecI diff(j.size());
+      for (std::size_t i = 0; i < j.size(); ++i) {
+        diff[i] = j[i] - it->second[i];
+      }
+      out.status = mapping::ConflictVerdict::Status::kHasConflict;
+      out.witness = lattice::make_primitive(to_bigint(diff));
+      conflict = true;
+      return false;
+    }
+    return true;
+  });
+  if (!conflict) out.status = mapping::ConflictVerdict::Status::kConflictFree;
+  return out;
+}
+
+mapping::ConflictVerdict brute_force_conflicts_polyhedral(
+    const mapping::MappingMatrix& t, const model::PolyhedralIndexSet& set) {
+  mapping::ConflictVerdict out;
+  out.rule = "brute force: full polyhedral scan";
+  out.status = mapping::ConflictVerdict::Status::kConflictFree;
+  std::map<VecI, VecI> image;
+  set.for_each([&](const VecI& j) {
+    if (out.status == mapping::ConflictVerdict::Status::kHasConflict) return;
+    VecI key = t.apply(j);
+    auto [it, inserted] = image.emplace(std::move(key), j);
+    if (!inserted) {
+      VecI diff(j.size());
+      for (std::size_t i = 0; i < j.size(); ++i) {
+        diff[i] = j[i] - it->second[i];
+      }
+      out.status = mapping::ConflictVerdict::Status::kHasConflict;
+      out.witness = lattice::make_primitive(to_bigint(diff));
+    }
+  });
+  return out;
+}
+
+BruteForceOptimum brute_force_optimal_schedule(
+    const model::UniformDependenceAlgorithm& algo, const MatI& space,
+    Int max_objective) {
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  BruteForceOptimum out;
+  for (Int f = 1; f <= max_objective && !out.found; ++f) {
+    search::enumerate_schedules_at(set, f, [&](const VecI& pi) {
+      ++out.candidates_tested;
+      schedule::LinearSchedule sched(pi);
+      if (!sched.respects_dependences(d)) return true;
+      mapping::MappingMatrix t(space, pi);
+      if (!t.has_full_rank()) return true;
+      mapping::ConflictVerdict verdict = brute_force_conflicts(t, set);
+      if (verdict.status !=
+          mapping::ConflictVerdict::Status::kConflictFree) {
+        return true;
+      }
+      out.found = true;
+      out.pi = pi;
+      out.objective = f;
+      return false;
+    });
+  }
+  return out;
+}
+
+}  // namespace sysmap::baseline

@@ -1,0 +1,40 @@
+// Brute-force baselines: conflict detection by scanning every computation
+// (the approach of [23], where "detection of computational conflicts is
+// basically by analysis of all computations of the algorithm"), and
+// exhaustive optimal-schedule search.  Both are oracles for validating the
+// closed-form theory on small instances, and the "before" side of the
+// paper's contribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mapping/conflict.hpp"
+#include "model/algorithm.hpp"
+
+namespace sysmap::baseline {
+
+/// Scans tau(j) over all of J and reports a duplicate as a conflict.  The
+/// witness is the index-point difference (a genuine non-feasible conflict
+/// vector after primitivization).  Exact, O(|J|) time and memory.
+mapping::ConflictVerdict brute_force_conflicts(const mapping::MappingMatrix& t,
+                                               const model::IndexSet& set);
+
+/// Exhaustive Problem 2.2: smallest-objective Pi with Pi D > 0, rank(T)=k
+/// and no brute-force conflicts.  Independent of all Section 3/4 theory.
+struct BruteForceOptimum {
+  bool found = false;
+  VecI pi;
+  Int objective = 0;
+  std::uint64_t candidates_tested = 0;
+};
+BruteForceOptimum brute_force_optimal_schedule(
+    const model::UniformDependenceAlgorithm& algo, const MatI& space,
+    Int max_objective);
+
+/// Full-scan conflict oracle over a polyhedral index set (ground truth for
+/// the decide_conflict_free_polyhedral extension).
+mapping::ConflictVerdict brute_force_conflicts_polyhedral(
+    const mapping::MappingMatrix& t, const model::PolyhedralIndexSet& set);
+
+}  // namespace sysmap::baseline

@@ -1,0 +1,75 @@
+#include "baseline/heuristic.hpp"
+
+#include "exact/checked.hpp"
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::baseline {
+
+HeuristicResult greedy_schedule(const model::UniformDependenceAlgorithm& algo,
+                                const MatI& space,
+                                std::uint64_t max_repairs) {
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  const std::size_t n = set.dimension();
+
+  HeuristicResult result;
+  VecI pi(n, 1);
+  while (result.repairs < max_repairs) {
+    schedule::LinearSchedule sched(pi);
+    // Repair dependence violations first.
+    std::size_t bad_col = d.cols();
+    for (std::size_t c = 0; c < d.cols(); ++c) {
+      if (sched.dependence_delay(d, c) <= 0) {
+        bad_col = c;
+        break;
+      }
+    }
+    if (bad_col < d.cols()) {
+      // Bump the coordinate with the largest positive coefficient.
+      std::size_t best = n;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (d(r, bad_col) > 0 &&
+            (best == n || d(r, bad_col) > d(best, bad_col))) {
+          best = r;
+        }
+      }
+      if (best == n) return result;  // column has no positive entry: stuck
+      pi[best] = exact::add_checked(pi[best], 1);
+      ++result.repairs;
+      continue;
+    }
+    mapping::MappingMatrix t(space, pi);
+    if (!t.has_full_rank()) {
+      // Perturb the first coordinate to break the linear dependence.
+      pi[0] = exact::add_checked(pi[0], 1);
+      ++result.repairs;
+      continue;
+    }
+    mapping::ConflictVerdict verdict =
+        mapping::decide_conflict_free(t, set);
+    if (verdict.conflict_free()) {
+      result.found = true;
+      result.pi = pi;
+      result.makespan = sched.makespan(set);
+      return result;
+    }
+    // Bump where the witness is largest relative to its bound -- the
+    // cheapest way to push that conflict direction out of the box.
+    std::size_t best = 0;
+    exact::BigInt best_score(-1);
+    if (verdict.witness) {
+      for (std::size_t r = 0; r < n; ++r) {
+        exact::BigInt score = (*verdict.witness)[r].abs();
+        if (score > best_score) {
+          best_score = score;
+          best = r;
+        }
+      }
+    }
+    pi[best] = exact::add_checked(pi[best], 1);
+    ++result.repairs;
+  }
+  return result;
+}
+
+}  // namespace sysmap::baseline

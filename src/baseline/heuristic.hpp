@@ -1,0 +1,35 @@
+// A greedy schedule-repair heuristic, in the spirit of the procedure of
+// [22] that Example 5.2 improves on (NOT a reconstruction of [22] --
+// that procedure is not fully specified in the paper; this is a
+// representative deterministic greedy baseline).
+//
+// Start from the all-ones schedule; while a Definition 2.2 condition
+// fails, bump one coordinate:
+//   - a violated dependence (Pi d <= 0) bumps the coordinate with the
+//     largest positive coefficient in that column,
+//   - a conflict bumps the coordinate where the witness conflict vector
+//     is largest (pushing that direction toward the box boundary).
+// Greedy repair finds valid-but-suboptimal schedules quickly; the benches
+// compare its makespans against the certified optima.
+#pragma once
+
+#include <cstdint>
+
+#include "mapping/conflict.hpp"
+#include "model/algorithm.hpp"
+
+namespace sysmap::baseline {
+
+struct HeuristicResult {
+  bool found = false;
+  VecI pi;
+  Int makespan = 0;
+  std::uint64_t repairs = 0;  ///< coordinate bumps performed
+};
+
+/// Runs the greedy repair loop; gives up after `max_repairs` bumps.
+HeuristicResult greedy_schedule(const model::UniformDependenceAlgorithm& algo,
+                                const MatI& space,
+                                std::uint64_t max_repairs = 10'000);
+
+}  // namespace sysmap::baseline

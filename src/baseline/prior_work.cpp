@@ -1,0 +1,33 @@
+#include "baseline/prior_work.hpp"
+
+namespace sysmap::baseline {
+
+PriorMapping ref23_matmul(Int mu) {
+  return {"[23]",
+          MatI{{1, 1, -1}},
+          VecI{2, 1, mu},
+          mu * (mu + 3) + 1};
+}
+
+PriorMapping ref22_transitive_closure(Int mu) {
+  return {"[22]",
+          MatI{{0, 0, 1}},
+          VecI{2 * mu + 1, 1, 1},
+          mu * (2 * mu + 3) + 1};
+}
+
+PriorMapping paper_matmul_optimum(Int mu) {
+  return {"this paper (Example 5.1)",
+          MatI{{1, 1, -1}},
+          VecI{1, mu, 1},
+          mu * (mu + 2) + 1};
+}
+
+PriorMapping paper_transitive_closure_optimum(Int mu) {
+  return {"this paper (Example 5.2)",
+          MatI{{0, 0, 1}},
+          VecI{mu + 1, 1, 1},
+          mu * (mu + 3) + 1};
+}
+
+}  // namespace sysmap::baseline

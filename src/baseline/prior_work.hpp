@@ -1,0 +1,37 @@
+// Published prior-work mappings the paper compares against.
+//
+// [23] Lee & Kedem-style mapping of 3-D matmul onto a linear array with
+//      S = [1, 1, -1] and Pi' = [2, 1, mu]  (Example 5.1's comparison);
+//      t' = mu(mu+3) + 1 and 4 buffers, vs the paper's mu(mu+2) + 1 and 3.
+// [22] the heuristic mapping of the reindexed transitive closure with
+//      S = [0, 0, 1] and Pi' = [2mu+1, 1, 1]; t' = mu(2mu+3) + 1, vs the
+//      paper's optimal Pi = [mu+1, 1, 1] with t = mu(mu+3) + 1.
+#pragma once
+
+#include "mapping/mapping_matrix.hpp"
+#include "model/algorithm.hpp"
+
+namespace sysmap::baseline {
+
+/// A prior-work design point: name, mapping, and the closed-form makespan
+/// the source publication reports.
+struct PriorMapping {
+  std::string source;           ///< bracketed citation, e.g. "[23]"
+  MatI space;                   ///< S
+  VecI pi;                      ///< published schedule vector
+  Int published_makespan;       ///< published t(mu)
+};
+
+/// Example 5.1's comparison point: [23]'s matmul mapping for size mu.
+PriorMapping ref23_matmul(Int mu);
+
+/// Example 5.2's comparison point: [22]'s transitive-closure mapping.
+PriorMapping ref22_transitive_closure(Int mu);
+
+/// The paper's own optima, as closed forms, for regression checks:
+/// matmul Pi = [1, mu, 1] (t = mu(mu+2)+1, valid for even mu) and
+/// transitive closure Pi = [mu+1, 1, 1] (t = mu(mu+3)+1, mu >= 2).
+PriorMapping paper_matmul_optimum(Int mu);
+PriorMapping paper_transitive_closure_optimum(Int mu);
+
+}  // namespace sysmap::baseline

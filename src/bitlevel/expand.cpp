@@ -1,0 +1,57 @@
+#include "bitlevel/expand.hpp"
+
+#include <stdexcept>
+
+#include "model/gallery.hpp"
+
+namespace sysmap::bitlevel {
+
+model::UniformDependenceAlgorithm bit_expand(
+    const model::UniformDependenceAlgorithm& word, Int bits,
+    CarryScheme scheme) {
+  if (bits < 2) {
+    throw std::invalid_argument("bit_expand: need at least 2 bits");
+  }
+  const std::size_t n = word.dimension();
+  const MatI& d = word.dependence_matrix();
+  const std::size_t m = d.cols();
+
+  // Bounds: word bounds, then product-bit row (2*bits - 1) and
+  // multiplier-bit column (bits - 1).
+  VecI mu = word.index_set().bounds();
+  mu.push_back(2 * bits - 1);
+  mu.push_back(bits - 1);
+
+  MatI lifted(n + 2, m + 3);
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t r = 0; r < n; ++r) lifted(r, c) = d(r, c);
+  }
+  // carry: ripple (0..0, 1, 0) or carry-save (0..0, 1, 1).
+  lifted(n, m) = 1;
+  if (scheme == CarryScheme::kCarrySave) lifted(n + 1, m) = 1;
+  // operand-bit reuse: (0..0, 0, 1)
+  lifted(n + 1, m + 1) = 1;
+  // shift-add diagonal: (0..0, 1, -1)
+  lifted(n, m + 2) = 1;
+  lifted(n + 1, m + 2) = -1;
+
+  const char* suffix =
+      scheme == CarryScheme::kCarrySave ? "_cs" : "";
+  return {word.name() + "_bit" + std::to_string(bits) + suffix,
+          model::IndexSet(std::move(mu)), std::move(lifted)};
+}
+
+model::UniformDependenceAlgorithm bit_matmul(Int mu, Int bits) {
+  return bit_expand(model::matmul(mu), bits);
+}
+
+model::UniformDependenceAlgorithm bit_convolution(Int mu_i, Int mu_k,
+                                                  Int bits) {
+  return bit_expand(model::convolution(mu_i, mu_k), bits);
+}
+
+model::UniformDependenceAlgorithm bit_lu(Int mu, Int bits) {
+  return bit_expand(model::lu_decomposition(mu), bits);
+}
+
+}  // namespace sysmap::bitlevel

@@ -1,0 +1,59 @@
+// Bit-level expansion of word-level uniform dependence algorithms.
+//
+// The paper's motivating tool, RAB [26], expands 'C' programs into
+// bit-level algorithms, uniformizes them, and then needs to map the
+// resulting 4- and 5-dimensional algorithms onto 2-dimensional bit-level
+// arrays (GAPP/DAP/MPP-class).  RAB itself is unavailable; the paper only
+// consumes its *output* -- uniform dependence algorithms of dimension
+// n+2 -- so this module generates those directly from the arithmetic
+// structure of bit-serial multiply-accumulate (see DESIGN.md substitution
+// table):
+//
+// A word-level computation v(j) += a(j) * b(j) over w-bit operands becomes
+// bit computations indexed by (j, l, p) where l indexes bits of the
+// accumulator/partial product row and p indexes bits of the multiplier.
+// The bit-level dependences added to each (word dep, 0, 0) column are:
+//   (0..0, 1, 0)   carry propagation along the accumulator bits,
+//   (0..0, 0, 1)   operand-bit reuse across multiplier bits,
+//   (0..0, 1, -1)  the shift-add diagonal: partial-product bit of weight
+//                  l+p feeds position (l+1, p-1) of the next row.
+#pragma once
+
+#include "model/algorithm.hpp"
+
+namespace sysmap::bitlevel {
+
+/// How carries propagate in the expanded arithmetic -- the classic adder
+/// design choice, which shows up here as different dependence columns and
+/// therefore different optimal schedules (ablated in
+/// bench/bitlevel_carry_ablation):
+enum class CarryScheme {
+  /// Ripple-carry: the carry walks the accumulator row serially,
+  /// dependence (0..0, 1, 0) -- forces pi_l > 0.
+  kRippleCarry,
+  /// Carry-save: the carry is deferred diagonally into the next
+  /// partial-product row, dependence (0..0, 1, 1) -- only forces
+  /// pi_l + pi_p > 0, a strictly weaker schedule constraint.
+  kCarrySave,
+};
+
+/// Lifts a word-level algorithm to bit level: dimensions n -> n+2 with bit
+/// bounds mu_l = 2*bits - 1 (product width) and mu_p = bits - 1, word
+/// dependences zero-extended, plus the carry / reuse / shift-add columns.
+model::UniformDependenceAlgorithm bit_expand(
+    const model::UniformDependenceAlgorithm& word, Int bits,
+    CarryScheme scheme = CarryScheme::kRippleCarry);
+
+/// 5-D bit-level matrix multiplication (the RAB flagship case mapped onto
+/// 2-D arrays via Theorem 4.7 / formulation (5.5)-(5.6)).
+model::UniformDependenceAlgorithm bit_matmul(Int mu, Int bits);
+
+/// 4-D bit-level convolution (Section 3's practical application: 4-D
+/// bit-level convolution onto a 2-D systolic array).
+model::UniformDependenceAlgorithm bit_convolution(Int mu_i, Int mu_k,
+                                                  Int bits);
+
+/// 5-D bit-level LU decomposition.
+model::UniformDependenceAlgorithm bit_lu(Int mu, Int bits);
+
+}  // namespace sysmap::bitlevel

@@ -1,0 +1,121 @@
+#include "core/mapper.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "search/ilp_formulation.hpp"
+
+namespace sysmap::core {
+
+namespace {
+
+// Completes a found schedule with array design and optional simulation.
+void finalize(const model::UniformDependenceAlgorithm& algo,
+              const MatI& space, const MapperOptions& options,
+              MappingSolution& solution) {
+  if (!solution.found) return;
+  mapping::MappingMatrix t(space, solution.pi);
+  if (options.target) {
+    std::optional<systolic::ArrayDesign> design =
+        systolic::design_on_interconnect(algo, t, *options.target);
+    if (!design) {
+      throw std::logic_error(
+          "Mapper: accepted schedule is unroutable (search/target mismatch)");
+    }
+    solution.array = std::move(design);
+  } else {
+    solution.array = systolic::design_dedicated_array(algo, t);
+  }
+  if (options.simulate) {
+    solution.simulation = systolic::simulate(algo, *solution.array);
+  }
+}
+
+}  // namespace
+
+MappingSolution Mapper::find_time_optimal(
+    const model::UniformDependenceAlgorithm& algo, const MatI& space) const {
+  const std::size_t n = algo.dimension();
+  const std::size_t k = space.rows() + 1;
+  if (space.cols() != n) {
+    throw std::invalid_argument("Mapper: S width must equal n");
+  }
+
+  MappingSolution solution;
+  const bool ilp_applicable = (k + 1 == n);
+  const bool use_ilp =
+      options_.method == Method::kIlpCertified ||
+      (options_.method == Method::kAuto && ilp_applicable);
+  if (options_.method == Method::kIlpCertified && !ilp_applicable) {
+    throw std::invalid_argument(
+        "Mapper: kIlpCertified requires S in Z^{(n-2) x n}");
+  }
+
+  search::SearchOptions search_options;
+  search_options.target = options_.target;
+  search_options.max_objective = options_.max_objective;
+
+  if (use_ilp && ilp_applicable && !options_.target) {
+    // ILP candidate + lower bound, then certify with a bounded sweep.
+    // (With a fixed target interconnect the routing constraint is not part
+    // of the ILP, so fall through to pure Procedure 5.1 instead.)
+    search::IlpMappingResult ilp = search::solve_k_equals_n_minus_1(
+        algo, space, search::SignMode::kPositive);
+    if (!ilp.found) {
+      ilp = search::solve_k_equals_n_minus_1(algo, space,
+                                             search::SignMode::kOrthants);
+    }
+    solution.ilp_nodes = ilp.ilp_nodes;
+    if (ilp.found) {
+      if (ilp.objective == ilp.lower_bound) {
+        // The verified candidate meets the relaxation bound: optimal.
+        solution.found = true;
+        solution.pi = ilp.pi;
+        solution.objective = ilp.objective;
+        solution.makespan = ilp.objective + 1;
+        solution.verdict = mapping::decide_conflict_free(
+            mapping::MappingMatrix(space, ilp.pi), algo.index_set());
+        solution.method_used = "ILP (5.1)-(5.2), bound-tight";
+      } else {
+        // Certify the gap [lower_bound, objective) by enumeration.
+        search_options.min_objective = ilp.lower_bound;
+        search_options.max_objective = ilp.objective;
+        search::SearchResult swept = search::procedure_5_1(
+            algo, space, search_options);
+        solution.candidates_tested = swept.candidates_tested;
+        solution.found = true;
+        if (swept.found && swept.objective < ilp.objective) {
+          solution.pi = swept.pi;
+          solution.objective = swept.objective;
+          solution.verdict = std::move(swept.verdict);
+        } else {
+          solution.pi = ilp.pi;
+          solution.objective = ilp.objective;
+          solution.verdict = mapping::decide_conflict_free(
+              mapping::MappingMatrix(space, ilp.pi), algo.index_set());
+        }
+        solution.makespan = solution.objective + 1;
+        solution.method_used = "ILP (5.1)-(5.2) + Procedure 5.1 certification";
+      }
+      finalize(algo, space, options_, solution);
+      return solution;
+    }
+    // ILP found nothing verified; fall through to pure enumeration.
+  }
+
+  search::SearchResult result = search::procedure_5_1(algo, space,
+                                                      search_options);
+  solution.candidates_tested = result.candidates_tested;
+  if (result.found) {
+    solution.found = true;
+    solution.pi = std::move(result.pi);
+    solution.objective = result.objective;
+    solution.makespan = result.makespan;
+    solution.verdict = std::move(result.verdict);
+    solution.method_used = "Procedure 5.1";
+    finalize(algo, space, options_, solution);
+  }
+  return solution;
+}
+
+}  // namespace sysmap::core

@@ -1,0 +1,70 @@
+#include "core/report.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/validate.hpp"
+#include "linalg/matrix_io.hpp"
+#include "schedule/bounds.hpp"
+#include "schedule/collision.hpp"
+#include "systolic/diagram.hpp"
+#include "systolic/io_schedule.hpp"
+#include "systolic/simulator.hpp"
+
+namespace sysmap::core {
+
+std::string render_report(const model::UniformDependenceAlgorithm& algo,
+                          const MappingSolution& solution,
+                          const ReportOptions& options) {
+  if (!solution.found || !solution.array) {
+    throw std::invalid_argument("render_report: unsolved mapping");
+  }
+  const systolic::ArrayDesign& design = *solution.array;
+  std::ostringstream os;
+
+  os << "# Mapping report: " << algo.name() << "\n\n";
+  os << "- index set: |J| = " << algo.index_set().size().to_string()
+     << ", bounds " << linalg::pretty(algo.index_set().bounds()) << "\n";
+  os << "- dependence matrix D:\n"
+     << linalg::pretty(algo.dependence_matrix()) << "\n";
+  os << "- mapping T = [S; Pi]:\n"
+     << linalg::pretty(design.t.matrix()) << "\n";
+  os << "- schedule Pi = " << linalg::pretty(solution.pi) << ", makespan t = "
+     << solution.makespan << " (method: " << solution.method_used << ")\n";
+  os << "- dependence-chain lower bound: "
+     << schedule::free_schedule_makespan(algo) << "\n\n";
+
+  os << "## Definition 2.2 conditions\n\n";
+  mapping::MappingMatrix t(design.t.matrix());
+  os << validate_mapping(algo, t).summary() << "\n\n";
+
+  os << "## Array\n\n" << systolic::link_diagram(algo, design) << "\n";
+  schedule::CollisionAnalysis collisions =
+      schedule::analyze_link_collisions(algo, design);
+  os << "link collisions: "
+     << (collisions.possible ? "POSSIBLE" : "none") << " [" << collisions.rule
+     << "]\n\n";
+
+  os << "## Host I/O\n\n"
+     << systolic::io_schedule(algo, design).summary() << "\n\n";
+
+  if (solution.simulation) {
+    os << "## Simulation\n\n" << solution.simulation->summary() << "\n";
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "utilization: %.1f%%\n\n",
+                  100.0 * solution.simulation->utilization());
+    os << buffer;
+  }
+
+  if (options.include_space_time_diagram && design.t.k() == 2) {
+    os << "## Space-time diagram\n\n"
+       << systolic::space_time_diagram(algo, design) << "\n";
+  }
+  if (options.include_frames && design.t.k() == 3) {
+    os << "## Activity frames\n\n"
+       << systolic::frame_diagram(algo, design, options.max_frames) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sysmap::core

@@ -1,0 +1,26 @@
+// Human-readable design reports: everything a hardware engineer needs to
+// evaluate a mapping in one page -- the mapping matrix, verdicts for every
+// Definition 2.2 condition, the array structure, buffers, host I/O
+// windows, utilization and (for 1-D/2-D arrays) diagrams.
+#pragma once
+
+#include <string>
+
+#include "core/mapper.hpp"
+#include "model/algorithm.hpp"
+
+namespace sysmap::core {
+
+struct ReportOptions {
+  bool include_space_time_diagram = true;  ///< 1-D arrays only
+  bool include_frames = false;             ///< 2-D arrays only
+  std::size_t max_frames = 3;
+};
+
+/// Renders a markdown-ish report for a solved mapping.  Requires
+/// solution.found and solution.array.
+std::string render_report(const model::UniformDependenceAlgorithm& algo,
+                          const MappingSolution& solution,
+                          const ReportOptions& options = {});
+
+}  // namespace sysmap::core

@@ -1,0 +1,131 @@
+#include "core/spec.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bitlevel/expand.hpp"
+#include "model/gallery.hpp"
+
+namespace sysmap::core {
+
+namespace {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace
+
+VecI parse_vector(std::string_view text) {
+  VecI out;
+  std::string token;
+  auto flush = [&] {
+    if (token.empty()) return;
+    std::size_t pos = 0;
+    long long value = 0;
+    try {
+      value = std::stoll(token, &pos);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_vector: bad integer '" + token +
+                                  "'");
+    }
+    if (pos != token.size()) {
+      throw std::invalid_argument("parse_vector: trailing junk in '" + token +
+                                  "'");
+    }
+    out.push_back(static_cast<Int>(value));
+    token.clear();
+  };
+  for (char c : text) {
+    if (c == ' ' || c == ',' || c == '\t') {
+      flush();
+    } else {
+      token.push_back(c);
+    }
+  }
+  flush();
+  if (out.empty()) throw std::invalid_argument("parse_vector: empty");
+  return out;
+}
+
+MatI parse_matrix(std::string_view text) {
+  std::vector<VecI> rows;
+  for (const std::string& row_text : split(text, ';')) {
+    // Skip rows that are entirely whitespace (trailing semicolons).
+    bool blank = true;
+    for (char c : row_text) {
+      if (c != ' ' && c != '\t') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    rows.push_back(parse_vector(row_text));
+  }
+  if (rows.empty()) throw std::invalid_argument("parse_matrix: empty");
+  MatI out(rows.size(), rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != rows[0].size()) {
+      throw std::invalid_argument("parse_matrix: ragged rows");
+    }
+    for (std::size_t j = 0; j < rows[i].size(); ++j) out(i, j) = rows[i][j];
+  }
+  return out;
+}
+
+std::optional<model::UniformDependenceAlgorithm> make_gallery_algorithm(
+    std::string_view name, Int mu, Int mu2, Int bits) {
+  const Int second = mu2 > 0 ? mu2 : mu;
+  if (name == "matmul") return model::matmul(mu);
+  if (name == "transitive_closure") return model::transitive_closure(mu);
+  if (name == "lu") return model::lu_decomposition(mu);
+  if (name == "convolution") return model::convolution(mu, second);
+  if (name == "convolution_2d") {
+    return model::convolution_2d(mu, mu, second, second);
+  }
+  if (name == "matvec") return model::matvec(mu);
+  if (name == "unit_cube") return model::unit_cube_algorithm(3, mu);
+  if (name == "bit_matmul") return bitlevel::bit_matmul(mu, bits);
+  if (name == "bit_lu") return bitlevel::bit_lu(mu, bits);
+  if (name == "bit_convolution") {
+    return bitlevel::bit_convolution(mu, second, bits);
+  }
+  return std::nullopt;
+}
+
+model::UniformDependenceAlgorithm make_custom_algorithm(
+    std::string_view bounds, std::string_view dependence) {
+  return {"custom", model::IndexSet(parse_vector(bounds)),
+          parse_matrix(dependence)};
+}
+
+std::optional<schedule::Interconnect> make_interconnect(std::string_view name,
+                                                        std::size_t dims) {
+  if (name == "line" || name == "mesh" || name == "nearest") {
+    return schedule::Interconnect::nearest_neighbor(dims);
+  }
+  if (name == "diag" || name == "diagonals") {
+    return schedule::Interconnect::with_diagonals(dims);
+  }
+  // Fall back to an explicit P matrix.
+  try {
+    return schedule::Interconnect(parse_matrix(name));
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace sysmap::core

@@ -1,0 +1,48 @@
+// Textual problem specifications for the command-line tool and scripts.
+//
+// Grammar (whitespace-tolerant):
+//   vector: "1 4 1"            (space/comma separated integers)
+//   matrix: "1 0 0; 0 1 0"     (semicolon-separated rows)
+//   algorithm: a gallery name plus size parameters, or an explicit
+//              (bounds, dependence matrix) pair.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "model/algorithm.hpp"
+#include "schedule/interconnect.hpp"
+
+namespace sysmap::core {
+
+/// Parses "1, 4 1" -> {1, 4, 1}.  Throws std::invalid_argument on
+/// malformed input (empty, non-integer tokens).
+VecI parse_vector(std::string_view text);
+
+/// Parses "1 0 0; 0 1 0" -> 2 x 3 matrix.  Rows must have equal width.
+MatI parse_matrix(std::string_view text);
+
+/// Instantiates a gallery algorithm by name:
+///   matmul, transitive_closure, lu, unit_cube            (param: mu)
+///   convolution                                          (mu_i, mu_k)
+///   bit_matmul, bit_lu                                   (mu, bits)
+///   bit_convolution                                      (mu_i, mu_k, bits)
+/// Unused parameters may be omitted (sensible defaults).  Returns nullopt
+/// for an unknown name.
+std::optional<model::UniformDependenceAlgorithm> make_gallery_algorithm(
+    std::string_view name, Int mu, Int mu2 = -1, Int bits = 2);
+
+/// Builds a custom algorithm from explicit bounds and dependence columns:
+/// bounds "4 4 4", dependence "1 0 0; 0 1 0; 0 0 1" (n rows, m columns).
+model::UniformDependenceAlgorithm make_custom_algorithm(
+    std::string_view bounds, std::string_view dependence);
+
+/// Named interconnects for the CLI: "line"/"mesh" (nearest neighbour of
+/// the given dimension) or "diag" (with diagonals).  Also accepts an
+/// explicit P matrix ("1 -1" or "1 0 -1 0; 0 1 0 -1").  Returns nullopt
+/// for an unknown name.
+std::optional<schedule::Interconnect> make_interconnect(std::string_view name,
+                                                        std::size_t dims);
+
+}  // namespace sysmap::core

@@ -1,0 +1,74 @@
+#include "core/validate.hpp"
+
+#include <sstream>
+
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::core {
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  os << "(1) Pi D > 0: " << (dependences_respected ? "ok" : "VIOLATED");
+  if (!violated_dependences.empty()) {
+    os << " (columns:";
+    for (std::size_t i : violated_dependences) os << " d_" << i + 1;
+    os << ")";
+  }
+  os << "\n(2) S D = P K: ";
+  if (!routability_checked) {
+    os << "not checked (dedicated array)";
+  } else {
+    os << (routable ? "ok" : "UNROUTABLE");
+  }
+  os << "\n(3) conflict-free: "
+     << (conflict.conflict_free() ? "ok" : "VIOLATED") << " [" << conflict.rule
+     << "]";
+  os << "\n(4) rank(T) = k: " << (full_rank ? "ok" : "VIOLATED");
+  os << "\n=> " << (valid() ? "VALID mapping" : "INVALID mapping");
+  return os.str();
+}
+
+ValidationReport validate_mapping(
+    const model::UniformDependenceAlgorithm& algo,
+    const mapping::MappingMatrix& t,
+    const std::optional<schedule::Interconnect>& target) {
+  ValidationReport report;
+  const MatI& d = algo.dependence_matrix();
+  schedule::LinearSchedule sched(t.schedule());
+
+  // (1) Pi D > 0, recording offenders.
+  report.dependences_respected = true;
+  for (std::size_t i = 0; i < d.cols(); ++i) {
+    if (sched.dependence_delay(d, i) <= 0) {
+      report.dependences_respected = false;
+      report.violated_dependences.push_back(i);
+    }
+  }
+
+  // (4) rank before (3): the conflict oracle assumes full rank.
+  report.full_rank = t.has_full_rank();
+
+  // (3) exact conflict decision (meaningful regardless of (1)).
+  if (report.full_rank) {
+    report.conflict = mapping::decide_conflict_free(t, algo.index_set());
+  } else {
+    report.conflict.status = mapping::ConflictVerdict::Status::kHasConflict;
+    report.conflict.rule = "rank(T) < k: tau cannot be injective on J";
+  }
+
+  // (2) routability, only with a concrete target and a valid schedule.
+  if (target) {
+    report.routability_checked = true;
+    if (report.dependences_respected) {
+      std::optional<schedule::Routing> routing =
+          schedule::route(t.space(), d, *target, sched);
+      report.routable = routing.has_value();
+      report.routing = std::move(routing);
+    } else {
+      report.routable = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace sysmap::core

@@ -1,0 +1,47 @@
+// Structured validation of a mapping against Definition 2.2.
+//
+// One call checks all four conditions and reports each separately --
+// useful for diagnostics, the CLI's verify mode, and tests:
+//   (1) Pi D > 0                   (dependences respected)
+//   (2) S D = P K, colsum(K) <= Pi d_i   (routable on the target; only
+//                                   checked when a target is given)
+//   (3) tau injective on J         (conflict-free, exact oracle)
+//   (4) rank(T) = k                (genuinely (k-1)-dimensional array)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/conflict.hpp"
+#include "model/algorithm.hpp"
+#include "schedule/interconnect.hpp"
+
+namespace sysmap::core {
+
+struct ValidationReport {
+  bool dependences_respected = false;             ///< condition 1
+  std::vector<std::size_t> violated_dependences;  ///< Pi d_i <= 0 columns
+  bool routability_checked = false;
+  bool routable = false;                          ///< condition 2
+  std::optional<schedule::Routing> routing;
+  mapping::ConflictVerdict conflict;              ///< condition 3
+  bool full_rank = false;                         ///< condition 4
+
+  /// All applicable conditions hold.
+  bool valid() const {
+    return dependences_respected && full_rank && conflict.conflict_free() &&
+           (!routability_checked || routable);
+  }
+  /// One line per condition.
+  std::string summary() const;
+};
+
+/// Validates T = [S; Pi] for (J, D), optionally against a fixed target
+/// interconnect.
+ValidationReport validate_mapping(
+    const model::UniformDependenceAlgorithm& algo,
+    const mapping::MappingMatrix& t,
+    const std::optional<schedule::Interconnect>& target = std::nullopt);
+
+}  // namespace sysmap::core

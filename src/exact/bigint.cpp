@@ -1,0 +1,409 @@
+#include "exact/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+
+#include "exact/checked.hpp"
+
+namespace sysmap::exact {
+
+BigInt::BigInt(std::int64_t value) {
+  if (value == 0) return;
+  sign_ = value < 0 ? -1 : 1;
+  // Avoid negating INT64_MIN in signed arithmetic.
+  std::uint64_t mag =
+      value < 0 ? ~static_cast<std::uint64_t>(value) + 1u
+                : static_cast<std::uint64_t>(value);
+  limbs_.push_back(static_cast<Limb>(mag & 0xffffffffu));
+  if (mag >> 32) limbs_.push_back(static_cast<Limb>(mag >> 32));
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  if (text.empty()) throw std::invalid_argument("BigInt: empty string");
+  int sign = 1;
+  std::size_t i = 0;
+  if (text[0] == '+' || text[0] == '-') {
+    sign = text[0] == '-' ? -1 : 1;
+    i = 1;
+  }
+  if (i == text.size()) throw std::invalid_argument("BigInt: sign only");
+  BigInt result;
+  const BigInt ten(10);
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("BigInt: invalid digit");
+    }
+    result *= ten;
+    result += BigInt(c - '0');
+  }
+  if (sign < 0) result = -result;
+  return result;
+}
+
+bool BigInt::fits_int64() const noexcept {
+  if (limbs_.size() > 2) return false;
+  if (limbs_.empty()) return true;
+  std::uint64_t mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (sign_ > 0) return mag <= static_cast<std::uint64_t>(INT64_MAX);
+  return mag <= static_cast<std::uint64_t>(INT64_MAX) + 1u;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (!fits_int64()) throw OverflowError("BigInt does not fit in int64");
+  if (limbs_.empty()) return 0;
+  std::uint64_t mag = limbs_[0];
+  if (limbs_.size() == 2) mag |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (sign_ > 0) return static_cast<std::int64_t>(mag);
+  return static_cast<std::int64_t>(~mag + 1u);
+}
+
+std::string BigInt::to_string() const {
+  if (is_zero()) return "0";
+  // Repeated division by 10^9 over a scratch magnitude.
+  std::vector<Limb> scratch = limbs_;
+  std::string digits;
+  constexpr Wide kChunk = 1000000000u;
+  while (!scratch.empty()) {
+    Wide rem = 0;
+    for (std::size_t i = scratch.size(); i-- > 0;) {
+      Wide cur = (rem << kLimbBits) | scratch[i];
+      scratch[i] = static_cast<Limb>(cur / kChunk);
+      rem = cur % kChunk;
+    }
+    while (!scratch.empty() && scratch.back() == 0) scratch.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  Limb top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * kLimbBits;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) sign_ = 0;
+}
+
+int BigInt::compare_magnitude(const std::vector<Limb>& a,
+                              const std::vector<Limb>& b) noexcept {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  const std::vector<Limb>& lo = a.size() < b.size() ? a : b;
+  const std::vector<Limb>& hi = a.size() < b.size() ? b : a;
+  std::vector<Limb> out;
+  out.reserve(hi.size() + 1);
+  Wide carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    Wide sum = carry + hi[i] + (i < lo.size() ? lo[i] : 0u);
+    out.push_back(static_cast<Limb>(sum));
+    carry = sum >> kLimbBits;
+  }
+  if (carry) out.push_back(static_cast<Limb>(carry));
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  assert(compare_magnitude(a, b) >= 0);
+  std::vector<Limb> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << kLimbBits);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.push_back(static_cast<Limb>(diff));
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
+                                                const std::vector<Limb>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<Limb> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    Wide carry = 0;
+    Wide ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      Wide cur = out[i + j] + ai * b[j] + carry;
+      out[i + j] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+    }
+    std::size_t pos = i + b.size();
+    while (carry) {
+      Wide cur = out[pos] + carry;
+      out[pos] = static_cast<Limb>(cur);
+      carry = cur >> kLimbBits;
+      ++pos;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+// Knuth algorithm D (schoolbook long division), base 2^32.
+void BigInt::div_mod_magnitude(const std::vector<Limb>& num,
+                               const std::vector<Limb>& den,
+                               std::vector<Limb>& quot,
+                               std::vector<Limb>& rem) {
+  assert(!den.empty());
+  quot.clear();
+  rem.clear();
+  if (compare_magnitude(num, den) < 0) {
+    rem = num;
+    return;
+  }
+  if (den.size() == 1) {
+    // Single-limb fast path.
+    quot.assign(num.size(), 0);
+    Wide d = den[0];
+    Wide r = 0;
+    for (std::size_t i = num.size(); i-- > 0;) {
+      Wide cur = (r << kLimbBits) | num[i];
+      quot[i] = static_cast<Limb>(cur / d);
+      r = cur % d;
+    }
+    while (!quot.empty() && quot.back() == 0) quot.pop_back();
+    if (r) rem.push_back(static_cast<Limb>(r));
+    return;
+  }
+
+  // Normalize so the divisor's top limb has its high bit set.
+  int shift = 0;
+  for (Limb top = den.back(); (top & 0x80000000u) == 0; top <<= 1) ++shift;
+  auto shl = [&](const std::vector<Limb>& v) {
+    std::vector<Limb> out(v.size() + 1, 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out[i] |= static_cast<Limb>(static_cast<Wide>(v[i]) << shift);
+      out[i + 1] = shift ? static_cast<Limb>(v[i] >> (kLimbBits - shift)) : 0;
+    }
+    while (!out.empty() && out.back() == 0) out.pop_back();
+    return out;
+  };
+  std::vector<Limb> u = shl(num);
+  std::vector<Limb> v = shl(den);
+  const std::size_t n = v.size();
+  const std::size_t m = u.size() >= n ? u.size() - n : 0;
+  u.resize(u.size() + 1, 0);  // u has an extra high limb for algorithm D
+  quot.assign(m + 1, 0);
+
+  const Wide base = Wide{1} << kLimbBits;
+  for (std::size_t j = m + 1; j-- > 0;) {
+    Wide top2 = (static_cast<Wide>(u[j + n]) << kLimbBits) | u[j + n - 1];
+    Wide qhat = top2 / v[n - 1];
+    Wide rhat = top2 % v[n - 1];
+    while (qhat >= base ||
+           qhat * v[n - 2] > ((rhat << kLimbBits) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= base) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    Wide carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Wide p = qhat * v[i] + carry;
+      carry = p >> kLimbBits;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) - borrow -
+                       static_cast<std::int64_t>(p & 0xffffffffu);
+      if (t < 0) {
+        t += static_cast<std::int64_t>(base);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<Limb>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) - borrow -
+                     static_cast<std::int64_t>(carry);
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      t += static_cast<std::int64_t>(base);
+      --qhat;
+      Wide c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        Wide s = static_cast<Wide>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<Limb>(s);
+        c = s >> kLimbBits;
+      }
+      t += static_cast<std::int64_t>(c);
+    }
+    u[j + n] = static_cast<Limb>(t);
+    quot[j] = static_cast<Limb>(qhat);
+  }
+  while (!quot.empty() && quot.back() == 0) quot.pop_back();
+
+  // Denormalize the remainder (low n limbs of u, shifted back).
+  rem.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  if (shift) {
+    for (std::size_t i = 0; i + 1 < rem.size(); ++i) {
+      rem[i] = static_cast<Limb>((rem[i] >> shift) |
+                                 (static_cast<Wide>(rem[i + 1])
+                                  << (kLimbBits - shift)));
+    }
+    rem.back() >>= shift;
+  }
+  while (!rem.empty() && rem.back() == 0) rem.pop_back();
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+BigInt& BigInt::operator+=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  if (sign_ == 0) return *this = rhs;
+  if (sign_ == rhs.sign_) {
+    limbs_ = add_magnitude(limbs_, rhs.limbs_);
+    return *this;
+  }
+  int cmp = compare_magnitude(limbs_, rhs.limbs_);
+  if (cmp == 0) {
+    sign_ = 0;
+    limbs_.clear();
+  } else if (cmp > 0) {
+    limbs_ = sub_magnitude(limbs_, rhs.limbs_);
+  } else {
+    limbs_ = sub_magnitude(rhs.limbs_, limbs_);
+    sign_ = rhs.sign_;
+  }
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& rhs) {
+  if (rhs.sign_ == 0) return *this;
+  BigInt negated = rhs;
+  negated.sign_ = -negated.sign_;
+  return *this += negated;
+}
+
+BigInt& BigInt::operator*=(const BigInt& rhs) {
+  if (sign_ == 0) return *this;
+  if (rhs.sign_ == 0) {
+    sign_ = 0;
+    limbs_.clear();
+    return *this;
+  }
+  limbs_ = mul_magnitude(limbs_, rhs.limbs_);
+  sign_ *= rhs.sign_;
+  return *this;
+}
+
+void BigInt::div_mod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem) {
+  if (den.is_zero()) throw OverflowError("BigInt division by zero");
+  std::vector<Limb> q, r;
+  div_mod_magnitude(num.limbs_, den.limbs_, q, r);
+  quot.limbs_ = std::move(q);
+  quot.sign_ = quot.limbs_.empty() ? 0 : num.sign_ * den.sign_;
+  rem.limbs_ = std::move(r);
+  rem.sign_ = rem.limbs_.empty() ? 0 : num.sign_;
+}
+
+BigInt BigInt::floor_div(const BigInt& num, const BigInt& den) {
+  BigInt q, r;
+  div_mod(num, den, q, r);
+  if (!r.is_zero() && (r.signum() < 0) != (den.signum() < 0)) {
+    q -= BigInt(1);
+  }
+  return q;
+}
+
+BigInt& BigInt::operator/=(const BigInt& rhs) {
+  BigInt q, r;
+  div_mod(*this, rhs, q, r);
+  return *this = std::move(q);
+}
+
+BigInt& BigInt::operator%=(const BigInt& rhs) {
+  BigInt q, r;
+  div_mod(*this, rhs, q, r);
+  return *this = std::move(r);
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) noexcept {
+  if (a.sign_ != b.sign_) return a.sign_ <=> b.sign_;
+  int mag = BigInt::compare_magnitude(a.limbs_, b.limbs_);
+  int ordered = a.sign_ >= 0 ? mag : -mag;
+  return ordered <=> 0;
+}
+
+BigIntXgcd extended_gcd(const BigInt& a, const BigInt& b) {
+  BigInt r0 = a, r1 = b;
+  BigInt x0(1), x1(0), y0(0), y1(1);
+  while (!r1.is_zero()) {
+    BigInt q, r2;
+    BigInt::div_mod(r0, r1, q, r2);
+    BigInt x2 = x0 - q * x1;
+    BigInt y2 = y0 - q * y1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    x0 = std::move(x1);
+    x1 = std::move(x2);
+    y0 = std::move(y1);
+    y1 = std::move(y2);
+  }
+  if (r0.is_negative()) {
+    r0 = -r0;
+    x0 = -x0;
+    y0 = -y0;
+  }
+  return {std::move(r0), std::move(x0), std::move(y0)};
+}
+
+BigInt BigInt::gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.abs();
+  BigInt y = b.abs();
+  while (!y.is_zero()) {
+    BigInt q, r;
+    div_mod(x, y, q, r);
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.to_string();
+}
+
+}  // namespace sysmap::exact

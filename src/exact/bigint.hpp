@@ -1,0 +1,130 @@
+// Arbitrary-precision signed integers.
+//
+// The Hermite-normal-form computation of Section 4 of the paper suffers from
+// intermediate entry growth: even when the mapping matrix T and its
+// multiplier U fit comfortably in machine words, the Euclidean column
+// reductions can pass through values that do not.  The calibration notes for
+// this reproduction point out that exact integer HNF is normally delegated
+// to NTL/FLINT; neither is available offline, so this module provides a
+// self-contained sign-magnitude big integer sufficient for every exact
+// computation in the library (HNF/SNF multipliers, Bareiss determinants,
+// rational simplex pivots).
+//
+// Representation: sign (-1, 0, +1) plus little-endian base-2^32 magnitude
+// with no leading zero limbs.  Zero is canonically {sign=0, limbs={}}.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sysmap::exact {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a machine integer (implicit: BigInt is the drop-in wide scalar).
+  BigInt(std::int64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses an optionally signed decimal string; throws std::invalid_argument
+  /// on malformed input (empty, stray characters).
+  static BigInt from_string(std::string_view text);
+
+  // -- observers --------------------------------------------------------
+
+  /// -1, 0 or +1.
+  int signum() const noexcept { return sign_; }
+  bool is_zero() const noexcept { return sign_ == 0; }
+  bool is_negative() const noexcept { return sign_ < 0; }
+  bool is_one() const noexcept {
+    return sign_ == 1 && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  /// True when the value fits in int64.
+  bool fits_int64() const noexcept;
+
+  /// Converts to int64; throws OverflowError if it does not fit.
+  std::int64_t to_int64() const;
+
+  /// Decimal representation.
+  std::string to_string() const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  std::size_t bit_length() const noexcept;
+
+  // -- arithmetic -------------------------------------------------------
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  BigInt& operator/=(const BigInt& rhs);  ///< truncated quotient
+  BigInt& operator%=(const BigInt& rhs);  ///< truncated remainder
+
+  friend BigInt operator+(BigInt lhs, const BigInt& rhs) { return lhs += rhs; }
+  friend BigInt operator-(BigInt lhs, const BigInt& rhs) { return lhs -= rhs; }
+  friend BigInt operator*(BigInt lhs, const BigInt& rhs) { return lhs *= rhs; }
+  friend BigInt operator/(BigInt lhs, const BigInt& rhs) { return lhs /= rhs; }
+  friend BigInt operator%(BigInt lhs, const BigInt& rhs) { return lhs %= rhs; }
+
+  /// Truncated quotient and remainder in one division.
+  /// remainder has the sign of the dividend; throws on division by zero.
+  static void div_mod(const BigInt& num, const BigInt& den, BigInt& quot,
+                      BigInt& rem);
+
+  /// Floor division: largest q with q*den <= num.
+  static BigInt floor_div(const BigInt& num, const BigInt& den);
+
+  // -- comparison -------------------------------------------------------
+
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return a.sign_ == b.sign_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a,
+                                          const BigInt& b) noexcept;
+
+  // -- number theory ----------------------------------------------------
+
+  /// Non-negative gcd; gcd(0, 0) == 0.
+  static BigInt gcd(const BigInt& a, const BigInt& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+ private:
+  using Limb = std::uint32_t;
+  using Wide = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+
+  int sign_ = 0;
+  std::vector<Limb> limbs_;  // little-endian magnitude, no leading zeros
+
+  void trim() noexcept;
+  static int compare_magnitude(const std::vector<Limb>& a,
+                               const std::vector<Limb>& b) noexcept;
+  static std::vector<Limb> add_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  // Requires |a| >= |b|.
+  static std::vector<Limb> sub_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static std::vector<Limb> mul_magnitude(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static void div_mod_magnitude(const std::vector<Limb>& num,
+                                const std::vector<Limb>& den,
+                                std::vector<Limb>& quot,
+                                std::vector<Limb>& rem);
+};
+
+/// g = gcd(a, b) = x*a + y*b with g >= 0 (extended Euclid over BigInt).
+struct BigIntXgcd {
+  BigInt g, x, y;
+};
+BigIntXgcd extended_gcd(const BigInt& a, const BigInt& b);
+
+}  // namespace sysmap::exact

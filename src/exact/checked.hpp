@@ -1,0 +1,132 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// Every arithmetic step in the conflict-free mapping theory must be exact:
+// a silently wrapped determinant or gcd would invalidate a feasibility
+// verdict (Theorem 2.2) or a Hermite-normal-form multiplier (Theorem 4.1).
+// The fast path works in int64 and *traps* on overflow so callers can fall
+// back to BigInt (see bigint.hpp) where entry growth demands it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sysmap::exact {
+
+/// Thrown when a checked 64-bit operation would wrap.
+class OverflowError : public std::runtime_error {
+ public:
+  explicit OverflowError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// a + b, trapping on signed overflow.
+inline std::int64_t add_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    throw OverflowError("int64 overflow in add");
+  }
+  return r;
+}
+
+/// a - b, trapping on signed overflow.
+inline std::int64_t sub_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    throw OverflowError("int64 overflow in sub");
+  }
+  return r;
+}
+
+/// a * b, trapping on signed overflow.
+inline std::int64_t mul_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    throw OverflowError("int64 overflow in mul");
+  }
+  return r;
+}
+
+/// -a, trapping on INT64_MIN.
+inline std::int64_t neg_checked(std::int64_t a) { return sub_checked(0, a); }
+
+/// |a|, trapping on INT64_MIN.
+inline std::int64_t abs_checked(std::int64_t a) {
+  return a < 0 ? neg_checked(a) : a;
+}
+
+/// Truncated division, trapping on division by zero and INT64_MIN / -1.
+inline std::int64_t div_checked(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw OverflowError("division by zero");
+  if (a == INT64_MIN && b == -1) throw OverflowError("int64 overflow in div");
+  return a / b;
+}
+
+/// Remainder of truncated division (same sign as the dividend).
+inline std::int64_t rem_checked(std::int64_t a, std::int64_t b) {
+  if (b == 0) throw OverflowError("remainder by zero");
+  if (a == INT64_MIN && b == -1) return 0;
+  return a % b;
+}
+
+/// Floor division: largest q with q*b <= a.
+inline std::int64_t floor_div_checked(std::int64_t a, std::int64_t b) {
+  std::int64_t q = div_checked(a, b);
+  std::int64_t r = rem_checked(a, b);
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Non-negative gcd; gcd(0, 0) == 0.
+inline std::int64_t gcd_i64(std::int64_t a, std::int64_t b) {
+  a = abs_checked(a);
+  b = abs_checked(b);
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Least common multiple; traps if the result exceeds int64.
+inline std::int64_t lcm_i64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  std::int64_t g = gcd_i64(a, b);
+  return mul_checked(abs_checked(a) / g, abs_checked(b));
+}
+
+/// Result of the extended Euclidean algorithm: g = gcd(a,b) = x*a + y*b.
+struct ExtendedGcd {
+  std::int64_t g;  ///< gcd(a, b), non-negative.
+  std::int64_t x;  ///< Bezout coefficient of a.
+  std::int64_t y;  ///< Bezout coefficient of b.
+};
+
+/// Extended Euclid over int64.  Coefficients are bounded by |a|,|b| so the
+/// intermediate products cannot overflow when the inputs fit in int64.
+inline ExtendedGcd extended_gcd_i64(std::int64_t a, std::int64_t b) {
+  // Invariants: r0 = x0*a + y0*b and r1 = x1*a + y1*b.
+  std::int64_t r0 = a, r1 = b;
+  std::int64_t x0 = 1, x1 = 0;
+  std::int64_t y0 = 0, y1 = 1;
+  while (r1 != 0) {
+    std::int64_t q = r0 / r1;
+    std::int64_t r2 = r0 - q * r1;
+    std::int64_t x2 = sub_checked(x0, mul_checked(q, x1));
+    std::int64_t y2 = sub_checked(y0, mul_checked(q, y1));
+    r0 = r1; r1 = r2;
+    x0 = x1; x1 = x2;
+    y0 = y1; y1 = y2;
+  }
+  if (r0 < 0) {
+    r0 = neg_checked(r0);
+    x0 = neg_checked(x0);
+    y0 = neg_checked(y0);
+  }
+  return {r0, x0, y0};
+}
+
+/// -1, 0 or +1.
+inline int signum(std::int64_t a) { return (a > 0) - (a < 0); }
+
+}  // namespace sysmap::exact

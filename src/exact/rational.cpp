@@ -1,0 +1,99 @@
+#include "exact/rational.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "exact/checked.hpp"
+
+namespace sysmap::exact {
+
+Rational::Rational(BigInt num, BigInt den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  if (den_.is_zero()) throw OverflowError("Rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (num_.is_zero()) {
+    den_ = BigInt(1);
+    return;
+  }
+  if (den_.is_negative()) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  BigInt g = BigInt::gcd(num_, den_);
+  if (!g.is_one()) {
+    num_ /= g;
+    den_ /= g;
+  }
+}
+
+BigInt Rational::to_integer() const {
+  if (!is_integer()) throw std::domain_error("Rational is not an integer");
+  return num_;
+}
+
+BigInt Rational::floor() const { return BigInt::floor_div(num_, den_); }
+
+BigInt Rational::ceil() const {
+  return -BigInt::floor_div(-num_, den_);
+}
+
+std::string Rational::to_string() const {
+  if (is_integer()) return num_.to_string();
+  return num_.to_string() + "/" + den_.to_string();
+}
+
+Rational Rational::operator-() const {
+  Rational out = *this;
+  out.num_ = -out.num_;
+  return out;
+}
+
+Rational Rational::abs() const {
+  Rational out = *this;
+  out.num_ = out.num_.abs();
+  return out;
+}
+
+Rational& Rational::operator+=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ + rhs.num_ * den_;
+  den_ = den_ * rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& rhs) {
+  num_ = num_ * rhs.den_ - rhs.num_ * den_;
+  den_ = den_ * rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator*=(const Rational& rhs) {
+  num_ *= rhs.num_;
+  den_ *= rhs.den_;
+  normalize();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& rhs) {
+  if (rhs.is_zero()) throw OverflowError("Rational division by zero");
+  num_ *= rhs.den_;
+  den_ *= rhs.num_;
+  normalize();
+  return *this;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return a.num_ * b.den_ <=> b.num_ * a.den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& v) {
+  return os << v.to_string();
+}
+
+}  // namespace sysmap::exact

@@ -1,0 +1,76 @@
+// Exact rational numbers over BigInt.
+//
+// Used by the fraction-free/rational linear algebra (matrix inverse, LP
+// simplex pivoting) so that every vertex the appendix of the paper inspects
+// ("all extreme points of the solution sets are integral") is computed
+// without rounding.  Always kept in lowest terms with a positive
+// denominator; zero is canonically 0/1.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "exact/bigint.hpp"
+
+namespace sysmap::exact {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() : num_(0), den_(1) {}
+
+  /// Integer value (implicit: rationals extend the integer scalar type).
+  Rational(BigInt value) : num_(std::move(value)), den_(1) {}  // NOLINT
+  Rational(std::int64_t value) : num_(value), den_(1) {}       // NOLINT
+
+  /// num/den, normalized; throws OverflowError when den == 0.
+  Rational(BigInt num, BigInt den);
+
+  const BigInt& num() const noexcept { return num_; }
+  const BigInt& den() const noexcept { return den_; }
+
+  int signum() const noexcept { return num_.signum(); }
+  bool is_zero() const noexcept { return num_.is_zero(); }
+  bool is_integer() const noexcept { return den_.is_one(); }
+
+  /// Integral value; throws std::domain_error when not an integer.
+  BigInt to_integer() const;
+
+  /// Largest integer <= *this.
+  BigInt floor() const;
+  /// Smallest integer >= *this.
+  BigInt ceil() const;
+
+  /// "p/q" (or just "p" for integers).
+  std::string to_string() const;
+
+  Rational operator-() const;
+  Rational abs() const;
+
+  Rational& operator+=(const Rational& rhs);
+  Rational& operator-=(const Rational& rhs);
+  Rational& operator*=(const Rational& rhs);
+  Rational& operator/=(const Rational& rhs);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  friend std::ostream& operator<<(std::ostream& os, const Rational& v);
+
+ private:
+  BigInt num_;
+  BigInt den_;  // always > 0
+
+  void normalize();
+};
+
+}  // namespace sysmap::exact

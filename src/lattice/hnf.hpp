@@ -1,0 +1,49 @@
+// Column-style Hermite normal form with unimodular multiplier.
+//
+// Theorem 4.1 of the paper: for T in Z^{k x n} with rank(T) = k there is a
+// unimodular U with T * U = H = [L, 0], L lower triangular and nonsingular.
+// Everything in Section 4 hinges on U: the conflict vectors of T are exactly
+// the primitive integral combinations of the last n-k columns of U
+// (Theorem 4.2), and V = U^{-1} carries the necessary condition of
+// Theorem 4.3.  This module computes H, U and V simultaneously and exactly
+// (BigInt entries; intermediate growth is why bignum is non-negotiable --
+// see DESIGN.md substitution table).
+#pragma once
+
+#include "linalg/types.hpp"
+
+namespace sysmap::lattice {
+
+/// Column-elimination strategy; the two differ in intermediate entry growth
+/// and are compared in bench/hnf_performance.
+enum class HnfStrategy {
+  kExtendedGcd,  ///< one 2x2 unimodular gcd step per eliminated entry
+  kEuclidean,    ///< repeated quotient-subtract sweeps (textbook Euclid)
+};
+
+/// Result of the decomposition T * U = H, with V = U^{-1}.
+struct HnfResult {
+  MatZ h;  ///< k x n, [L, 0] with L lower triangular, positive diagonal
+  MatZ u;  ///< n x n unimodular multiplier
+  MatZ v;  ///< n x n, inverse of u (also unimodular)
+};
+
+/// Options controlling the reduction.
+struct HnfOptions {
+  HnfStrategy strategy = HnfStrategy::kExtendedGcd;
+  /// Reduce sub-diagonal columns modulo the pivot column to curb entry
+  /// growth (keeps H lower triangular; off for the "naive" ablation).
+  bool reduce_off_diagonal = true;
+};
+
+/// Computes the column HNF of a full-row-rank matrix.
+/// Throws std::domain_error when rank(T) < rows(T).
+HnfResult hermite_normal_form(const MatZ& t, const HnfOptions& options = {});
+
+/// Convenience overload for machine-integer matrices.
+HnfResult hermite_normal_form(const MatI& t, const HnfOptions& options = {});
+
+/// True when m is square, integral and |det m| == 1.
+bool is_unimodular(const MatZ& m);
+
+}  // namespace sysmap::lattice

@@ -1,0 +1,39 @@
+// Integer kernel (nullspace lattice) bases and primitive-vector utilities.
+//
+// For a full-row-rank T in Z^{k x n}, the integral solutions of T*gamma = 0
+// form a lattice of rank n-k; by Theorem 4.2 its basis is the last n-k
+// columns of the HNF multiplier U, and *every* conflict vector of T is a
+// primitive integral combination of those columns.  This module exposes that
+// basis plus the gcd/primitivity helpers Definition 2.3 relies on.
+#pragma once
+
+#include "linalg/types.hpp"
+
+namespace sysmap::lattice {
+
+/// gcd of all entries (non-negative; 0 for the zero vector).
+exact::BigInt gcd_of(const VecZ& v);
+Int gcd_of(const VecI& v);
+
+/// True when the entries are relatively prime (gcd == 1).
+bool is_primitive(const VecZ& v);
+bool is_primitive(const VecI& v);
+
+/// Divides by the gcd of the entries and flips signs so the first nonzero
+/// entry is positive -- the canonical conflict-vector representative used
+/// throughout Section 3 ("the first non-zero entry is assumed to be
+/// positive").  The zero vector is returned unchanged.
+VecZ make_primitive(VecZ v);
+VecI make_primitive(VecI v);
+
+/// Basis of {gamma in Z^n : T gamma = 0} as columns of an n x (n - rank)
+/// matrix; columns are primitive (they come from a unimodular multiplier).
+/// Requires rank(T) == rows(T); throws std::domain_error otherwise.
+MatZ kernel_basis(const MatZ& t);
+MatZ kernel_basis(const MatI& t);
+
+/// Membership test: is x in the lattice spanned by the columns of basis?
+/// (Solves basis * c = x for integral c via HNF.)
+bool lattice_contains(const MatZ& basis, const VecZ& x);
+
+}  // namespace sysmap::lattice

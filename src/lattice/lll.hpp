@@ -1,0 +1,33 @@
+// Exact LLL lattice basis reduction (delta = 3/4), over rationals.
+//
+// Library extension beyond the paper: the conflict-freedom conditions of
+// Section 4 are *basis-dependent* -- they inspect the specific kernel
+// columns u_{k+1..n} produced by the HNF, and a skewed basis can make the
+// sign-pattern conditions inconclusive (or, for the published theorems,
+// wrong-looking) even when the kernel lattice is perfectly benign.
+// Reducing the kernel basis first:
+//   - shortens the vectors the sign-pattern sufficiency argument sums,
+//     raising its certification rate (ablated in bench/lll_ablation), and
+//   - shrinks the coefficient bounds of the exact lattice-box enumeration.
+// Any basis of ker(T) is sound for those two uses because conflict vectors
+// are exactly the primitive lattice points, independent of basis.
+#pragma once
+
+#include "linalg/types.hpp"
+
+namespace sysmap::lattice {
+
+/// Result of reducing the columns of `basis`.
+struct LllResult {
+  MatZ basis;      ///< n x r, LLL-reduced columns spanning the same lattice
+  MatZ transform;  ///< r x r unimodular with basis_out = basis_in * transform
+};
+
+/// LLL-reduces the columns (must be linearly independent).
+/// Throws std::invalid_argument on dependent columns.
+LllResult lll_reduce(const MatZ& basis);
+
+/// Squared Euclidean length of a column, exact.
+exact::BigInt column_norm_sq(const MatZ& m, std::size_t col);
+
+}  // namespace sysmap::lattice

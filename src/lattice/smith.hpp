@@ -1,0 +1,29 @@
+// Smith normal form over the integers.
+//
+// Not used by the paper's main theorems directly, but it is the natural
+// companion of the Hermite form for lattice reasoning: S = U * A * V with
+// U, V unimodular and S = diag(d_1, ..., d_r, 0, ...), d_i | d_{i+1}.
+// The library uses it to count lattice points of quotient lattices and to
+// cross-check kernel bases (the number of zero diagonal entries equals the
+// kernel dimension).
+#pragma once
+
+#include "linalg/types.hpp"
+
+namespace sysmap::lattice {
+
+/// S = U * A * V, with invariant factors on the diagonal of S.
+struct SmithResult {
+  MatZ s;  ///< rows(A) x cols(A) diagonal, d_i | d_{i+1}, d_i >= 0
+  MatZ u;  ///< rows x rows unimodular row multiplier
+  MatZ v;  ///< cols x cols unimodular column multiplier
+};
+
+/// Computes the Smith normal form of an arbitrary integer matrix.
+SmithResult smith_normal_form(const MatZ& a);
+SmithResult smith_normal_form(const MatI& a);
+
+/// The nonzero invariant factors d_1 | d_2 | ... of a.
+VecZ invariant_factors(const MatZ& a);
+
+}  // namespace sysmap::lattice

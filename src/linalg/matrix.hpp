@@ -1,0 +1,337 @@
+// Dense matrices and vectors over exact scalar types.
+//
+// All of the paper's objects are small dense integer matrices: the
+// dependence matrix D (n x m), the mapping matrix T = [S; Pi] (k x n), the
+// HNF multiplier U and its inverse V (n x n).  Dimensions never exceed a
+// dozen, so the representation favours clarity and exactness over blocking:
+// row-major storage, bounds-checked access, and templating over the scalar
+// (checked int64 for the fast path, BigInt where entry growth demands it,
+// Rational for simplex pivoting).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sysmap::linalg {
+
+template <typename T>
+class Matrix;
+
+/// Column vectors are plain std::vector; the distinction between row and
+/// column vectors is carried by the operation names (as in the paper, where
+/// Pi is a row and j-bar a column).
+template <typename T>
+using Vector = std::vector<T>;
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  /// From a nested initializer list; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ == 0 ? 0 : init.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) {
+        throw std::invalid_argument("Matrix: ragged initializer");
+      }
+      for (const auto& v : row) data_.push_back(v);
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i) out(i, i) = T{1};
+    return out;
+  }
+
+  /// Single-row matrix from a vector (a "row vector" like Pi).
+  static Matrix row(const Vector<T>& v) {
+    Matrix out(1, v.size());
+    for (std::size_t j = 0; j < v.size(); ++j) out(0, j) = v[j];
+    return out;
+  }
+
+  /// Single-column matrix from a vector (a "column vector" like j-bar).
+  static Matrix column(const Vector<T>& v) {
+    Matrix out(v.size(), 1);
+    for (std::size_t i = 0; i < v.size(); ++i) out(i, 0) = v[i];
+    return out;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+  bool is_square() const noexcept { return rows_ == cols_; }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked access (throws std::out_of_range).
+  T& at(std::size_t i, std::size_t j) {
+    if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[i * cols_ + j];
+  }
+  const T& at(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[i * cols_ + j];
+  }
+
+  Vector<T> row_vector(std::size_t i) const {
+    Vector<T> out(cols_);
+    for (std::size_t j = 0; j < cols_; ++j) out[j] = (*this)(i, j);
+    return out;
+  }
+
+  Vector<T> column_vector(std::size_t j) const {
+    Vector<T> out(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+    return out;
+  }
+
+  Matrix transpose() const {
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    }
+    return out;
+  }
+
+  /// Copy with row r and column c removed (for cofactor expansions).
+  Matrix minor_matrix(std::size_t r, std::size_t c) const {
+    Matrix out(rows_ - 1, cols_ - 1);
+    for (std::size_t i = 0, oi = 0; i < rows_; ++i) {
+      if (i == r) continue;
+      for (std::size_t j = 0, oj = 0; j < cols_; ++j) {
+        if (j == c) continue;
+        out(oi, oj) = (*this)(i, j);
+        ++oj;
+      }
+      ++oi;
+    }
+    return out;
+  }
+
+  /// Sub-block [r0, r1) x [c0, c1).
+  Matrix block(std::size_t r0, std::size_t r1, std::size_t c0,
+               std::size_t c1) const {
+    if (r1 > rows_ || c1 > cols_ || r0 > r1 || c0 > c1) {
+      throw std::out_of_range("Matrix::block");
+    }
+    Matrix out(r1 - r0, c1 - c0);
+    for (std::size_t i = r0; i < r1; ++i) {
+      for (std::size_t j = c0; j < c1; ++j) out(i - r0, j - c0) = (*this)(i, j);
+    }
+    return out;
+  }
+
+  /// Vertical concatenation: [top; bottom] as used for T = [S; Pi].
+  static Matrix vstack(const Matrix& top, const Matrix& bottom) {
+    if (top.cols() != bottom.cols()) {
+      throw std::invalid_argument("vstack: column mismatch");
+    }
+    Matrix out(top.rows() + bottom.rows(), top.cols());
+    for (std::size_t i = 0; i < top.rows(); ++i) {
+      for (std::size_t j = 0; j < top.cols(); ++j) out(i, j) = top(i, j);
+    }
+    for (std::size_t i = 0; i < bottom.rows(); ++i) {
+      for (std::size_t j = 0; j < top.cols(); ++j) {
+        out(top.rows() + i, j) = bottom(i, j);
+      }
+    }
+    return out;
+  }
+
+  /// Horizontal concatenation [left, right].
+  static Matrix hstack(const Matrix& left, const Matrix& right) {
+    if (left.rows() != right.rows()) {
+      throw std::invalid_argument("hstack: row mismatch");
+    }
+    Matrix out(left.rows(), left.cols() + right.cols());
+    for (std::size_t i = 0; i < left.rows(); ++i) {
+      for (std::size_t j = 0; j < left.cols(); ++j) out(i, j) = left(i, j);
+      for (std::size_t j = 0; j < right.cols(); ++j) {
+        out(i, left.cols() + j) = right(i, j);
+      }
+    }
+    return out;
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::swap((*this)(a, j), (*this)(b, j));
+    }
+  }
+
+  void swap_columns(std::size_t a, std::size_t b) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      std::swap((*this)(i, a), (*this)(i, b));
+    }
+  }
+
+  /// Elementwise conversion to another scalar type (e.g. int64 -> BigInt).
+  template <typename To>
+  Matrix<To> cast() const {
+    Matrix<To> out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(i, j) = To((*this)(i, j));
+    }
+    return out;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+template <typename T>
+Matrix<T> operator+(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Matrix add: shape mismatch");
+  }
+  Matrix<T> out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j) + b(i, j);
+  }
+  return out;
+}
+
+template <typename T>
+Matrix<T> operator-(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument("Matrix sub: shape mismatch");
+  }
+  Matrix<T> out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j) - b(i, j);
+  }
+  return out;
+}
+
+template <typename T>
+Matrix<T> operator*(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("Matrix mul: inner dimension mismatch");
+  }
+  Matrix<T> out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const T& aik = a(i, k);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) = out(i, j) + aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+Matrix<T> operator*(const T& s, const Matrix<T>& a) {
+  Matrix<T> out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = s * a(i, j);
+  }
+  return out;
+}
+
+/// Matrix times column vector.
+template <typename T>
+Vector<T> operator*(const Matrix<T>& a, const Vector<T>& x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("Matrix-vector mul: dimension mismatch");
+  }
+  Vector<T> out(a.rows(), T{});
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out[i] = out[i] + a(i, j) * x[j];
+    }
+  }
+  return out;
+}
+
+/// Row vector times matrix (Pi * D in the paper).
+template <typename T>
+Vector<T> operator*(const Vector<T>& x, const Matrix<T>& a) {
+  if (a.rows() != x.size()) {
+    throw std::invalid_argument("vector-Matrix mul: dimension mismatch");
+  }
+  Vector<T> out(a.cols(), T{});
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      out[j] = out[j] + x[i] * a(i, j);
+    }
+  }
+  return out;
+}
+
+/// Dot product of two equal-length vectors.
+template <typename T>
+T dot(const Vector<T>& a, const Vector<T>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: dimension mismatch");
+  }
+  T out{};
+  for (std::size_t i = 0; i < a.size(); ++i) out = out + a[i] * b[i];
+  return out;
+}
+
+template <typename T>
+Vector<T> operator+(const Vector<T>& a, const Vector<T>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vector add");
+  Vector<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+template <typename T>
+Vector<T> operator-(const Vector<T>& a, const Vector<T>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("vector sub");
+  Vector<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+template <typename T>
+Vector<T> operator-(const Vector<T>& a) {
+  Vector<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = -a[i];
+  return out;
+}
+
+template <typename T>
+Vector<T> operator*(const T& s, const Vector<T>& a) {
+  Vector<T> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+template <typename T>
+bool is_zero_vector(const Vector<T>& v) {
+  for (const auto& x : v) {
+    if (!(x == T{})) return false;
+  }
+  return true;
+}
+
+}  // namespace sysmap::linalg

@@ -1,0 +1,61 @@
+#include "linalg/matrix_io.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace sysmap::linalg {
+namespace {
+
+std::string scalar_string(Int v) { return std::to_string(v); }
+std::string scalar_string(const exact::BigInt& v) { return v.to_string(); }
+std::string scalar_string(const exact::Rational& v) { return v.to_string(); }
+
+template <typename T>
+std::string pretty_matrix(const Matrix<T>& m) {
+  if (m.rows() == 0 || m.cols() == 0) return "[ ]";
+  std::vector<std::string> cells;
+  cells.reserve(m.rows() * m.cols());
+  std::vector<std::size_t> width(m.cols(), 0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      cells.push_back(scalar_string(m(i, j)));
+      width[j] = std::max(width[j], cells.back().size());
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    out += "[ ";
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      const std::string& cell = cells[i * m.cols() + j];
+      out.append(width[j] - cell.size(), ' ');
+      out += cell;
+      out += j + 1 < m.cols() ? "  " : " ";
+    }
+    out += "]";
+    if (i + 1 < m.rows()) out += "\n";
+  }
+  return out;
+}
+
+template <typename T>
+std::string pretty_vector(const Vector<T>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += scalar_string(v[i]);
+    if (i + 1 < v.size()) out += ", ";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string pretty(const MatI& m) { return pretty_matrix(m); }
+std::string pretty(const MatZ& m) { return pretty_matrix(m); }
+std::string pretty(const MatQ& m) { return pretty_matrix(m); }
+std::string pretty(const VecI& v) { return pretty_vector(v); }
+std::string pretty(const VecZ& v) { return pretty_vector(v); }
+std::string pretty(const VecQ& v) { return pretty_vector(v); }
+
+}  // namespace sysmap::linalg

@@ -1,0 +1,23 @@
+// Human-readable formatting of matrices and vectors for examples, bench
+// tables and diagnostics.
+#pragma once
+
+#include <string>
+
+#include "linalg/types.hpp"
+
+namespace sysmap::linalg {
+
+/// Multi-line aligned rendering, e.g.
+///   [  1  1 -1 ]
+///   [  1  4  1 ]
+std::string pretty(const MatI& m);
+std::string pretty(const MatZ& m);
+std::string pretty(const MatQ& m);
+
+/// One-line rendering "[1, 4, 1]".
+std::string pretty(const VecI& v);
+std::string pretty(const VecZ& v);
+std::string pretty(const VecQ& v);
+
+}  // namespace sysmap::linalg

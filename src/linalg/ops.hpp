@@ -1,0 +1,150 @@
+// Exact linear-algebra kernels: fraction-free (Bareiss) determinant and
+// rank, cofactor adjugates, and rational Gauss-Jordan inversion/solving.
+//
+// The Bareiss algorithm performs only exact divisions, so it is valid over
+// any integral domain; we instantiate it for checked int64, BigInt and
+// Rational.  Theorem 3.1 of the paper builds the unique conflict vector from
+// adj(B) and det(B) of the leading block of T -- adjugate() below is that
+// construction.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "exact/rational.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sysmap::linalg {
+
+/// Determinant by Bareiss fraction-free elimination.  Exact over integers;
+/// throws std::invalid_argument for non-square input.
+template <typename T>
+T determinant(const Matrix<T>& input) {
+  if (!input.is_square()) {
+    throw std::invalid_argument("determinant: matrix not square");
+  }
+  const std::size_t n = input.rows();
+  if (n == 0) return T{1};
+  Matrix<T> a = input;
+  T prev{1};
+  int sign = 1;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    // Pivot: find a nonzero entry in column k at or below row k.
+    std::size_t pivot = k;
+    while (pivot < n && a(pivot, k) == T{}) ++pivot;
+    if (pivot == n) return T{};
+    if (pivot != k) {
+      a.swap_rows(pivot, k);
+      sign = -sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      for (std::size_t j = k + 1; j < n; ++j) {
+        // Exact by the Bareiss identity.
+        a(i, j) = (a(i, j) * a(k, k) - a(i, k) * a(k, j)) / prev;
+      }
+      a(i, k) = T{};
+    }
+    prev = a(k, k);
+  }
+  T det = a(n - 1, n - 1);
+  return sign < 0 ? T{} - det : det;
+}
+
+/// Rank by fraction-free elimination with full column scanning.
+template <typename T>
+std::size_t rank(const Matrix<T>& input) {
+  Matrix<T> a = input;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::size_t r = 0;
+  T prev{1};
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    std::size_t pivot = r;
+    while (pivot < rows && a(pivot, c) == T{}) ++pivot;
+    if (pivot == rows) continue;
+    if (pivot != r) a.swap_rows(pivot, r);
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      for (std::size_t j = c + 1; j < cols; ++j) {
+        a(i, j) = (a(i, j) * a(r, c) - a(i, c) * a(r, j)) / prev;
+      }
+      a(i, c) = T{};
+    }
+    prev = a(r, c);
+    ++r;
+  }
+  return r;
+}
+
+/// Cofactor C_ij = (-1)^(i+j) * det(minor_ij).
+template <typename T>
+T cofactor(const Matrix<T>& a, std::size_t i, std::size_t j) {
+  T d = determinant(a.minor_matrix(i, j));
+  return ((i + j) % 2 == 0) ? d : T{} - d;
+}
+
+/// Adjugate (classical adjoint): adj(A)(i,j) = cofactor(A, j, i).
+/// Satisfies A * adj(A) = det(A) * I exactly.
+template <typename T>
+Matrix<T> adjugate(const Matrix<T>& a) {
+  if (!a.is_square()) {
+    throw std::invalid_argument("adjugate: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  if (n == 0) return a;
+  if (n == 1) {
+    Matrix<T> out(1, 1);
+    out(0, 0) = T{1};
+    return out;
+  }
+  Matrix<T> out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = cofactor(a, j, i);
+  }
+  return out;
+}
+
+/// Gauss-Jordan inverse over rationals; throws std::domain_error when
+/// singular.
+inline Matrix<exact::Rational> inverse(const Matrix<exact::Rational>& input) {
+  using exact::Rational;
+  if (!input.is_square()) {
+    throw std::invalid_argument("inverse: matrix not square");
+  }
+  const std::size_t n = input.rows();
+  Matrix<Rational> a = input;
+  Matrix<Rational> inv = Matrix<Rational>::identity(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t pivot = c;
+    while (pivot < n && a(pivot, c).is_zero()) ++pivot;
+    if (pivot == n) throw std::domain_error("inverse: singular matrix");
+    if (pivot != c) {
+      a.swap_rows(pivot, c);
+      inv.swap_rows(pivot, c);
+    }
+    Rational p = a(c, c);
+    for (std::size_t j = 0; j < n; ++j) {
+      a(c, j) /= p;
+      inv(c, j) /= p;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == c || a(i, c).is_zero()) continue;
+      Rational f = a(i, c);
+      for (std::size_t j = 0; j < n; ++j) {
+        a(i, j) -= f * a(c, j);
+        inv(i, j) -= f * inv(c, j);
+      }
+    }
+  }
+  return inv;
+}
+
+/// Solves A x = b over rationals (A square, nonsingular).
+inline Vector<exact::Rational> solve(const Matrix<exact::Rational>& a,
+                                     const Vector<exact::Rational>& b) {
+  if (a.rows() != b.size()) {
+    throw std::invalid_argument("solve: dimension mismatch");
+  }
+  return inverse(a) * b;
+}
+
+}  // namespace sysmap::linalg

@@ -1,0 +1,70 @@
+// Canonical scalar and matrix aliases used across the library.
+//
+// Int     -- machine integers for index points and small mapping entries.
+// BigInt  -- exact wide integers for HNF/determinant internals.
+// Rational-- exact rationals for LP pivoting and inverses.
+#pragma once
+
+#include <cstdint>
+
+#include "exact/bigint.hpp"
+#include "exact/rational.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sysmap {
+
+using Int = std::int64_t;
+
+using MatI = linalg::Matrix<Int>;
+using VecI = linalg::Vector<Int>;
+
+using MatZ = linalg::Matrix<exact::BigInt>;
+using VecZ = linalg::Vector<exact::BigInt>;
+
+using MatQ = linalg::Matrix<exact::Rational>;
+using VecQ = linalg::Vector<exact::Rational>;
+
+/// Widens a machine-integer matrix to BigInt entries.
+inline MatZ to_bigint(const MatI& m) {
+  return m.cast<exact::BigInt>();
+}
+
+/// Widens a machine-integer vector to BigInt entries.
+inline VecZ to_bigint(const VecI& v) {
+  VecZ out;
+  out.reserve(v.size());
+  for (Int x : v) out.emplace_back(x);
+  return out;
+}
+
+/// Narrows a BigInt matrix to machine integers; throws OverflowError if any
+/// entry does not fit.
+inline MatI to_int(const MatZ& m) {
+  MatI out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = m(i, j).to_int64();
+  }
+  return out;
+}
+
+/// Narrows a BigInt vector to machine integers; throws OverflowError if any
+/// entry does not fit.
+inline VecI to_int(const VecZ& v) {
+  VecI out;
+  out.reserve(v.size());
+  for (const auto& x : v) out.push_back(x.to_int64());
+  return out;
+}
+
+/// Lifts an integer matrix to rationals.
+inline MatQ to_rational(const MatI& m) {
+  MatQ out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      out(i, j) = exact::Rational(m(i, j));
+    }
+  }
+  return out;
+}
+
+}  // namespace sysmap

@@ -1,0 +1,45 @@
+#include "mapping/mapping_matrix.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "linalg/ops.hpp"
+
+namespace sysmap::mapping {
+
+MappingMatrix::MappingMatrix(MatI t) : t_(std::move(t)) {
+  if (t_.rows() == 0 || t_.cols() == 0) {
+    throw std::invalid_argument("MappingMatrix: empty matrix");
+  }
+  if (t_.rows() > t_.cols()) {
+    throw std::invalid_argument("MappingMatrix: k must not exceed n");
+  }
+}
+
+MappingMatrix::MappingMatrix(const MatI& space, const VecI& schedule)
+    : MappingMatrix(MatI::vstack(space.rows() == 0
+                                     ? MatI(0, schedule.size())
+                                     : space,
+                                 MatI::row(schedule))) {
+  if (space.rows() != 0 && space.cols() != schedule.size()) {
+    throw std::invalid_argument("MappingMatrix: S and Pi width mismatch");
+  }
+}
+
+VecI MappingMatrix::apply(const VecI& j) const { return t_ * j; }
+
+VecI MappingMatrix::processor(const VecI& j) const {
+  VecI full = apply(j);
+  full.pop_back();
+  return full;
+}
+
+Int MappingMatrix::time(const VecI& j) const {
+  return linalg::dot(schedule(), j);
+}
+
+bool MappingMatrix::has_full_rank() const {
+  return linalg::rank(to_bigint(t_)) == t_.rows();
+}
+
+}  // namespace sysmap::mapping

@@ -1,0 +1,104 @@
+// The paper's conflict-freedom conditions, implemented as published.
+//
+// Each checker returns a ConflictVerdict whose `rule` names the theorem.
+// Status semantics per checker:
+//   - theorem_3_1   : exact for k = n-1 (the conflict vector is unique).
+//   - theorem_4_3/4 : necessary conditions -- kHasConflict verdicts are
+//                     exact (they carry a genuine non-feasible witness);
+//                     passing yields kUnknown (necessity alone cannot
+//                     certify conflict-freedom).
+//   - theorem_4_5/6 : sufficient conditions -- kConflictFree verdicts are
+//                     exact; failing yields kUnknown.
+//   - theorem_4_7/8 : published as necessary AND sufficient for k = n-2 /
+//                     n-3.  Their sufficiency direction is sound; the
+//                     necessity direction has a gap (a feasible mixed-sign
+//                     coordinate can satisfy Theorem 2.2 even when the
+//                     same-sign conditions fail), and 4.8 does not cover
+//                     beta vectors with zero components.  We reproduce the
+//                     published conditions verbatim; decide_conflict_free()
+//                     (conflict.hpp) validates kHasConflict witnesses and
+//                     falls back to exact enumeration, so library verdicts
+//                     stay exact while the published conditions remain
+//                     reproducible.  tests/theorems_test.cpp probes the gap.
+//   - sign_pattern_check : this library's sound generalization of
+//                     Theorems 4.7/4.8 to arbitrary n-k: one condition per
+//                     sign class of beta in {-1,0,+1}^{n-k} (up to global
+//                     negation).  kConflictFree is exact; kHasConflict
+//                     verdicts carry validated witnesses; otherwise
+//                     kUnknown.
+#pragma once
+
+#include "lattice/hnf.hpp"
+#include "mapping/conflict.hpp"
+
+namespace sysmap::mapping {
+
+/// Theorem 3.1 (k = n-1): T is conflict-free iff its unique conflict vector
+/// is feasible.  Exact.
+ConflictVerdict theorem_3_1(const MappingMatrix& t,
+                            const model::IndexSet& set);
+
+/// Theorem 4.3 (necessary): every column of V = U^{-1} must have a nonzero
+/// entry among its first k rows; otherwise some unit vector e_i is a
+/// conflict vector (always non-feasible since mu_i >= 1).
+ConflictVerdict theorem_4_3(const MappingMatrix& t,
+                            const model::IndexSet& set);
+ConflictVerdict theorem_4_3(const lattice::HnfResult& hnf, std::size_t k,
+                            const model::IndexSet& set);
+
+/// Theorem 4.4 (necessary): the kernel columns u_{k+1}, ..., u_n must each
+/// be feasible conflict vectors.
+ConflictVerdict theorem_4_4(const MappingMatrix& t,
+                            const model::IndexSet& set);
+ConflictVerdict theorem_4_4(const lattice::HnfResult& hnf, std::size_t k,
+                            const model::IndexSet& set);
+
+/// Theorem 4.5 (sufficient): there exist n-k rows i_1..i_{n-k} of U whose
+/// trailing-block row gcds satisfy gcd(u_{i, k+1..n}) >= mu_i + 1 and whose
+/// trailing submatrix is nonsingular.
+ConflictVerdict theorem_4_5(const MappingMatrix& t,
+                            const model::IndexSet& set);
+ConflictVerdict theorem_4_5(const lattice::HnfResult& hnf, std::size_t k,
+                            const model::IndexSet& set);
+
+/// Theorem 4.6 (sufficient, k = n-2): a single row with
+/// gcd(u_{i,n-1}, u_{i,n}) >= mu_i + 1 plus a second row covering the
+/// one-parameter family of betas annihilating row i.
+ConflictVerdict theorem_4_6(const MappingMatrix& t,
+                            const model::IndexSet& set);
+ConflictVerdict theorem_4_6(const lattice::HnfResult& hnf, std::size_t k,
+                            const model::IndexSet& set);
+
+/// Theorem 4.7 (published as exact, k = n-2): same-sign row condition,
+/// opposite-sign row condition, and feasibility of both kernel columns.
+ConflictVerdict theorem_4_7(const MappingMatrix& t,
+                            const model::IndexSet& set);
+ConflictVerdict theorem_4_7(const lattice::HnfResult& hnf, std::size_t k,
+                            const model::IndexSet& set);
+
+/// Theorem 4.8 (published as exact, k = n-3): the four sign-split
+/// conditions over columns u_{n-2}, u_{n-1}, u_n plus their feasibility.
+/// (The paper's condition 2 prints "+ u_in" where the sign pattern demands
+/// "- u_in"; we implement the mathematically coherent |p . row| form.)
+ConflictVerdict theorem_4_8(const MappingMatrix& t,
+                            const model::IndexSet& set);
+ConflictVerdict theorem_4_8(const lattice::HnfResult& hnf, std::size_t k,
+                            const model::IndexSet& set);
+
+/// Sound generalization of Theorems 4.7/4.8 to any n-k (this library's
+/// extension; see header comment).  Enumerates all (3^(n-k) - 1)/2 sign
+/// classes of beta; kConflictFree requires a certifying row per class.
+ConflictVerdict sign_pattern_check(const MappingMatrix& t,
+                                   const model::IndexSet& set);
+ConflictVerdict sign_pattern_check(const lattice::HnfResult& hnf,
+                                   std::size_t k,
+                                   const model::IndexSet& set);
+
+/// Same condition over an arbitrary basis of ker(T) (columns of `kernel`).
+/// Sound for any basis because conflict vectors are exactly the primitive
+/// lattice points; used with LLL-reduced bases, whose shorter columns
+/// certify more classes (see lattice/lll.hpp and bench/lll_ablation).
+ConflictVerdict sign_pattern_check_basis(const MatZ& kernel,
+                                         const model::IndexSet& set);
+
+}  // namespace sysmap::mapping

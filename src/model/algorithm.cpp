@@ -1,0 +1,106 @@
+#include "model/algorithm.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sysmap::model {
+
+UniformDependenceAlgorithm::UniformDependenceAlgorithm(std::string name,
+                                                       IndexSet index_set,
+                                                       MatI dependence)
+    : name_(std::move(name)),
+      index_set_(std::move(index_set)),
+      dependence_(std::move(dependence)) {
+  if (dependence_.rows() != index_set_.dimension()) {
+    throw std::invalid_argument(
+        "UniformDependenceAlgorithm: D must have n rows");
+  }
+  for (std::size_t c = 0; c < dependence_.cols(); ++c) {
+    bool all_zero = true;
+    for (std::size_t r = 0; r < dependence_.rows(); ++r) {
+      if (dependence_(r, c) != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      throw std::invalid_argument(
+          "UniformDependenceAlgorithm: zero dependence vector");
+    }
+  }
+}
+
+std::size_t lexicographic_ordinal(const IndexSet& set, const VecI& j) {
+  std::size_t ordinal = 0;
+  for (std::size_t i = 0; i < set.dimension(); ++i) {
+    ordinal = ordinal * static_cast<std::size_t>(set.mu(i) + 1) +
+              static_cast<std::size_t>(j[i]);
+  }
+  return ordinal;
+}
+
+std::vector<Int> evaluate_reference(const SemanticAlgorithm& algo) {
+  const IndexSet& set = algo.structure.index_set();
+  const MatI& d = algo.structure.dependence_matrix();
+  const std::size_t m = d.cols();
+  const std::size_t total = static_cast<std::size_t>(set.size_u64());
+
+  std::vector<Int> value(total, 0);
+  std::vector<char> done(total, 0);
+  std::vector<char> in_flight(total, 0);
+
+  // Memoized evaluation with an explicit stack (dependence chains can be as
+  // long as the whole index set, so no recursion).
+  std::vector<VecI> stack;
+  auto eval_from = [&](const VecI& root) {
+    if (done[lexicographic_ordinal(set, root)]) return;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      VecI j = stack.back();
+      std::size_t ord = lexicographic_ordinal(set, j);
+      if (done[ord]) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      for (std::size_t i = 0; i < m && ready; ++i) {
+        VecI pred(j.size());
+        for (std::size_t r = 0; r < j.size(); ++r) pred[r] = j[r] - d(r, i);
+        if (!set.contains(pred)) continue;
+        std::size_t pord = lexicographic_ordinal(set, pred);
+        if (!done[pord]) {
+          if (in_flight[pord]) {
+            throw std::domain_error(
+                "evaluate_reference: cyclic dependences (Pi D > 0 "
+                "impossible)");
+          }
+          stack.push_back(pred);
+          ready = false;
+        }
+      }
+      if (!ready) {
+        in_flight[ord] = 1;
+        continue;
+      }
+      std::vector<Int> inputs(m, 0);
+      for (std::size_t i = 0; i < m; ++i) {
+        VecI pred(j.size());
+        for (std::size_t r = 0; r < j.size(); ++r) pred[r] = j[r] - d(r, i);
+        if (set.contains(pred)) {
+          inputs[i] = value[lexicographic_ordinal(set, pred)];
+        } else {
+          inputs[i] = algo.boundary ? algo.boundary(j, i) : 0;
+        }
+      }
+      value[ord] = algo.compute(j, inputs);
+      done[ord] = 1;
+      in_flight[ord] = 0;
+      stack.pop_back();
+    }
+  };
+  set.for_each([&](const VecI& j) { eval_from(j); });
+  return value;
+}
+
+}  // namespace sysmap::model

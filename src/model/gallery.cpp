@@ -1,0 +1,243 @@
+#include "model/gallery.hpp"
+
+#include <algorithm>
+#include <string>
+#include <stdexcept>
+#include <utility>
+
+namespace sysmap::model {
+
+UniformDependenceAlgorithm matmul(Int mu) {
+  // Equation 3.4.  Columns: d_1 (B), d_2 (A), d_3 (C).
+  MatI d{{1, 0, 0},
+         {0, 1, 0},
+         {0, 0, 1}};
+  return {"matmul", IndexSet::cube(3, mu), d};
+}
+
+UniformDependenceAlgorithm transitive_closure(Int mu) {
+  // Equation 3.6 (reindexed transitive closure of [17]/[23]).
+  MatI d{{0, 0, 1, 1, 1},
+         {0, 1, -1, -1, 0},
+         {1, 0, -1, 0, -1}};
+  return {"transitive_closure", IndexSet::cube(3, mu), d};
+}
+
+UniformDependenceAlgorithm convolution(Int mu_i, Int mu_k) {
+  // v(i,k) = v(i,k-1) + w(k) * x(i-k): accumulation (0,1), weight reuse
+  // (1,0), input reuse along constant i-k (1,1).
+  MatI d{{0, 1, 1},
+         {1, 0, 1}};
+  return {"convolution", IndexSet({mu_i, mu_k}), d};
+}
+
+UniformDependenceAlgorithm lu_decomposition(Int mu) {
+  MatI d{{1, 0, 0},
+         {0, 1, 0},
+         {0, 0, 1}};
+  return {"lu_decomposition", IndexSet::cube(3, mu), d};
+}
+
+UniformDependenceAlgorithm unit_cube_algorithm(std::size_t n, Int mu) {
+  return {"unit_cube", IndexSet::cube(n, mu), MatI::identity(n)};
+}
+
+SemanticAlgorithm semantic_matmul(Int mu, MatI a, MatI b) {
+  const std::size_t dim = static_cast<std::size_t>(mu) + 1;
+  if (a.rows() != dim || a.cols() != dim || b.rows() != dim ||
+      b.cols() != dim) {
+    throw std::invalid_argument("semantic_matmul: operands must be (mu+1)^2");
+  }
+  SemanticAlgorithm out{
+      matmul(mu),
+      // v(j) accumulates c_{j1,j2}: previous partial sum arrives via d_3.
+      [a = std::move(a), b = std::move(b)](const VecI& j,
+                                           const std::vector<Int>& in) {
+        return in[2] + a(static_cast<std::size_t>(j[0]),
+                         static_cast<std::size_t>(j[2])) *
+                           b(static_cast<std::size_t>(j[2]),
+                             static_cast<std::size_t>(j[1]));
+      },
+      // Outside-J reads: the C accumulator starts at zero; A and B arrive
+      // from the array boundary and carry no accumulated state.
+      [](const VecI&, std::size_t) { return Int{0}; }};
+  return out;
+}
+
+MatI matmul_result(const IndexSet& set, const std::vector<Int>& values) {
+  const Int mu = set.mu(0);
+  const std::size_t dim = static_cast<std::size_t>(mu) + 1;
+  MatI c(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      VecI point{static_cast<Int>(i), static_cast<Int>(j), mu};
+      c(i, j) = values[lexicographic_ordinal(set, point)];
+    }
+  }
+  return c;
+}
+
+SemanticAlgorithm semantic_convolution(Int mu_i, Int mu_k, VecI w, VecI x) {
+  if (w.size() != static_cast<std::size_t>(mu_k) + 1) {
+    throw std::invalid_argument("semantic_convolution: |w| must be mu_k+1");
+  }
+  if (x.size() != static_cast<std::size_t>(mu_i + mu_k) + 1) {
+    throw std::invalid_argument(
+        "semantic_convolution: |x| must cover i-k in [-mu_k, mu_i]");
+  }
+  SemanticAlgorithm out{
+      convolution(mu_i, mu_k),
+      [w = std::move(w), x = std::move(x), mu_k](const VecI& j,
+                                                 const std::vector<Int>& in) {
+        Int xi = x[static_cast<std::size_t>(j[0] - j[1] + mu_k)];
+        return in[0] + w[static_cast<std::size_t>(j[1])] * xi;
+      },
+      [](const VecI&, std::size_t) { return Int{0}; }};
+  return out;
+}
+
+UniformDependenceAlgorithm convolution_2d(Int mu_i1, Int mu_i2, Int mu_k1,
+                                          Int mu_k2) {
+  // Columns: prefix-sum deps (k1), (k2), (k1,k2); x-reuse diagonals;
+  // w-reuse along the output axes.
+  MatI d{{0, 0, 0, 1, 0, 1, 0},
+         {0, 0, 0, 0, 1, 0, 1},
+         {1, 0, 1, 1, 0, 0, 0},
+         {0, 1, 1, 0, 1, 0, 0}};
+  return {"convolution_2d", IndexSet({mu_i1, mu_i2, mu_k1, mu_k2}), d};
+}
+
+SemanticAlgorithm semantic_convolution_2d(Int mu_i1, Int mu_i2, Int mu_k1,
+                                          Int mu_k2, MatI w, MatI x) {
+  if (w.rows() != static_cast<std::size_t>(mu_k1) + 1 ||
+      w.cols() != static_cast<std::size_t>(mu_k2) + 1) {
+    throw std::invalid_argument("semantic_convolution_2d: w shape");
+  }
+  if (x.rows() != static_cast<std::size_t>(mu_i1 + mu_k1) + 1 ||
+      x.cols() != static_cast<std::size_t>(mu_i2 + mu_k2) + 1) {
+    throw std::invalid_argument("semantic_convolution_2d: x shape");
+  }
+  SemanticAlgorithm out{
+      convolution_2d(mu_i1, mu_i2, mu_k1, mu_k2),
+      // 2-D prefix sum over the kernel window:
+      //   v = v(k1-1,k2) + v(k1,k2-1) - v(k1-1,k2-1) + w(k1,k2)*x(i-k).
+      [w = std::move(w), x = std::move(x), mu_k1, mu_k2](
+          const VecI& j, const std::vector<Int>& in) {
+        Int xv = x(static_cast<std::size_t>(j[0] - j[2] + mu_k1),
+                   static_cast<std::size_t>(j[1] - j[3] + mu_k2));
+        Int wv = w(static_cast<std::size_t>(j[2]),
+                   static_cast<std::size_t>(j[3]));
+        return in[0] + in[1] - in[2] + wv * xv;
+      },
+      [](const VecI&, std::size_t) { return Int{0}; }};
+  return out;
+}
+
+MatI convolution_2d_result(const IndexSet& set,
+                           const std::vector<Int>& values) {
+  const Int mu_i1 = set.mu(0);
+  const Int mu_i2 = set.mu(1);
+  MatI y(static_cast<std::size_t>(mu_i1) + 1,
+         static_cast<std::size_t>(mu_i2) + 1);
+  for (Int i1 = 0; i1 <= mu_i1; ++i1) {
+    for (Int i2 = 0; i2 <= mu_i2; ++i2) {
+      y(static_cast<std::size_t>(i1), static_cast<std::size_t>(i2)) =
+          values[lexicographic_ordinal(set,
+                                       VecI{i1, i2, set.mu(2), set.mu(3)})];
+    }
+  }
+  return y;
+}
+
+UniformDependenceAlgorithm matvec(Int mu) {
+  MatI d{{0, 1},
+         {1, 0}};
+  return {"matvec", IndexSet::cube(2, mu), d};
+}
+
+SemanticAlgorithm semantic_matvec(Int mu, MatI a, VecI x) {
+  const std::size_t dim = static_cast<std::size_t>(mu) + 1;
+  if (a.rows() != dim || a.cols() != dim || x.size() != dim) {
+    throw std::invalid_argument("semantic_matvec: operand shape");
+  }
+  SemanticAlgorithm out{
+      matvec(mu),
+      [a = std::move(a), x = std::move(x)](const VecI& j,
+                                           const std::vector<Int>& in) {
+        return in[0] + a(static_cast<std::size_t>(j[0]),
+                         static_cast<std::size_t>(j[1])) *
+                           x[static_cast<std::size_t>(j[1])];
+      },
+      [](const VecI&, std::size_t) { return Int{0}; }};
+  return out;
+}
+
+UniformDependenceAlgorithm edit_distance(Int mu_a, Int mu_b) {
+  MatI d{{1, 0, 1},
+         {0, 1, 1}};
+  return {"edit_distance", IndexSet({mu_a, mu_b}), d};
+}
+
+SemanticAlgorithm semantic_edit_distance(std::string a, std::string b) {
+  if (a.size() < 2 || b.size() < 2) {
+    throw std::invalid_argument(
+        "semantic_edit_distance: strings need length >= 2 (mu_i >= 1)");
+  }
+  const Int mu_a = static_cast<Int>(a.size()) - 1;
+  const Int mu_b = static_cast<Int>(b.size()) - 1;
+  SemanticAlgorithm out{
+      edit_distance(mu_a, mu_b),
+      // v(i,j) = edit distance of prefixes a[0..i], b[0..j].
+      [a = std::move(a), b = std::move(b)](const VecI& j,
+                                           const std::vector<Int>& in) {
+        Int subst = a[static_cast<std::size_t>(j[0])] ==
+                            b[static_cast<std::size_t>(j[1])]
+                        ? 0
+                        : 1;
+        Int best = in[0] + 1;                       // delete from a
+        best = std::min(best, in[1] + 1);           // insert into a
+        best = std::min(best, in[2] + subst);       // substitute/match
+        return best;
+      },
+      // Virtual DP border: v(-1, j) = j+1, v(i, -1) = i+1, v(-1,-1) = 0.
+      [](const VecI& j, std::size_t dep) {
+        switch (dep) {
+          case 0:  // pred (i-1, j) outside: i == 0
+            return j[1] + 1;
+          case 1:  // pred (i, j-1) outside: j == 0
+            return j[0] + 1;
+          default:  // pred (i-1, j-1) outside: i == 0 or j == 0
+            if (j[0] == 0 && j[1] == 0) return Int{0};
+            return j[0] == 0 ? j[1] : j[0];
+        }
+      }};
+  return out;
+}
+
+Int edit_distance_result(const IndexSet& set,
+                         const std::vector<Int>& values) {
+  return values[lexicographic_ordinal(set, VecI{set.mu(0), set.mu(1)})];
+}
+
+VecI matvec_result(const IndexSet& set, const std::vector<Int>& values) {
+  const Int mu = set.mu(0);
+  VecI y(static_cast<std::size_t>(mu) + 1);
+  for (Int i = 0; i <= mu; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        values[lexicographic_ordinal(set, VecI{i, mu})];
+  }
+  return y;
+}
+
+VecI convolution_result(const IndexSet& set, const std::vector<Int>& values) {
+  const Int mu_i = set.mu(0);
+  const Int mu_k = set.mu(1);
+  VecI y(static_cast<std::size_t>(mu_i) + 1);
+  for (Int i = 0; i <= mu_i; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        values[lexicographic_ordinal(set, VecI{i, mu_k})];
+  }
+  return y;
+}
+
+}  // namespace sysmap::model

@@ -1,0 +1,96 @@
+// The paper's workload gallery.
+//
+// Each factory returns the exact structural pair (J, D) the paper analyzes,
+// with the dependence columns in the paper's order so that published
+// statements like "T gamma = -d_3" can be checked verbatim.  Semantic
+// variants attach executable bodies for value-level validation on the
+// systolic simulator.
+#pragma once
+
+#include <string>
+
+#include "model/algorithm.hpp"
+
+namespace sysmap::model {
+
+/// Equation 3.4: 3-D matrix multiplication, D = I_3, J the mu-cube.
+/// d_1 is induced by B, d_2 by A, d_3 by C (accumulation).
+UniformDependenceAlgorithm matmul(Int mu);
+
+/// Equation 3.6: reindexed transitive closure, n = 3, m = 5.
+UniformDependenceAlgorithm transitive_closure(Int mu);
+
+/// Word-level 1-D convolution y(i) = sum_k w(k) * x(i - k), modeled on the
+/// 2-D index set (i, k): accumulation (0,1), weight reuse (1,0), input
+/// reuse (1,1).
+UniformDependenceAlgorithm convolution(Int mu_i, Int mu_k);
+
+/// Uniformized LU decomposition: after the standard broadcast-removal
+/// uniformization the structural dependences are the three unit vectors
+/// (pivot row, pivot column and update propagation), i.e. D = I_3 on the
+/// mu-cube -- structurally the matmul pattern with different semantics.
+UniformDependenceAlgorithm lu_decomposition(Int mu);
+
+/// n-dimensional cube with unit-vector dependences D = I_n; the generic
+/// "n nested loops, one accumulation per axis" shape used for sweeps.
+UniformDependenceAlgorithm unit_cube_algorithm(std::size_t n, Int mu);
+
+/// Semantic matmul C = A * B for (mu+1) x (mu+1) operands: validates that a
+/// mapped execution computes every c_{ij} correctly.
+SemanticAlgorithm semantic_matmul(Int mu, MatI a, MatI b);
+
+/// Extracts C from the reference/simulated value vector of semantic_matmul:
+/// c_{i,j} is the value at index point (i, j, mu).
+MatI matmul_result(const IndexSet& set, const std::vector<Int>& values);
+
+/// Semantic convolution with weights w (size mu_k+1) and inputs x.
+/// x is indexed by i - k in [-mu_k, mu_i]; x_values[t + mu_k] = x(t).
+SemanticAlgorithm semantic_convolution(Int mu_i, Int mu_k, VecI w, VecI x);
+
+/// y(i) from the value vector of semantic_convolution: value at (i, mu_k).
+VecI convolution_result(const IndexSet& set, const std::vector<Int>& values);
+
+/// 4-D word-level 2-D convolution
+///   y(i1,i2) = sum_{k1,k2} w(k1,k2) * x(i1-k1, i2-k2)
+/// uniformized by the 2-D prefix-sum identity
+///   S(k1,k2) = S(k1-1,k2) + S(k1,k2-1) - S(k1-1,k2-1) + w*x,
+/// giving dependences (0,0,1,0), (0,0,0,1), (0,0,1,1) for the partial sums
+/// plus x-reuse diagonals (1,0,1,0), (0,1,0,1) and w-reuse (1,0,0,0),
+/// (0,1,0,0): n = 4, m = 7.
+UniformDependenceAlgorithm convolution_2d(Int mu_i1, Int mu_i2, Int mu_k1,
+                                          Int mu_k2);
+
+/// Semantic 2-D convolution.  w is (mu_k1+1) x (mu_k2+1); x covers
+/// i-k in [-mu_k, mu_i] per axis, i.e. (mu_i1+mu_k1+1) x (mu_i2+mu_k2+1)
+/// with x(t1, t2) stored at (t1 + mu_k1, t2 + mu_k2).
+SemanticAlgorithm semantic_convolution_2d(Int mu_i1, Int mu_i2, Int mu_k1,
+                                          Int mu_k2, MatI w, MatI x);
+
+/// y(i1,i2) from the value vector: value at (i1, i2, mu_k1, mu_k2).
+MatI convolution_2d_result(const IndexSet& set,
+                           const std::vector<Int>& values);
+
+/// 2-D matrix-vector product y(i) = sum_j a(i,j) x(j): accumulation (0,1)
+/// and x-reuse (1,0).
+UniformDependenceAlgorithm matvec(Int mu);
+
+/// String edit distance (Levenshtein) as a 2-D uniform dependence DP:
+/// v(i,j) = min(v(i-1,j)+1, v(i,j-1)+1, v(i-1,j-1)+subst(i,j)) with
+/// dependences (1,0), (0,1), (1,1) -- the classic systolic dynamic-
+/// programming workload (non-arithmetic semantics: min instead of +).
+UniformDependenceAlgorithm edit_distance(Int mu_a, Int mu_b);
+
+/// Semantic edit distance between strings a (length mu_a+1) and b
+/// (length mu_b+1).
+SemanticAlgorithm semantic_edit_distance(std::string a, std::string b);
+
+/// The final distance from the value vector: value at (mu_a, mu_b).
+Int edit_distance_result(const IndexSet& set, const std::vector<Int>& values);
+
+/// Semantic matrix-vector product; a is (mu+1)^2, x has mu+1 entries.
+SemanticAlgorithm semantic_matvec(Int mu, MatI a, VecI x);
+
+/// y(i) from the value vector of semantic_matvec: value at (i, mu).
+VecI matvec_result(const IndexSet& set, const std::vector<Int>& values);
+
+}  // namespace sysmap::model

@@ -1,0 +1,55 @@
+// Constant-bounded index sets (Equation 2.5 / Assumption 2.1).
+//
+// J = { [j_1 ... j_n]^T : 0 <= j_i <= mu_i }.  The upper bounds mu_i are the
+// paper's "problem size variables".  Enumeration order is lexicographic;
+// callers that need schedule order sort by Pi * j.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "exact/bigint.hpp"
+#include "linalg/types.hpp"
+
+namespace sysmap::model {
+
+class IndexSet {
+ public:
+  /// Box with bounds 0 <= j_i <= mu[i]; every mu[i] must be >= 1
+  /// (mu_i in N+ per Equation 2.5).  Throws std::invalid_argument otherwise.
+  explicit IndexSet(VecI mu);
+
+  /// Cube with all n bounds equal to mu.
+  static IndexSet cube(std::size_t n, Int mu);
+
+  std::size_t dimension() const noexcept { return mu_.size(); }
+  Int mu(std::size_t i) const { return mu_.at(i); }
+  const VecI& bounds() const noexcept { return mu_; }
+
+  /// Membership per Equation 2.5.
+  bool contains(const VecI& j) const;
+
+  /// Number of index points, prod(mu_i + 1), exactly.
+  exact::BigInt size() const;
+
+  /// Number of index points as a machine integer; throws OverflowError when
+  /// it does not fit (use size() for the exact count).
+  std::uint64_t size_u64() const;
+
+  /// Visits every index point in lexicographic order.  The visited vector
+  /// is reused between calls; copy it if you keep it.
+  void for_each(const std::function<void(const VecI&)>& visit) const;
+
+  /// Like for_each but stops early when visit returns false.
+  /// Returns false iff the scan was aborted.
+  bool for_each_while(const std::function<bool(const VecI&)>& visit) const;
+
+  friend bool operator==(const IndexSet& a, const IndexSet& b) {
+    return a.mu_ == b.mu_;
+  }
+
+ private:
+  VecI mu_;
+};
+
+}  // namespace sysmap::model

@@ -1,0 +1,167 @@
+#include "model/polyhedron.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "exact/checked.hpp"
+#include "opt/ilp.hpp"
+#include "opt/simplex.hpp"
+
+namespace sysmap::model {
+
+using exact::BigInt;
+using exact::Rational;
+
+PolyhedralIndexSet::PolyhedralIndexSet(MatI a, VecI b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  if (a_.rows() == 0 || a_.cols() == 0) {
+    throw std::invalid_argument("PolyhedralIndexSet: empty system");
+  }
+  if (a_.rows() != b_.size()) {
+    throw std::invalid_argument("PolyhedralIndexSet: A/b row mismatch");
+  }
+}
+
+PolyhedralIndexSet PolyhedralIndexSet::from_box(const IndexSet& box) {
+  const std::size_t n = box.dimension();
+  MatI a(2 * n, n);
+  VecI b(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(2 * i, i) = 1;       //  j_i <= mu_i
+    b[2 * i] = box.mu(i);
+    a(2 * i + 1, i) = -1;  // -j_i <= 0
+    b[2 * i + 1] = 0;
+  }
+  return {std::move(a), std::move(b)};
+}
+
+PolyhedralIndexSet PolyhedralIndexSet::simplex_chain(std::size_t n, Int mu) {
+  if (n == 0) throw std::invalid_argument("simplex_chain: n must be >= 1");
+  // 0 <= j_1, j_i <= j_{i+1}, j_n <= mu.
+  MatI a(n + 1, n);
+  VecI b(n + 1, 0);
+  a(0, 0) = -1;  // -j_1 <= 0
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a(i + 1, i) = 1;        // j_i - j_{i+1} <= 0
+    a(i + 1, i + 1) = -1;
+  }
+  a(n, n - 1) = 1;  // j_n <= mu
+  b[n] = mu;
+  return {std::move(a), std::move(b)};
+}
+
+bool PolyhedralIndexSet::contains(const VecI& j) const {
+  if (j.size() != dimension()) return false;
+  for (std::size_t r = 0; r < a_.rows(); ++r) {
+    Int lhs = 0;
+    for (std::size_t c = 0; c < a_.cols(); ++c) {
+      lhs = exact::add_checked(lhs, exact::mul_checked(a_(r, c), j[c]));
+    }
+    if (lhs > b_[r]) return false;
+  }
+  return true;
+}
+
+std::optional<std::pair<VecI, VecI>> PolyhedralIndexSet::bounding_box()
+    const {
+  const std::size_t n = dimension();
+  opt::LinearProgram lp;
+  lp.num_vars = n;
+  lp.objective.assign(n, Rational(0));
+  for (std::size_t r = 0; r < a_.rows(); ++r) {
+    VecQ coeffs(n);
+    for (std::size_t c = 0; c < n; ++c) coeffs[c] = Rational(a_(r, c));
+    lp.add(std::move(coeffs), opt::Relation::kLe, Rational(b_[r]));
+  }
+  VecI lo(n), hi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int direction : {+1, -1}) {
+      opt::LinearProgram probe = lp;
+      probe.objective.assign(n, Rational(0));
+      probe.objective[i] = Rational(direction);  // min x_i or min -x_i
+      opt::LpSolution s = opt::solve_lp(probe);
+      if (s.status == opt::LpStatus::kInfeasible) return std::nullopt;
+      if (s.status == opt::LpStatus::kUnbounded) {
+        throw std::invalid_argument(
+            "PolyhedralIndexSet: unbounded polyhedron");
+      }
+      if (direction > 0) {
+        lo[i] = s.x[i].floor().to_int64();  // min over rationals, floor
+      } else {
+        hi[i] = s.x[i].ceil().to_int64();
+      }
+    }
+  }
+  return std::make_pair(std::move(lo), std::move(hi));
+}
+
+exact::BigInt PolyhedralIndexSet::count_points() const {
+  BigInt count(0);
+  for_each([&](const VecI&) { count += BigInt(1); });
+  return count;
+}
+
+void PolyhedralIndexSet::for_each(
+    const std::function<void(const VecI&)>& visit) const {
+  std::optional<std::pair<VecI, VecI>> box = bounding_box();
+  if (!box) return;  // empty polyhedron
+  const auto& [lo, hi] = *box;
+  const std::size_t n = dimension();
+  VecI j = lo;
+  for (;;) {
+    if (contains(j)) visit(j);
+    std::size_t i = n;
+    bool done = false;
+    while (i-- > 0) {
+      if (j[i] < hi[i]) {
+        ++j[i];
+        break;
+      }
+      j[i] = lo[i];
+      if (i == 0) done = true;
+    }
+    if (done) break;
+  }
+}
+
+namespace {
+
+bool shifted_intersection_nonempty(const PolyhedralIndexSet& set,
+                                   const VecZ& gamma) {
+  const std::size_t n = set.dimension();
+  if (gamma.size() != n) {
+    throw std::invalid_argument("feasibility: gamma dimension mismatch");
+  }
+  // ILP feasibility: A j <= b and A j <= b - A gamma, any objective.
+  opt::LinearProgram lp;
+  lp.num_vars = n;
+  lp.objective.assign(n, Rational(0));
+  for (std::size_t r = 0; r < set.a().rows(); ++r) {
+    VecQ coeffs(n);
+    exact::BigInt shift(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      coeffs[c] = Rational(set.a()(r, c));
+      shift += exact::BigInt(set.a()(r, c)) * gamma[c];
+    }
+    VecQ coeffs2 = coeffs;
+    lp.add(std::move(coeffs), opt::Relation::kLe, Rational(set.b()[r]));
+    lp.add(std::move(coeffs2), opt::Relation::kLe,
+           Rational(exact::BigInt(set.b()[r]) - shift));
+  }
+  opt::IlpSolution s = opt::solve_ilp({lp});
+  return s.status == opt::IlpStatus::kOptimal;
+}
+
+}  // namespace
+
+bool is_feasible_conflict_vector_polyhedral(const VecZ& gamma,
+                                            const PolyhedralIndexSet& set) {
+  return !shifted_intersection_nonempty(set, gamma);
+}
+
+bool is_feasible_conflict_vector_polyhedral(const VecI& gamma,
+                                            const PolyhedralIndexSet& set) {
+  return is_feasible_conflict_vector_polyhedral(to_bigint(gamma), set);
+}
+
+}  // namespace sysmap::model

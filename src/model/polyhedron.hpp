@@ -1,0 +1,73 @@
+// Polyhedral index sets -- lifting Assumption 2.1.
+//
+// The paper restricts its theory to constant-bounded (box) index sets
+// because Theorem 2.2 gives feasibility a closed form there, and notes
+// that "some other kinds of algorithms can be transformed into algorithms
+// with constant-bounded index sets by a linear mapping".  This module is
+// the library's direct generalization: index sets J = { j : A j <= b }
+// (integral polyhedra), with conflict-vector feasibility decided exactly
+// by integer programming --
+//
+//   gamma is feasible  <=>  no integral j satisfies A j <= b AND
+//                           A (j + gamma) <= b,
+//
+// a small ILP feasibility problem over the library's exact solver.  This
+// covers triangular loop nests (the real LU iteration space), trapezoidal
+// tiles, and any other affine domain.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "linalg/types.hpp"
+#include "model/index_set.hpp"
+
+namespace sysmap::model {
+
+class PolyhedralIndexSet {
+ public:
+  /// { j in Z^n : a j <= b }.  The polyhedron must be bounded (checked
+  /// lazily: bounding_box() throws std::invalid_argument on unbounded
+  /// domains).
+  PolyhedralIndexSet(MatI a, VecI b);
+
+  /// The box 0 <= j_i <= mu_i as a polyhedron (for cross-validation).
+  static PolyhedralIndexSet from_box(const IndexSet& box);
+
+  /// Triangular domain 0 <= j_1 <= j_2 <= ... <= j_n <= mu (the LU /
+  /// triangular-solver iteration-space family).
+  static PolyhedralIndexSet simplex_chain(std::size_t n, Int mu);
+
+  std::size_t dimension() const noexcept { return a_.cols(); }
+  const MatI& a() const noexcept { return a_; }
+  const VecI& b() const noexcept { return b_; }
+
+  bool contains(const VecI& j) const;
+
+  /// Componentwise integral bounds [lo_i, hi_i] enclosing the polyhedron,
+  /// computed exactly by 2n LPs.  Throws when unbounded or empty returns
+  /// nullopt.
+  std::optional<std::pair<VecI, VecI>> bounding_box() const;
+
+  /// Number of integral points (by enumeration over the bounding box;
+  /// intended for the modest domains mappings deal with).
+  exact::BigInt count_points() const;
+
+  /// Visits every integral point (lexicographic order over the bounding
+  /// box).
+  void for_each(const std::function<void(const VecI&)>& visit) const;
+
+ private:
+  MatI a_;
+  VecI b_;
+};
+
+/// Exact Theorem-2.2 analogue: gamma is feasible for J iff the ILP
+///   A j <= b,  A (j + gamma) <= b
+/// has no integral solution.
+bool is_feasible_conflict_vector_polyhedral(const VecZ& gamma,
+                                            const PolyhedralIndexSet& set);
+bool is_feasible_conflict_vector_polyhedral(const VecI& gamma,
+                                            const PolyhedralIndexSet& set);
+
+}  // namespace sysmap::model

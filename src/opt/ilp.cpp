@@ -1,0 +1,88 @@
+#include "opt/ilp.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace sysmap::opt {
+
+using exact::BigInt;
+using exact::Rational;
+
+namespace {
+
+// Returns the first non-integral coordinate, or nullopt if x is integral.
+std::optional<std::size_t> first_fractional(const VecQ& x) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!x[i].is_integer()) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+IlpSolution solve_ilp(const IntegerProgram& ip, std::uint64_t node_limit) {
+  IlpSolution best;
+  best.status = IlpStatus::kInfeasible;
+
+  std::vector<LinearProgram> stack{ip.relaxation};
+  bool truncated = false;
+
+  while (!stack.empty()) {
+    if (best.nodes >= node_limit) {
+      truncated = true;
+      break;
+    }
+    ++best.nodes;
+    LinearProgram node = std::move(stack.back());
+    stack.pop_back();
+
+    LpSolution relax = solve_lp(node);
+    if (relax.status == LpStatus::kUnbounded) {
+      if (best.nodes == 1) {  // root relaxation
+        best.status = IlpStatus::kUnbounded;
+        return best;
+      }
+      // A bounded-objective parent cannot spawn an unbounded child with
+      // added constraints; defensive fallthrough treats it as infeasible.
+      continue;
+    }
+    if (relax.status == LpStatus::kInfeasible) continue;
+    // Bound pruning: relaxation is a lower bound for this subtree.
+    if (best.status == IlpStatus::kOptimal &&
+        !(relax.objective < best.objective)) {
+      continue;
+    }
+    std::optional<std::size_t> frac = first_fractional(relax.x);
+    if (!frac) {
+      // Integral: candidate incumbent.
+      if (best.status != IlpStatus::kOptimal ||
+          relax.objective < best.objective) {
+        best.status = IlpStatus::kOptimal;
+        best.objective = relax.objective;
+        best.x.clear();
+        best.x.reserve(relax.x.size());
+        for (const auto& xi : relax.x) best.x.push_back(xi.to_integer());
+      }
+      continue;
+    }
+    // Branch: x_i <= floor(v)  |  x_i >= ceil(v).
+    const std::size_t var = *frac;
+    BigInt fl = relax.x[var].floor();
+    LinearProgram down = node;
+    down.add_bound(var, Relation::kLe, Rational(fl));
+    LinearProgram up = std::move(node);
+    up.add_bound(var, Relation::kGe, Rational(fl + BigInt(1)));
+    stack.push_back(std::move(down));
+    stack.push_back(std::move(up));
+  }
+
+  if (truncated && best.status != IlpStatus::kOptimal) {
+    best.status = IlpStatus::kNodeLimit;
+  } else if (truncated) {
+    // Keep the incumbent but flag the truncation.
+    best.status = IlpStatus::kNodeLimit;
+  }
+  return best;
+}
+
+}  // namespace sysmap::opt

@@ -1,0 +1,125 @@
+#include "opt/vertex_enum.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/ops.hpp"
+
+namespace sysmap::opt {
+
+using exact::Rational;
+
+namespace {
+
+bool satisfies(const LinearProgram& lp, const VecQ& x) {
+  for (const auto& c : lp.constraints) {
+    Rational lhs(0);
+    for (std::size_t j = 0; j < lp.num_vars; ++j) lhs += c.coeffs[j] * x[j];
+    switch (c.rel) {
+      case Relation::kLe:
+        if (lhs > c.rhs) return false;
+        break;
+      case Relation::kGe:
+        if (lhs < c.rhs) return false;
+        break;
+      case Relation::kEq:
+        if (!(lhs == c.rhs)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<VecQ> enumerate_vertices(const LinearProgram& lp) {
+  const std::size_t n = lp.num_vars;
+  const std::size_t m = lp.constraints.size();
+  std::vector<VecQ> vertices;
+  if (m < n) return vertices;
+
+  // Equality rows are always part of the active set.
+  std::vector<std::size_t> eq_rows;
+  std::vector<std::size_t> ineq_rows;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (lp.constraints[i].rel == Relation::kEq) {
+      eq_rows.push_back(i);
+    } else {
+      ineq_rows.push_back(i);
+    }
+  }
+  if (eq_rows.size() > n) return vertices;
+  const std::size_t need = n - eq_rows.size();
+  if (ineq_rows.size() < need) return vertices;
+
+  std::vector<std::size_t> idx(need);
+  for (std::size_t i = 0; i < need; ++i) idx[i] = i;
+  for (;;) {
+    // Build and solve the active equality system.
+    MatQ a(n, n);
+    VecQ b(n);
+    std::size_t row = 0;
+    for (std::size_t e : eq_rows) {
+      for (std::size_t j = 0; j < n; ++j) a(row, j) = lp.constraints[e].coeffs[j];
+      b[row] = lp.constraints[e].rhs;
+      ++row;
+    }
+    for (std::size_t t = 0; t < need; ++t) {
+      std::size_t e = ineq_rows[idx[t]];
+      for (std::size_t j = 0; j < n; ++j) a(row, j) = lp.constraints[e].coeffs[j];
+      b[row] = lp.constraints[e].rhs;
+      ++row;
+    }
+    if (linalg::rank(a) == n) {
+      VecQ x = linalg::solve(a, b);
+      if (satisfies(lp, x) &&
+          std::find(vertices.begin(), vertices.end(), x) == vertices.end()) {
+        vertices.push_back(std::move(x));
+      }
+    }
+    // Next combination of inequality rows.
+    if (need == 0) break;
+    std::size_t i = need;
+    bool done = false;
+    while (i-- > 0) {
+      if (idx[i] + (need - i) < ineq_rows.size()) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < need; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) done = true;
+    }
+    if (done) break;
+  }
+  return vertices;
+}
+
+std::optional<VecQ> best_vertex(const LinearProgram& lp,
+                                bool require_integral) {
+  std::vector<VecQ> vertices = enumerate_vertices(lp);
+  std::optional<VecQ> best;
+  Rational best_obj(0);
+  for (auto& v : vertices) {
+    if (require_integral) {
+      bool integral = true;
+      for (const auto& x : v) {
+        if (!x.is_integer()) {
+          integral = false;
+          break;
+        }
+      }
+      if (!integral) continue;
+    }
+    Rational obj(0);
+    for (std::size_t j = 0; j < lp.num_vars; ++j) {
+      obj += lp.objective[j] * v[j];
+    }
+    if (!best || obj < best_obj) {
+      best = std::move(v);
+      best_obj = std::move(obj);
+    }
+  }
+  return best;
+}
+
+}  // namespace sysmap::opt

@@ -1,0 +1,78 @@
+#include "schedule/bounds.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace sysmap::schedule {
+
+std::vector<Int> asap_times(const model::UniformDependenceAlgorithm& algo) {
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  const std::size_t n = set.dimension();
+  const std::size_t m = d.cols();
+  const std::size_t total = static_cast<std::size_t>(set.size_u64());
+
+  std::vector<Int> time(total, -1);
+  // Memoized longest-chain DP with an explicit stack (chains can span the
+  // whole index set).
+  std::vector<VecI> stack;
+  std::vector<char> in_flight(total, 0);
+  auto eval_from = [&](const VecI& root) {
+    if (time[model::lexicographic_ordinal(set, root)] >= 0) return;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      VecI j = stack.back();
+      std::size_t ord = model::lexicographic_ordinal(set, j);
+      if (time[ord] >= 0) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      Int best = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        VecI pred(n);
+        for (std::size_t r = 0; r < n; ++r) pred[r] = j[r] - d(r, i);
+        if (!set.contains(pred)) continue;
+        std::size_t pord = model::lexicographic_ordinal(set, pred);
+        if (time[pord] < 0) {
+          if (in_flight[pord]) {
+            throw std::domain_error("asap_times: cyclic dependences");
+          }
+          stack.push_back(pred);
+          ready = false;
+        } else {
+          best = std::max(best, time[pord] + 1);
+        }
+      }
+      if (!ready) {
+        in_flight[ord] = 1;
+        continue;
+      }
+      time[ord] = best;
+      in_flight[ord] = 0;
+      stack.pop_back();
+    }
+  };
+  set.for_each([&](const VecI& j) { eval_from(j); });
+  return time;
+}
+
+Int free_schedule_makespan(const model::UniformDependenceAlgorithm& algo) {
+  std::vector<Int> times = asap_times(algo);
+  Int best = 0;
+  for (Int t : times) best = std::max(best, t);
+  return best + 1;
+}
+
+Int free_schedule_width(const model::UniformDependenceAlgorithm& algo) {
+  std::vector<Int> times = asap_times(algo);
+  std::map<Int, Int> histogram;
+  for (Int t : times) ++histogram[t];
+  Int width = 0;
+  for (const auto& [t, count] : histogram) width = std::max(width, count);
+  return width;
+}
+
+}  // namespace sysmap::schedule

@@ -1,0 +1,30 @@
+// Lower bounds on execution time: the free (ASAP) schedule.
+//
+// A linear schedule can never beat the dependence-chain bound: computation
+// j cannot start before the longest D-chain ending at j has executed, so
+// any schedule needs at least 1 + max_j chain(j) cycles regardless of the
+// processor count.  Comparing Procedure 5.1's optimum against this bound
+// quantifies how much of the slowdown is the *linearity* of the schedule
+// versus the algorithm's intrinsic parallelism (the theme of Shang &
+// Fortes' companion work on time-optimal linear schedules).
+#pragma once
+
+#include "model/algorithm.hpp"
+
+namespace sysmap::schedule {
+
+/// Length (in computations) of the longest dependence chain ending at each
+/// index point, i.e. the ASAP execution time of every computation under
+/// unbounded parallelism.
+std::vector<Int> asap_times(const model::UniformDependenceAlgorithm& algo);
+
+/// The free-schedule makespan: 1 + max chain length.  Any valid schedule,
+/// linear or not, takes at least this many cycles.
+Int free_schedule_makespan(const model::UniformDependenceAlgorithm& algo);
+
+/// Maximum number of computations that the free schedule executes in one
+/// cycle (the algorithm's peak intrinsic parallelism; an unbounded-array
+/// width requirement).
+Int free_schedule_width(const model::UniformDependenceAlgorithm& algo);
+
+}  // namespace sysmap::schedule

@@ -1,0 +1,201 @@
+#include "schedule/collision.hpp"
+
+#include <algorithm>
+
+#include "exact/bigint.hpp"
+#include "lattice/hnf.hpp"
+#include "lattice/kernel.hpp"
+#include "linalg/ops.hpp"
+
+namespace sysmap::schedule {
+
+using exact::BigInt;
+
+namespace {
+
+// Canonical hop sequence (primitive indices) for dependence column i.
+std::vector<std::size_t> hop_sequence(const MatI& k, std::size_t dep) {
+  std::vector<std::size_t> hops;
+  for (std::size_t r = 0; r < k.rows(); ++r) {
+    for (Int c = 0; c < k(r, dep); ++c) hops.push_back(r);
+  }
+  return hops;
+}
+
+// Searches for an integral delta with T delta = v and |delta_r| <=
+// width_r.  Particular solution from the HNF (beta head = L^{-1} v, must
+// be integral), then the kernel lattice shifts it.
+std::optional<VecZ> solve_in_box(const lattice::HnfResult& hnf,
+                                 std::size_t k, const VecZ& v,
+                                 const VecI& width, std::uint64_t budget,
+                                 bool exclude_zero) {
+  const std::size_t n = hnf.u.rows();
+  // Forward-substitute L beta_head = v (L = leading k x k block of H).
+  VecZ beta_head(k, BigInt(0));
+  for (std::size_t i = 0; i < k; ++i) {
+    BigInt acc = v[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= hnf.h(i, j) * beta_head[j];
+    BigInt q, r;
+    BigInt::div_mod(acc, hnf.h(i, i), q, r);
+    if (!r.is_zero()) return std::nullopt;  // v not in the image lattice
+    beta_head[i] = std::move(q);
+  }
+  // Particular solution delta0 = U * [beta_head; 0].
+  VecZ delta0(n, BigInt(0));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t j = 0; j < k; ++j) {
+      delta0[r] += hnf.u(r, j) * beta_head[j];
+    }
+  }
+  auto is_zero = [](const VecZ& x) {
+    for (const auto& e : x) {
+      if (!e.is_zero()) return false;
+    }
+    return true;
+  };
+  const std::size_t free_dims = n - k;
+  if (free_dims == 0) {
+    for (std::size_t r = 0; r < n; ++r) {
+      if (delta0[r].abs() > BigInt(width[r])) return std::nullopt;
+    }
+    if (exclude_zero && is_zero(delta0)) return std::nullopt;
+    return delta0;
+  }
+  // Free-coefficient bounds: beta_tail = V_tail (delta - delta0)... since
+  // delta in the width box and delta0 fixed, |beta_j| <= sum_c |v_jc| *
+  // (width_c + |delta0_c|).
+  VecZ bound(free_dims);
+  std::uint64_t volume = 1;
+  for (std::size_t j = 0; j < free_dims; ++j) {
+    BigInt b(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      b += hnf.v(k + j, c).abs() * (BigInt(width[c]) + delta0[c].abs());
+    }
+    bound[j] = b;
+    BigInt w = BigInt(2) * b + BigInt(1);
+    if (!w.fits_int64()) return std::nullopt;  // treat as budget overflow
+    std::uint64_t wv = static_cast<std::uint64_t>(w.to_int64());
+    if (volume > budget / wv) return std::nullopt;
+    volume *= wv;
+  }
+  VecZ beta(free_dims);
+  for (std::size_t j = 0; j < free_dims; ++j) beta[j] = -bound[j];
+  VecZ delta(n);
+  for (;;) {
+    bool inside = true;
+    for (std::size_t r = 0; r < n && inside; ++r) {
+      BigInt x = delta0[r];
+      for (std::size_t j = 0; j < free_dims; ++j) {
+        x += hnf.u(r, k + j) * beta[j];
+      }
+      delta[r] = x;
+      if (x.abs() > BigInt(width[r])) inside = false;
+    }
+    if (inside && !(exclude_zero && is_zero(delta))) return delta;
+    std::size_t j = 0;
+    for (; j < free_dims; ++j) {
+      if (beta[j] < bound[j]) {
+        beta[j] += BigInt(1);
+        break;
+      }
+      beta[j] = -bound[j];
+    }
+    if (j == free_dims) break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CollisionAnalysis analyze_link_collisions(
+    const model::UniformDependenceAlgorithm& algo,
+    const systolic::ArrayDesign& design, std::uint64_t budget) {
+  CollisionAnalysis out;
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  const std::size_t n = set.dimension();
+  const std::size_t dims = design.p.rows();
+  const mapping::MappingMatrix& t = design.t;
+
+  bool any_multi_hop = false;
+  lattice::HnfResult hnf =
+      lattice::hermite_normal_form(to_bigint(t.matrix()));
+
+  for (std::size_t i = 0; i < d.cols(); ++i) {
+    std::vector<std::size_t> route = hop_sequence(design.k, i);
+    if (route.empty()) continue;  // local dependence: no wire to collide on
+    if (route.size() >= 2) any_multi_hop = true;
+
+    // Consumer box B_i = { j in J : j - d_i in J }: per-coordinate
+    // [max(0, d_r), mu_r + min(0, d_r)]; collision deltas live in its
+    // difference box.
+    VecI width(n);
+    bool empty = false;
+    for (std::size_t r = 0; r < n; ++r) {
+      Int lo = std::max<Int>(0, d(r, i));
+      Int hi = set.mu(r) + std::min<Int>(0, d(r, i));
+      if (hi < lo) {
+        empty = true;
+        break;
+      }
+      width[r] = hi - lo;
+    }
+    if (empty) continue;
+
+    // Same-hop collisions: two consumers with T delta = 0 put their data
+    // on the identical wire at the identical cycle (this is the
+    // computational-conflict case; it collides on every hop index).
+    {
+      VecZ zero(t.k(), BigInt(0));
+      std::optional<VecZ> delta =
+          solve_in_box(hnf, t.k(), zero, width, budget,
+                       /*exclude_zero=*/true);
+      if (delta) {
+        out.possible = true;
+        out.findings.push_back({i, 0, 0, std::move(*delta)});
+      }
+    }
+
+    // Prefix displacements p_0 = 0, p_c = sum of first c primitives.
+    std::vector<VecI> prefix(route.size() + 1, VecI(dims, 0));
+    for (std::size_t c = 0; c < route.size(); ++c) {
+      prefix[c + 1] = prefix[c];
+      for (std::size_t r = 0; r < dims; ++r) {
+        prefix[c + 1][r] += design.p(r, route[c]);
+      }
+    }
+    for (std::size_t c1 = 0; c1 < route.size(); ++c1) {
+      for (std::size_t c2 = c1 + 1; c2 < route.size(); ++c2) {
+        if (route[c1] != route[c2]) continue;  // different primitives
+        // v = [p_{c1} - p_{c2} wait: wire position equality:
+        // S(j1 - d) + p_{c1} = S(j2 - d) + p_{c2}  =>
+        // S delta = p_{c2} - p_{c1}; time: Pi delta = c2 - c1 ... with
+        // delta = j1 - j2 and hop c of j occupying cycle Pi j - h + c.
+        VecZ v(t.k(), BigInt(0));
+        for (std::size_t r = 0; r + 1 < t.k(); ++r) {
+          v[r] = BigInt(prefix[c2][r] - prefix[c1][r]);
+        }
+        v[t.k() - 1] = BigInt(static_cast<Int>(c2) - static_cast<Int>(c1));
+        std::optional<VecZ> delta =
+            solve_in_box(hnf, t.k(), v, width, budget,
+                         /*exclude_zero=*/false);
+        if (delta) {
+          out.possible = true;
+          out.findings.push_back({i, c1, c2, std::move(*delta)});
+        }
+      }
+    }
+  }
+  if (out.possible) {
+    out.rule = "a consumer pair shares a wire and cycle";
+  } else if (!any_multi_hop) {
+    out.rule =
+        "single-hop K columns and conflict-free flow: collision-free "
+        "(the paper's remark, plus the same-wire conflict check)";
+  } else {
+    out.rule = "multi-hop routes: no colliding pair exists in J";
+  }
+  return out;
+}
+
+}  // namespace sysmap::schedule

@@ -1,0 +1,56 @@
+// Closed-form data-link collision analysis.
+//
+// Reference [23] (whose framework the paper builds on) adds a fifth
+// correctness condition: no two data may occupy the same physical link in
+// the same cycle.  The paper handles it only by the remark that
+// single-hop routing matrices K ("in every column of matrix K there is
+// only one non-zero entry") cannot collide.  This module proves the
+// general case for uniform flows on dedicated per-dependence channels:
+//
+// A class-i collision is a pair of consumers j1 != j2 whose data occupy
+// the same wire (same PE, same primitive) in the same cycle.  With the
+// canonical route (prefix displacements p_1 .. p_h) and the
+// arrive-just-in-time timing of the simulator, this happens iff there are
+// hop indices c1 < c2 using the same primitive and an integral delta with
+//
+//     S delta = p_{c2} - p_{c1},   Pi delta = c2 - c1,
+//
+// and j1, j2 both in the consumer box B_i = { j in J : j - d_i in J }.
+// Solvability of T delta = v is a lattice question (HNF particular
+// solution + kernel), and the B_i membership is a box bound -- both exact
+// with the library's machinery.  Corollary (the paper's remark): for
+// single-hop routes there are no pairs c1 < c2, so conflict-freedom alone
+// rules out collisions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping_matrix.hpp"
+#include "model/algorithm.hpp"
+#include "systolic/array.hpp"
+
+namespace sysmap::schedule {
+
+struct CollisionFinding {
+  std::size_t dep = 0;        ///< dependence class
+  std::size_t hop_a = 0;      ///< colliding hop indices (0-based)
+  std::size_t hop_b = 0;
+  VecZ delta;                 ///< consumer-pair difference j1 - j2
+};
+
+struct CollisionAnalysis {
+  bool possible = false;                 ///< some class can collide
+  std::vector<CollisionFinding> findings;
+  std::string rule;
+};
+
+/// Exact collision analysis of a designed array (canonical hop order, the
+/// simulator's timing model).  `budget` bounds the per-pair lattice
+/// search.
+CollisionAnalysis analyze_link_collisions(
+    const model::UniformDependenceAlgorithm& algo,
+    const systolic::ArrayDesign& design, std::uint64_t budget = 10'000'000);
+
+}  // namespace sysmap::schedule

@@ -1,0 +1,154 @@
+#include "schedule/interconnect.hpp"
+
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "exact/checked.hpp"
+
+namespace sysmap::schedule {
+
+Interconnect::Interconnect(MatI p) : p_(std::move(p)) {
+  if (p_.rows() == 0 || p_.cols() == 0) {
+    throw std::invalid_argument("Interconnect: P must be nonempty");
+  }
+}
+
+Interconnect Interconnect::nearest_neighbor(std::size_t dims) {
+  MatI p(dims, 2 * dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    p(d, 2 * d) = 1;
+    p(d, 2 * d + 1) = -1;
+  }
+  return Interconnect(std::move(p));
+}
+
+Interconnect Interconnect::with_diagonals(std::size_t dims) {
+  // All nonzero vectors in {-1, 0, 1}^dims.
+  std::vector<VecI> primitives;
+  VecI v(dims, -1);
+  for (;;) {
+    bool nonzero = false;
+    for (Int x : v) {
+      if (x != 0) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) primitives.push_back(v);
+    std::size_t i = 0;
+    for (; i < dims; ++i) {
+      if (v[i] < 1) {
+        ++v[i];
+        break;
+      }
+      v[i] = -1;
+    }
+    if (i == dims) break;
+  }
+  MatI p(dims, primitives.size());
+  for (std::size_t c = 0; c < primitives.size(); ++c) {
+    for (std::size_t d = 0; d < dims; ++d) p(d, c) = primitives[c][d];
+  }
+  return Interconnect(std::move(p));
+}
+
+Int Routing::total_buffers() const {
+  Int total = 0;
+  for (Int b : buffers) total = exact::add_checked(total, b);
+  return total;
+}
+
+std::optional<Routing> route(const MatI& space, const MatI& dependence,
+                             const Interconnect& net,
+                             const LinearSchedule& schedule) {
+  const std::size_t m = dependence.cols();
+  const std::size_t r = net.num_primitives();
+  const std::size_t dims = net.dims();
+  if (space.rows() != dims) {
+    throw std::invalid_argument("route: S row count must equal array dims");
+  }
+
+  Routing out;
+  out.k = MatI(r, m);
+  out.hops.assign(m, 0);
+  out.delays.assign(m, 0);
+  out.buffers.assign(m, 0);
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const Int budget = schedule.dependence_delay(dependence, i);
+    if (budget <= 0) return std::nullopt;  // invalid schedule for this D
+    out.delays[i] = budget;
+
+    // Target displacement S d_i in the processor space.
+    VecI target(dims, 0);
+    for (std::size_t d = 0; d < dims; ++d) {
+      for (std::size_t c = 0; c < space.cols(); ++c) {
+        target[d] = exact::add_checked(
+            target[d], exact::mul_checked(space(d, c), dependence(c, i)));
+      }
+    }
+
+    // BFS over displacements; predecessor map reconstructs primitive usage.
+    struct Visit {
+      VecI from;
+      std::size_t primitive;
+      Int depth;
+    };
+    std::map<VecI, Visit> seen;
+    std::queue<VecI> frontier;
+    VecI origin(dims, 0);
+    seen.emplace(origin, Visit{origin, r, 0});
+    frontier.push(origin);
+    bool found = linalg::is_zero_vector(target);
+    while (!found && !frontier.empty()) {
+      VecI cur = frontier.front();
+      frontier.pop();
+      Int depth = seen.at(cur).depth;
+      if (depth >= budget) continue;
+      for (std::size_t prim = 0; prim < r; ++prim) {
+        VecI next(dims);
+        for (std::size_t d = 0; d < dims; ++d) {
+          next[d] = exact::add_checked(cur[d], net.p()(d, prim));
+        }
+        if (seen.contains(next)) continue;
+        seen.emplace(next, Visit{cur, prim, depth + 1});
+        if (next == target) {
+          found = true;
+          break;
+        }
+        frontier.push(next);
+      }
+    }
+    if (!found) return std::nullopt;
+
+    // Walk back accumulating primitive counts.
+    VecI cur = target;
+    Int hops = 0;
+    while (!(cur == origin)) {
+      const Visit& v = seen.at(cur);
+      out.k(v.primitive, i) = exact::add_checked(out.k(v.primitive, i), 1);
+      hops = exact::add_checked(hops, 1);
+      cur = v.from;
+    }
+    out.hops[i] = hops;
+    out.buffers[i] = exact::sub_checked(budget, hops);
+  }
+  return out;
+}
+
+bool single_hop_columns(const MatI& k) {
+  for (std::size_t c = 0; c < k.cols(); ++c) {
+    Int nonzero = 0;
+    for (std::size_t r = 0; r < k.rows(); ++r) {
+      if (k(r, c) == 0) continue;
+      if (k(r, c) != 1) return false;
+      ++nonzero;
+    }
+    if (nonzero > 1) return false;
+  }
+  return true;
+}
+
+}  // namespace sysmap::schedule

@@ -1,0 +1,70 @@
+#include "schedule/linear_schedule.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "exact/checked.hpp"
+
+namespace sysmap::schedule {
+
+LinearSchedule::LinearSchedule(VecI pi) : pi_(std::move(pi)) {
+  if (pi_.empty()) {
+    throw std::invalid_argument("LinearSchedule: empty vector");
+  }
+}
+
+Int LinearSchedule::time(const VecI& j) const { return linalg::dot(pi_, j); }
+
+bool LinearSchedule::respects_dependences(const MatI& dependence) const {
+  if (dependence.rows() != pi_.size()) {
+    throw std::invalid_argument("LinearSchedule: dimension mismatch with D");
+  }
+  for (std::size_t c = 0; c < dependence.cols(); ++c) {
+    Int delay = 0;
+    for (std::size_t r = 0; r < pi_.size(); ++r) {
+      delay = exact::add_checked(
+          delay, exact::mul_checked(pi_[r], dependence(r, c)));
+    }
+    if (delay <= 0) return false;
+  }
+  return true;
+}
+
+Int LinearSchedule::dependence_delay(const MatI& dependence,
+                                     std::size_t i) const {
+  return linalg::dot(pi_, dependence.column_vector(i));
+}
+
+Int LinearSchedule::objective(const model::IndexSet& set) const {
+  if (set.dimension() != pi_.size()) {
+    throw std::invalid_argument("LinearSchedule: dimension mismatch with J");
+  }
+  Int f = 0;
+  for (std::size_t i = 0; i < pi_.size(); ++i) {
+    f = exact::add_checked(
+        f, exact::mul_checked(exact::abs_checked(pi_[i]), set.mu(i)));
+  }
+  return f;
+}
+
+Int LinearSchedule::makespan(const model::IndexSet& set) const {
+  return exact::add_checked(objective(set), 1);
+}
+
+Int LinearSchedule::span_by_corners(const model::IndexSet& set) const {
+  // max Pi j over corners minus min Pi j over corners.
+  const std::size_t n = pi_.size();
+  Int max_time = 0;
+  Int min_time = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Int contribution = exact::mul_checked(pi_[i], set.mu(i));
+    if (contribution > 0) {
+      max_time = exact::add_checked(max_time, contribution);
+    } else {
+      min_time = exact::add_checked(min_time, contribution);
+    }
+  }
+  return exact::sub_checked(max_time, min_time);
+}
+
+}  // namespace sysmap::schedule

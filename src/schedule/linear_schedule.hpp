@@ -1,0 +1,47 @@
+// Linear schedules Pi and their cost model (Section 2).
+//
+// A linear schedule executes computation j at time Pi * j.  Validity is
+// Pi * D > 0 (Definition 2.2, condition 1): every dependence advances time.
+// For constant-bounded index sets the total execution time collapses to the
+// closed form t = 1 + sum_i |pi_i| * mu_i (Equation 2.7), which is the
+// objective minimized throughout Section 5.
+#pragma once
+
+#include "linalg/types.hpp"
+#include "model/algorithm.hpp"
+#include "model/index_set.hpp"
+
+namespace sysmap::schedule {
+
+class LinearSchedule {
+ public:
+  explicit LinearSchedule(VecI pi);
+
+  const VecI& vector() const noexcept { return pi_; }
+  std::size_t dimension() const noexcept { return pi_.size(); }
+
+  /// Pi * j.
+  Int time(const VecI& j) const;
+
+  /// Pi * D > 0: strictly positive on every dependence column.
+  bool respects_dependences(const MatI& dependence) const;
+
+  /// Pi * d_i for dependence column i.
+  Int dependence_delay(const MatI& dependence, std::size_t i) const;
+
+  /// Objective f = sum |pi_i| mu_i (Problem 2.2; t = f + 1).
+  Int objective(const model::IndexSet& set) const;
+
+  /// Total execution time t = 1 + sum |pi_i| mu_i (Equation 2.7).
+  Int makespan(const model::IndexSet& set) const;
+
+  /// Exact span check: computes max Pi (j1 - j2) by scanning corner points
+  /// (the extremes are attained at box corners, cf. Equation 2.6) -- used in
+  /// tests to validate the closed form.
+  Int span_by_corners(const model::IndexSet& set) const;
+
+ private:
+  VecI pi_;
+};
+
+}  // namespace sysmap::schedule

@@ -1,0 +1,76 @@
+#include "search/extreme_points.hpp"
+
+#include <algorithm>
+
+#include "mapping/conflict.hpp"
+#include "opt/vertex_enum.hpp"
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::search {
+
+ExtremePointResult appendix_extreme_point_method(
+    const model::UniformDependenceAlgorithm& algo, const MatI& space) {
+  const model::IndexSet& set = algo.index_set();
+  const std::size_t n = set.dimension();
+  MatZ f_coeffs = conflict_coefficients(space);
+
+  ExtremePointResult result;
+  for (std::size_t row = 0; row < n; ++row) {
+    for (int side : {+1, -1}) {
+      opt::LinearProgram lp = build_branch(algo, f_coeffs, row, side);
+      for (const VecQ& vertex : opt::enumerate_vertices(lp)) {
+        ExtremePoint point;
+        point.integral = true;
+        for (const auto& x : vertex) {
+          if (!x.is_integer()) {
+            point.integral = false;
+            break;
+          }
+        }
+        if (!point.integral) continue;
+        VecI pi;
+        pi.reserve(n);
+        for (const auto& x : vertex) pi.push_back(x.to_integer().to_int64());
+        // Deduplicate across branches.
+        bool seen = false;
+        for (const auto& e : result.examined) {
+          if (e.pi == pi) {
+            seen = true;
+            break;
+          }
+        }
+        if (seen) continue;
+        schedule::LinearSchedule sched(pi);
+        point.objective = sched.objective(set);
+        mapping::MappingMatrix t(space, pi);
+        mapping::ConflictVerdict verdict =
+            sched.respects_dependences(algo.dependence_matrix()) &&
+                    t.has_full_rank()
+                ? mapping::decide_conflict_free(t, set)
+                : mapping::ConflictVerdict{
+                      mapping::ConflictVerdict::Status::kHasConflict,
+                      std::nullopt,
+                      "fails Pi D > 0 or rank"};
+        point.conflict_free = verdict.conflict_free();
+        point.verdict_rule = verdict.rule;
+        point.pi = std::move(pi);
+        result.examined.push_back(std::move(point));
+      }
+    }
+  }
+  std::sort(result.examined.begin(), result.examined.end(),
+            [](const ExtremePoint& a, const ExtremePoint& b) {
+              return a.objective < b.objective ||
+                     (a.objective == b.objective && a.pi < b.pi);
+            });
+  for (const auto& point : result.examined) {
+    if (point.conflict_free) {
+      result.best = point.pi;
+      result.best_objective = point.objective;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace sysmap::search

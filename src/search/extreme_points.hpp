@@ -1,0 +1,38 @@
+// The appendix's solution method for Examples 5.1/5.2: split the
+// disjunctive program into convex branches, enumerate each branch's
+// extreme points, keep the integral ones, and verify candidates in
+// objective order against the exact conflict oracle.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/algorithm.hpp"
+#include "search/ilp_formulation.hpp"
+
+namespace sysmap::search {
+
+/// One examined extreme point with its verdict -- the rows of the
+/// appendix's discussion ("There are two such extreme points Pi_1 = ...").
+struct ExtremePoint {
+  VecI pi;
+  Int objective = 0;
+  bool integral = true;
+  bool conflict_free = false;
+  std::string verdict_rule;
+};
+
+struct ExtremePointResult {
+  /// Every integral vertex across all branches, sorted by objective.
+  std::vector<ExtremePoint> examined;
+  /// The best verified vertex, if any.
+  std::optional<VecI> best;
+  Int best_objective = 0;
+};
+
+/// Reproduces the appendix: branch over the 2n disjuncts of constraint 3
+/// (positive-Pi regime), enumerate vertices, verify.
+ExtremePointResult appendix_extreme_point_method(
+    const model::UniformDependenceAlgorithm& algo, const MatI& space);
+
+}  // namespace sysmap::search

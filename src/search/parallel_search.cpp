@@ -1,0 +1,163 @@
+#include "search/parallel_search.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "baseline/brute_force.hpp"
+#include "exact/checked.hpp"
+#include "mapping/theorems.hpp"
+
+namespace sysmap::search {
+
+namespace {
+
+// One worker's best find within its slice of a level.
+struct WorkerBest {
+  bool found = false;
+  VecI pi;
+  mapping::ConflictVerdict verdict;
+  std::optional<schedule::Routing> routing;
+  std::uint64_t passed_dependence = 0;
+};
+
+mapping::ConflictVerdict run_oracle(ConflictOracle oracle,
+                                    const mapping::MappingMatrix& t,
+                                    const model::IndexSet& set) {
+  switch (oracle) {
+    case ConflictOracle::kPaperTheorems: {
+      const std::size_t n = t.n();
+      const std::size_t k = t.k();
+      if (k == n) {
+        mapping::ConflictVerdict out;
+        out.status = t.has_full_rank()
+                         ? mapping::ConflictVerdict::Status::kConflictFree
+                         : mapping::ConflictVerdict::Status::kHasConflict;
+        out.rule = "square T: rank test";
+        return out;
+      }
+      if (k + 1 == n) return mapping::theorem_3_1(t, set);
+      if (k + 2 == n) return mapping::theorem_4_7(t, set);
+      if (k + 3 == n) return mapping::theorem_4_8(t, set);
+      return mapping::theorem_4_5(t, set);
+    }
+    case ConflictOracle::kBruteForce:
+      return baseline::brute_force_conflicts(t, set);
+    case ConflictOracle::kExact:
+    default:
+      return mapping::decide_conflict_free(t, set);
+  }
+}
+
+}  // namespace
+
+SearchResult procedure_5_1_parallel(
+    const model::UniformDependenceAlgorithm& algo, const MatI& space,
+    const SearchOptions& options, std::size_t num_threads) {
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  const std::size_t n = set.dimension();
+  if (space.cols() != n) {
+    throw std::invalid_argument("procedure_5_1_parallel: S width");
+  }
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+
+  Int max_objective = options.max_objective;
+  if (max_objective <= 0) {
+    Int mu_max = 0;
+    Int mu_sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mu_max = std::max(mu_max, set.mu(i));
+      mu_sum = exact::add_checked(mu_sum, set.mu(i));
+    }
+    max_objective =
+        exact::mul_checked(4, exact::mul_checked(mu_max + 1, mu_sum));
+  }
+
+  SearchResult result;
+  for (Int f = std::max<Int>(options.min_objective, 1); f <= max_objective;
+       ++f) {
+    // Materialize this level (serial; enumeration is cheap relative to
+    // the per-candidate verdicts).
+    std::vector<VecI> level;
+    enumerate_schedules_at(set, f, [&](const VecI& pi) {
+      level.push_back(pi);
+      return true;
+    });
+    result.candidates_tested += level.size();
+    if (level.empty()) continue;
+
+    const std::size_t workers = std::min(num_threads, level.size());
+    std::vector<WorkerBest> best(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        WorkerBest& mine = best[w];
+        for (std::size_t idx = w; idx < level.size(); idx += workers) {
+          const VecI& pi = level[idx];
+          schedule::LinearSchedule sched(pi);
+          if (!sched.respects_dependences(d)) continue;
+          ++mine.passed_dependence;
+          mapping::MappingMatrix t(space, pi);
+          if (!t.has_full_rank()) continue;
+          mapping::ConflictVerdict verdict =
+              run_oracle(options.oracle, t, set);
+          if (verdict.status !=
+              mapping::ConflictVerdict::Status::kConflictFree) {
+            continue;
+          }
+          std::optional<schedule::Routing> routing;
+          if (options.target) {
+            routing = schedule::route(space, d, *options.target, sched);
+            if (!routing) continue;
+          }
+          // Keep the candidate that the SERIAL scan would meet first: the
+          // smallest level index, i.e. the first hit in this stride --
+          // but strides interleave, so compare by enumeration position
+          // via lexicographic-in-level-order, which equals index order.
+          if (!mine.found) {
+            mine.found = true;
+            mine.pi = pi;
+            mine.verdict = std::move(verdict);
+            mine.routing = std::move(routing);
+          }
+          break;  // later indices in this stride cannot beat an earlier one
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+
+    // Reduce: the serial scan's winner is the valid candidate with the
+    // smallest position in `level`; reconstruct it from per-worker firsts.
+    std::size_t best_pos = level.size();
+    std::size_t best_worker = workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      result.candidates_passed_dependence += best[w].passed_dependence;
+      if (!best[w].found) continue;
+      // Position of this worker's pi in the level.
+      auto it = std::find(level.begin(), level.end(), best[w].pi);
+      std::size_t pos = static_cast<std::size_t>(it - level.begin());
+      if (pos < best_pos) {
+        best_pos = pos;
+        best_worker = w;
+      }
+    }
+    if (best_worker < workers) {
+      result.found = true;
+      result.pi = best[best_worker].pi;
+      result.objective = f;
+      result.makespan = exact::add_checked(f, 1);
+      result.verdict = std::move(best[best_worker].verdict);
+      result.routing = std::move(best[best_worker].routing);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace sysmap::search

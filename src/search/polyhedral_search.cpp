@@ -1,0 +1,141 @@
+#include "search/polyhedral_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "exact/checked.hpp"
+#include "schedule/linear_schedule.hpp"
+#include "search/procedure51.hpp"
+
+namespace sysmap::search {
+
+PolyhedralAlgorithm triangular_lu(Int mu) {
+  return {"triangular_lu", model::PolyhedralIndexSet::simplex_chain(3, mu),
+          MatI::identity(3)};
+}
+
+Int polyhedral_makespan(const VecI& pi,
+                        const model::PolyhedralIndexSet& set) {
+  bool any = false;
+  Int lo = 0, hi = 0;
+  set.for_each([&](const VecI& j) {
+    Int t = linalg::dot(pi, j);
+    if (!any) {
+      lo = hi = t;
+      any = true;
+    } else {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  });
+  if (!any) return 0;
+  return hi - lo + 1;
+}
+
+VecI axis_segment_lengths(const model::PolyhedralIndexSet& set) {
+  const std::size_t n = set.dimension();
+  VecI best(n, 0);
+  // For each point, extend along each axis while staying inside; domains
+  // are small so the quadratic-ish scan is fine.
+  set.for_each([&](const VecI& j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      VecI probe = j;
+      Int len = 0;
+      for (;;) {
+        probe[i] += 1;
+        if (!set.contains(probe)) break;
+        ++len;
+      }
+      best[i] = std::max(best[i], len);
+    }
+  });
+  return best;
+}
+
+PolyhedralSearchResult polyhedral_optimal_schedule(
+    const PolyhedralAlgorithm& algo, const MatI& space,
+    const PolyhedralSearchOptions& options) {
+  const std::size_t n = algo.index_set.dimension();
+  if (space.cols() != n) {
+    throw std::invalid_argument("polyhedral_optimal_schedule: S width");
+  }
+  std::optional<std::pair<VecI, VecI>> box = algo.index_set.bounding_box();
+  if (!box) {
+    throw std::invalid_argument(
+        "polyhedral_optimal_schedule: empty index set");
+  }
+  VecI widths(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    widths[i] = std::max<Int>(box->second[i] - box->first[i], 1);
+  }
+  // Proxy weights = bounding-box widths; the enumeration is Procedure
+  // 5.1's level order over the width-weighted L1 shells.
+  model::IndexSet proxy_set(widths);
+  VecI lengths = axis_segment_lengths(algo.index_set);
+  Int ratio = 1;  // max_i ceil(w_i / len_i)
+  for (std::size_t i = 0; i < n; ++i) {
+    if (lengths[i] <= 0) {
+      // Degenerate axis (single layer): the stopping rule cannot use it.
+      ratio = std::max<Int>(ratio, widths[i] + 1);
+      continue;
+    }
+    Int r = (widths[i] + lengths[i] - 1) / lengths[i];
+    ratio = std::max(ratio, r);
+  }
+
+  PolyhedralSearchResult result;
+  Int stop_level = options.max_proxy;
+  const Int hard_cap =
+      options.max_proxy > 0
+          ? options.max_proxy
+          : exact::mul_checked(
+                4, exact::mul_checked(static_cast<Int>(n),
+                                      exact::mul_checked(
+                                          ratio, [&] {
+                                            Int s = 0;
+                                            for (Int w : widths) {
+                                              s = exact::add_checked(s, w);
+                                            }
+                                            return s + 1;
+                                          }())));
+
+  for (Int f = 1; f <= (stop_level > 0 ? stop_level : hard_cap); ++f) {
+    enumerate_schedules_at(proxy_set, f, [&](const VecI& pi) {
+      ++result.candidates_tested;
+      schedule::LinearSchedule sched(pi);
+      if (!sched.respects_dependences(algo.dependence)) return true;
+      mapping::MappingMatrix t(space, pi);
+      if (!t.has_full_rank()) return true;
+      Int makespan = polyhedral_makespan(pi, algo.index_set);
+      if (result.found && makespan >= result.makespan) return true;
+      mapping::ConflictVerdict verdict =
+          mapping::decide_conflict_free_polyhedral(t, algo.index_set);
+      if (verdict.status !=
+          mapping::ConflictVerdict::Status::kConflictFree) {
+        return true;
+      }
+      result.found = true;
+      result.pi = pi;
+      result.makespan = makespan;
+      result.verdict = std::move(verdict);
+      return true;  // keep scanning the level: better true makespans may
+                    // hide behind worse proxies
+    });
+    if (result.found && options.max_proxy == 0) {
+      // Stopping rule: any candidate at proxy level f has some |pi_i| >=
+      // f / (n * w_i) ... conservatively, once f exceeds
+      // n * ratio * (t_best - 1), t(Pi) - 1 >= max_i |pi_i| len_i >=
+      // f / (n * ratio) > t_best - 1.
+      Int threshold = exact::mul_checked(
+          exact::mul_checked(static_cast<Int>(n), ratio),
+          std::max<Int>(result.makespan - 1, 1));
+      if (f >= threshold) {
+        result.certified_optimal = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sysmap::search

@@ -1,0 +1,66 @@
+// Time-optimal conflict-free schedules over polyhedral index sets --
+// the Procedure-5.1 analogue for the library's Assumption-2.1 lift.
+//
+// On a box, the makespan is the closed form 1 + sum |pi_i| mu_i and
+// Procedure 5.1's level-order enumeration is immediately optimal.  On a
+// general polytope J the makespan is t(Pi) = max_J Pi j - min_J Pi j + 1,
+// which can be much smaller than the bounding-box proxy
+// f(Pi) = sum |pi_i| w_i (w = bounding-box widths).  The search still
+// enumerates candidates in increasing proxy order, keeps the best true
+// makespan found, and stops once the proxy level can no longer beat the
+// incumbent: when every coordinate direction admits a segment of length
+// len_i inside J, t(Pi) - 1 >= max_i |pi_i| len_i >= f(Pi) * min_i(len_i /
+// w_i) / n, so levels beyond n * (t_best - 1) * max_i(w_i / len_i) are
+// hopeless.  For the simplex-chain family len_i = w_i and the factor is
+// exactly n.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mapping/conflict.hpp"
+#include "model/polyhedron.hpp"
+
+namespace sysmap::search {
+
+/// A uniform dependence algorithm over a polyhedral index set.
+struct PolyhedralAlgorithm {
+  std::string name;
+  model::PolyhedralIndexSet index_set;
+  MatI dependence;
+};
+
+/// Triangular (true, non-embedded) LU decomposition: the simplex-chain
+/// domain 0 <= j1 <= j2 <= j3 <= mu with the uniformized unit dependences.
+PolyhedralAlgorithm triangular_lu(Int mu);
+
+/// Exact makespan of Pi over J: max - min of Pi j over the integral points
+/// (full scan; domains here are small).
+Int polyhedral_makespan(const VecI& pi, const model::PolyhedralIndexSet& set);
+
+/// Per-coordinate length of the longest axis-aligned integral segment
+/// inside J (the len_i of the stopping rule).
+VecI axis_segment_lengths(const model::PolyhedralIndexSet& set);
+
+struct PolyhedralSearchResult {
+  bool found = false;
+  VecI pi;
+  Int makespan = 0;
+  mapping::ConflictVerdict verdict;
+  std::uint64_t candidates_tested = 0;
+  /// True when the stopping rule certified global optimality (always, once
+  /// found, unless max_proxy truncated the scan).
+  bool certified_optimal = false;
+};
+
+struct PolyhedralSearchOptions {
+  Int max_proxy = 0;  ///< 0 = derive from the stopping rule
+};
+
+/// Finds the time-optimal conflict-free schedule for (J, D) with space
+/// mapping S over a polyhedral J.
+PolyhedralSearchResult polyhedral_optimal_schedule(
+    const PolyhedralAlgorithm& algo, const MatI& space,
+    const PolyhedralSearchOptions& options = {});
+
+}  // namespace sysmap::search

@@ -1,0 +1,145 @@
+#include "search/procedure51.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baseline/brute_force.hpp"
+#include "exact/checked.hpp"
+#include "mapping/theorems.hpp"
+
+namespace sysmap::search {
+
+namespace {
+
+// Recursive lexicographic enumeration of pi with sum |pi_i| mu_i == f.
+bool enumerate_rec(const model::IndexSet& set, Int remaining, std::size_t i,
+                   VecI& pi, const std::function<bool(const VecI&)>& visit) {
+  const std::size_t n = set.dimension();
+  if (i == n) {
+    if (remaining != 0) return true;
+    return visit(pi);
+  }
+  const Int mu = set.mu(i);
+  const Int max_abs = remaining / mu;
+  // Tail feasibility: the remaining weight must be expressible by later
+  // coordinates; with arbitrary magnitudes any nonnegative remainder works
+  // as long as some later coordinate exists.
+  for (Int a = 0; a <= max_abs; ++a) {
+    Int rest = remaining - a * mu;
+    if (i + 1 == n && rest != 0) continue;  // last coordinate must land on f
+    if (a == 0) {
+      pi[i] = 0;
+      if (!enumerate_rec(set, rest, i + 1, pi, visit)) return false;
+    } else {
+      pi[i] = a;
+      if (!enumerate_rec(set, rest, i + 1, pi, visit)) return false;
+      pi[i] = -a;
+      if (!enumerate_rec(set, rest, i + 1, pi, visit)) return false;
+    }
+  }
+  pi[i] = 0;
+  return true;
+}
+
+mapping::ConflictVerdict paper_theorem_verdict(const mapping::MappingMatrix& t,
+                                               const model::IndexSet& set) {
+  const std::size_t n = t.n();
+  const std::size_t k = t.k();
+  if (k == n) {
+    mapping::ConflictVerdict out;
+    out.status = t.has_full_rank()
+                     ? mapping::ConflictVerdict::Status::kConflictFree
+                     : mapping::ConflictVerdict::Status::kHasConflict;
+    out.rule = "square T: rank test";
+    return out;
+  }
+  if (k + 1 == n) return mapping::theorem_3_1(t, set);
+  if (k + 2 == n) return mapping::theorem_4_7(t, set);
+  if (k + 3 == n) return mapping::theorem_4_8(t, set);
+  return mapping::theorem_4_5(t, set);
+}
+
+}  // namespace
+
+bool enumerate_schedules_at(const model::IndexSet& set, Int f,
+                            const std::function<bool(const VecI&)>& visit) {
+  if (f < 0) return true;
+  VecI pi(set.dimension(), 0);
+  return enumerate_rec(set, f, 0, pi, visit);
+}
+
+SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
+                           const MatI& space, const SearchOptions& options) {
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  const std::size_t n = set.dimension();
+  if (space.cols() != n) {
+    throw std::invalid_argument("procedure_5_1: S width must equal n");
+  }
+  if (space.rows() + 1 > n) {
+    throw std::invalid_argument("procedure_5_1: k must not exceed n");
+  }
+
+  Int max_objective = options.max_objective;
+  if (max_objective <= 0) {
+    Int mu_max = 0;
+    Int mu_sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mu_max = std::max(mu_max, set.mu(i));
+      mu_sum = exact::add_checked(mu_sum, set.mu(i));
+    }
+    max_objective =
+        exact::mul_checked(4, exact::mul_checked(mu_max + 1, mu_sum));
+  }
+
+  SearchResult result;
+  for (Int f = std::max<Int>(options.min_objective, 1); f <= max_objective;
+       ++f) {
+    bool found_at_level = false;
+    enumerate_schedules_at(set, f, [&](const VecI& pi) {
+      ++result.candidates_tested;
+      schedule::LinearSchedule sched(pi);
+      // (1) Pi D > 0.
+      if (!sched.respects_dependences(d)) return true;
+      ++result.candidates_passed_dependence;
+      mapping::MappingMatrix t(space, pi);
+      // (2) rank(T) = k.
+      if (!t.has_full_rank()) return true;
+      // (3) conflict-free.
+      mapping::ConflictVerdict verdict;
+      switch (options.oracle) {
+        case ConflictOracle::kPaperTheorems:
+          verdict = paper_theorem_verdict(t, set);
+          break;
+        case ConflictOracle::kExact:
+          verdict = mapping::decide_conflict_free(t, set);
+          break;
+        case ConflictOracle::kBruteForce:
+          verdict = baseline::brute_force_conflicts(t, set);
+          break;
+      }
+      if (verdict.status !=
+          mapping::ConflictVerdict::Status::kConflictFree) {
+        return true;
+      }
+      // (4) routing on a fixed target array, when requested.
+      std::optional<schedule::Routing> routing;
+      if (options.target) {
+        routing = schedule::route(space, d, *options.target, sched);
+        if (!routing) return true;
+      }
+      result.found = true;
+      result.pi = pi;
+      result.objective = f;
+      result.makespan = exact::add_checked(f, 1);
+      result.verdict = std::move(verdict);
+      result.routing = std::move(routing);
+      found_at_level = true;
+      return false;  // abort the scan: first hit at minimal f is optimal
+    });
+    if (found_at_level) break;
+  }
+  return result;
+}
+
+}  // namespace sysmap::search

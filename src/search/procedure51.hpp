@@ -1,0 +1,65 @@
+// Procedure 5.1: optimal conflict-free schedule by candidate enumeration.
+//
+// Candidates Pi are enumerated in increasing objective f = sum |pi_i| mu_i
+// (Theorem 2.1 makes f monotone in the |pi_i|, so the first candidate that
+// passes all conditions is time-optimal).  Conditions checked per candidate
+// (Step 5 of the procedure):
+//   (1) Pi D > 0
+//   (2) rank(T) = k
+//   (3) T conflict-free -- by the exact theorem for k >= n-3, Theorem 4.5 /
+//       exact enumeration otherwise (see decide_conflict_free)
+//   (4) optionally S D = P K with column sums <= Pi d_i (fixed target array)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "mapping/conflict.hpp"
+#include "model/algorithm.hpp"
+#include "schedule/interconnect.hpp"
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::search {
+
+/// Which conflict oracle Step 5(3) uses.
+enum class ConflictOracle {
+  kPaperTheorems,  ///< Theorems 3.1/4.7/4.8/4.5 exactly as published
+  kExact,          ///< library-exact dispatcher (validated witnesses)
+  kBruteForce,     ///< full index-set scan (baseline; small J only)
+};
+
+struct SearchOptions {
+  /// Start the scan at this objective value (used to resume above an ILP
+  /// lower bound).
+  Int min_objective = 0;
+  /// Abort when f exceeds this bound; 0 selects a heuristic default of
+  /// 4 * (max mu + 1) * sum(mu).
+  Int max_objective = 0;
+  ConflictOracle oracle = ConflictOracle::kExact;
+  /// Require routability on this target array (condition 4); nullopt
+  /// designs a dedicated array instead (conditions 1-3 only).
+  std::optional<schedule::Interconnect> target;
+};
+
+struct SearchResult {
+  bool found = false;
+  VecI pi;                            ///< optimal schedule vector
+  Int objective = 0;                  ///< f = sum |pi_i| mu_i
+  Int makespan = 0;                   ///< t = f + 1
+  mapping::ConflictVerdict verdict;   ///< rule that certified Pi
+  std::optional<schedule::Routing> routing;  ///< when target was given
+  std::uint64_t candidates_tested = 0;
+  std::uint64_t candidates_passed_dependence = 0;
+};
+
+/// Runs Procedure 5.1 for algorithm (J, D) and space mapping S.
+SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
+                           const MatI& space, const SearchOptions& options = {});
+
+/// Enumerates every integral Pi with sum |pi_i| mu_i == f in deterministic
+/// (lexicographic) order; returns false when the callback aborts the scan.
+bool enumerate_schedules_at(const model::IndexSet& set, Int f,
+                            const std::function<bool(const VecI&)>& visit);
+
+}  // namespace sysmap::search

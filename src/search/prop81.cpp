@@ -1,0 +1,77 @@
+#include "search/prop81.hpp"
+
+#include <stdexcept>
+
+namespace sysmap::search {
+
+using exact::BigInt;
+
+std::optional<Prop81Result> proposition_8_1(const MatI& space,
+                                            const VecI& pi) {
+  if (space.rows() != 2 || space.cols() != 5 || pi.size() != 5) {
+    throw std::invalid_argument("proposition_8_1: requires S 2x5, Pi 1x5");
+  }
+  if (space(0, 0) != 1 || space(1, 1) - space(1, 0) * space(0, 1) != 1) {
+    throw std::invalid_argument(
+        "proposition_8_1: requires s11 = 1 and s22 - s21 s12 = 1");
+  }
+  MatZ s = to_bigint(space);
+  const BigInt s12 = s(0, 1), s21 = s(1, 0);
+
+  // (8.5): the S-annihilating constants.
+  auto c2 = [&](std::size_t x) { return s21 * s(0, x) - s(1, x); };
+  auto c1 = [&](std::size_t x) { return -s12 * c2(x) - s(0, x); };
+
+  // w_j vectors with S w_j = 0 and Pi w_j = h_3j.
+  auto make_w = [&](std::size_t x) {
+    VecZ w(5, BigInt(0));
+    w[0] = c1(x);
+    w[1] = c2(x);
+    w[x] = BigInt(1);
+    return w;
+  };
+  VecZ w3 = make_w(2);
+  VecZ w4 = make_w(3);
+  VecZ w5 = make_w(4);
+
+  VecZ piz = to_bigint(pi);
+  auto dotz = [](const VecZ& a, const VecZ& b) {
+    BigInt out(0);
+    for (std::size_t i = 0; i < a.size(); ++i) out += a[i] * b[i];
+    return out;
+  };
+  Prop81Result r;
+  r.h33 = dotz(piz, w3);
+  r.h34 = dotz(piz, w4);
+  r.h35 = dotz(piz, w5);
+
+  auto axpy = [](const BigInt& a, const VecZ& x, const BigInt& b,
+                 const VecZ& y) {
+    VecZ out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) out[i] = a * x[i] + b * y[i];
+    return out;
+  };
+
+  if (r.h33.is_zero() && r.h34.is_zero()) {
+    if (r.h35.is_zero()) return std::nullopt;  // rank(T) < 3
+    // w3 and w4 are themselves kernel vectors; they form the basis.
+    r.g1 = BigInt(0);
+    r.g2 = r.h35.abs();
+    r.u4 = std::move(w3);
+    r.u5 = std::move(w4);
+    return r;
+  }
+
+  exact::BigIntXgcd e1 = exact::extended_gcd(r.h33, r.h34);
+  r.g1 = e1.g;
+  // u4 = (h34/g1) w3 - (h33/g1) w4.
+  r.u4 = axpy(r.h34 / r.g1, w3, -(r.h33 / r.g1), w4);
+
+  r.g2 = BigInt::gcd(r.g1, r.h35);
+  // u5 = -(h35/g2) (p1 w3 + q1 w4) + (g1/g2) w5.
+  VecZ pw = axpy(e1.x, w3, e1.y, w4);
+  r.u5 = axpy(-(r.h35 / r.g2), pw, r.g1 / r.g2, w5);
+  return r;
+}
+
+}  // namespace sysmap::search

@@ -1,0 +1,36 @@
+// Proposition 8.1: closed-form kernel columns of the HNF multiplier U for
+// T = [S; Pi] in Z^{3 x 5} when s11 = 1 and s22 - s21*s12 = 1.
+//
+// With w_j (j = 3, 4, 5) the "S-annihilating" vectors built from the c_xy
+// constants of (8.5), Pi w_j = h_3j of (8.4), and
+//   u_4 = (h34/g1) w_3 - (h33/g1) w_4,
+//   u_5 = -(p1 h35/g2) w_3 - (q1 h35/g2) w_4 + (g1/g2) w_5,
+// where g1 = gcd(h33, h34) = p1 h33 + q1 h34 and g2 = gcd(g1, h35).
+// (The technical-report scan drops two signs in (8.3); the versions here
+// are the ones that satisfy T u = 0, which tests verify, together with the
+// lattice-basis property against hermite_normal_form.)
+//
+// This makes constraint (3)-(6) of formulation (5.5)-(5.6) computable as
+// closed-form functions of Pi, enabling the 5-D -> 2-D integer program.
+#pragma once
+
+#include <optional>
+
+#include "linalg/types.hpp"
+
+namespace sysmap::search {
+
+struct Prop81Result {
+  VecZ u4;  ///< kernel column u_4 of U (5 entries)
+  VecZ u5;  ///< kernel column u_5 of U (5 entries)
+  exact::BigInt h33, h34, h35;  ///< Pi-linear forms of (8.4)
+  exact::BigInt g1, g2;         ///< the gcd chain
+};
+
+/// Computes u_4, u_5 per Proposition 8.1.  Requires S in Z^{2 x 5} with
+/// s11 == 1 and s22 - s21 s12 == 1, and a Pi for which the gcd chain is
+/// nonzero (equivalently rank(T) = 3); returns nullopt when h33 = h34 =
+/// h35 = 0 (rank deficiency).
+std::optional<Prop81Result> proposition_8_1(const MatI& space, const VecI& pi);
+
+}  // namespace sysmap::search

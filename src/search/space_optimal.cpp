@@ -1,0 +1,186 @@
+#include "search/space_optimal.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "core/mapper.hpp"
+#include "exact/checked.hpp"
+#include "lattice/kernel.hpp"
+#include "linalg/ops.hpp"
+
+namespace sysmap::search {
+
+namespace {
+
+// All candidate rows: nonzero vectors in [-max_entry, max_entry]^n with
+// positive first nonzero entry (a row and its negation give mirrored
+// arrays) and relatively prime entries (a scaled row only multiplies the
+// processor count).
+std::vector<VecI> candidate_rows(std::size_t n, Int max_entry) {
+  std::vector<VecI> rows;
+  VecI v(n, -max_entry);
+  for (;;) {
+    bool nonzero = false;
+    for (Int x : v) {
+      if (x != 0) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) {
+      Int first = 0;
+      for (Int x : v) {
+        if (x != 0) {
+          first = x;
+          break;
+        }
+      }
+      if (first > 0 && lattice::is_primitive(v)) rows.push_back(v);
+    }
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+      if (v[i] < max_entry) {
+        ++v[i];
+        break;
+      }
+      v[i] = -max_entry;
+    }
+    if (i == n) break;
+  }
+  return rows;
+}
+
+void build_spaces(const std::vector<VecI>& rows, std::size_t dims,
+                  std::size_t start, MatI& current, std::size_t filled,
+                  std::vector<MatI>& out) {
+  if (filled == dims) {
+    if (linalg::rank(to_bigint(current)) == dims) out.push_back(current);
+    return;
+  }
+  for (std::size_t i = start; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < current.cols(); ++c) {
+      current(filled, c) = rows[i][c];
+    }
+    build_spaces(rows, dims, i + 1, current, filled + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<MatI> candidate_spaces(std::size_t n,
+                                   const SpaceSearchOptions& options) {
+  std::vector<VecI> rows = candidate_rows(n, options.max_entry);
+  std::vector<MatI> out;
+  MatI current(options.array_dims, n);
+  build_spaces(rows, options.array_dims, 0, current, 0, out);
+  return out;
+}
+
+ArrayCost evaluate_array_cost(const model::UniformDependenceAlgorithm& algo,
+                              const MatI& space) {
+  ArrayCost cost;
+  std::set<VecI> processors;
+  algo.index_set().for_each(
+      [&](const VecI& j) { processors.insert(space * j); });
+  cost.processors = static_cast<Int>(processors.size());
+  const MatI displacement = space * algo.dependence_matrix();
+  for (std::size_t c = 0; c < displacement.cols(); ++c) {
+    for (std::size_t r = 0; r < displacement.rows(); ++r) {
+      cost.wire_length = exact::add_checked(
+          cost.wire_length, exact::abs_checked(displacement(r, c)));
+    }
+  }
+  return cost;
+}
+
+SpaceSearchResult space_optimal_mapping(
+    const model::UniformDependenceAlgorithm& algo, const VecI& pi,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  if (pi.size() != n) {
+    throw std::invalid_argument("space_optimal_mapping: Pi width");
+  }
+  schedule::LinearSchedule sched(pi);
+  if (!sched.respects_dependences(algo.dependence_matrix())) {
+    throw std::invalid_argument(
+        "space_optimal_mapping: Pi violates Pi D > 0");
+  }
+  if (algo.index_set().size() >
+      exact::BigInt(static_cast<Int>(options.enumeration_budget))) {
+    throw std::invalid_argument(
+        "space_optimal_mapping: index set exceeds enumeration budget");
+  }
+
+  SpaceSearchResult best;
+  for (const MatI& space : candidate_spaces(n, options)) {
+    ++best.candidates_tested;
+    mapping::MappingMatrix t(space, pi);
+    if (!t.has_full_rank()) continue;
+    mapping::ConflictVerdict verdict =
+        mapping::decide_conflict_free(t, algo.index_set());
+    if (!verdict.conflict_free()) continue;
+    ArrayCost cost = evaluate_array_cost(algo, space);
+    if (!best.found || cost.total() < best.cost.total() ||
+        (cost.total() == best.cost.total() &&
+         cost.processors < best.cost.processors)) {
+      best.found = true;
+      best.space = space;
+      best.cost = cost;
+      best.verdict = verdict;
+    }
+  }
+  return best;
+}
+
+DesignSpaceResult explore_design_space(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  DesignSpaceResult result;
+  std::vector<DesignPoint> points;
+
+  core::Mapper mapper;  // default: ILP + certification / Procedure 5.1
+  for (const MatI& space : candidate_spaces(n, options)) {
+    ++result.spaces_tested;
+    core::MappingSolution solution;
+    try {
+      solution = mapper.find_time_optimal(algo, space);
+    } catch (const std::exception&) {
+      continue;  // defensive: skip degenerate candidates
+    }
+    if (!solution.found) continue;
+    ++result.feasible_spaces;
+    DesignPoint point;
+    point.space = space;
+    point.pi = solution.pi;
+    point.makespan = solution.makespan;
+    point.cost = evaluate_array_cost(algo, space);
+    points.push_back(std::move(point));
+  }
+
+  // Pareto filter on (makespan, cost.total()).
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.makespan != b.makespan) return a.makespan < b.makespan;
+              return a.cost.total() < b.cost.total();
+            });
+  Int best_cost = 0;
+  bool first = true;
+  for (auto& p : points) {
+    if (first || p.cost.total() < best_cost) {
+      // Skip duplicates at identical (makespan, cost).
+      if (!result.pareto.empty() &&
+          result.pareto.back().makespan == p.makespan &&
+          result.pareto.back().cost.total() == p.cost.total()) {
+        continue;
+      }
+      best_cost = p.cost.total();
+      first = false;
+      result.pareto.push_back(std::move(p));
+    }
+  }
+  return result;
+}
+
+}  // namespace sysmap::search

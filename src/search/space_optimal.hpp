@@ -1,0 +1,89 @@
+// Problems 6.1 and 6.2 of the paper -- stated there as future work,
+// implemented here as library extensions.
+//
+// Problem 6.1 (space-optimal, conflict-free): given a linear schedule Pi,
+// find a space mapping S such that T = [S; Pi] is conflict-free and the
+// array cost -- number of processors plus total wire length -- is minimal.
+//
+// Problem 6.2 (joint): neither S nor Pi given; explore the (S, Pi) design
+// space and report the Pareto frontier of (makespan, array cost), since
+// "a certain criterion" in the paper is deliberately open-ended.
+//
+// Cost model:
+//   processors  = |{S j : j in J}|           (exact, by enumeration)
+//   wire length = sum_i L1(S d_i)            (total link span per datum)
+// Candidate S matrices enumerate all (k-1) x n integer matrices with
+// entries in [-max_entry, max_entry], full row rank, first nonzero of each
+// row positive (projective dedup), rows pairwise non-parallel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mapping/conflict.hpp"
+#include "model/algorithm.hpp"
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::search {
+
+struct SpaceSearchOptions {
+  Int max_entry = 1;            ///< |s_ij| bound for candidate rows
+  std::size_t array_dims = 1;   ///< k - 1
+  /// Skip candidates whose processor count cannot be evaluated within this
+  /// many index points (guards |J| blowup; boxes here are small).
+  std::uint64_t enumeration_budget = 2'000'000;
+};
+
+struct ArrayCost {
+  Int processors = 0;
+  Int wire_length = 0;
+  Int total() const { return processors + wire_length; }
+};
+
+struct SpaceSearchResult {
+  bool found = false;
+  MatI space;
+  ArrayCost cost;
+  mapping::ConflictVerdict verdict;
+  std::uint64_t candidates_tested = 0;
+};
+
+/// Problem 6.1: best S for a fixed Pi.  Minimizes processors + wire among
+/// conflict-free full-rank T = [S; Pi].
+SpaceSearchResult space_optimal_mapping(
+    const model::UniformDependenceAlgorithm& algo, const VecI& pi,
+    const SpaceSearchOptions& options = {});
+
+/// One point of the Problem 6.2 design space.
+struct DesignPoint {
+  MatI space;
+  VecI pi;
+  Int makespan = 0;
+  ArrayCost cost;
+};
+
+struct DesignSpaceResult {
+  /// Pareto-optimal (makespan, processors + wire) points, sorted by
+  /// makespan ascending.
+  std::vector<DesignPoint> pareto;
+  std::uint64_t spaces_tested = 0;
+  std::uint64_t feasible_spaces = 0;
+};
+
+/// Problem 6.2: sweep candidate S, find each one's time-optimal
+/// conflict-free Pi (Procedure 5.1 / ILP via the Mapper), and keep the
+/// Pareto frontier of (makespan, array cost).
+DesignSpaceResult explore_design_space(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options = {});
+
+/// Exact array cost of a given S on J (exposed for tests and benches).
+ArrayCost evaluate_array_cost(const model::UniformDependenceAlgorithm& algo,
+                              const MatI& space);
+
+/// Enumerates candidate space matrices per the dedup rules above.
+std::vector<MatI> candidate_spaces(std::size_t n,
+                                   const SpaceSearchOptions& options);
+
+}  // namespace sysmap::search

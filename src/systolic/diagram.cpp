@@ -1,0 +1,141 @@
+#include "systolic/diagram.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "linalg/matrix_io.hpp"
+
+namespace sysmap::systolic {
+
+std::string space_time_diagram(const model::UniformDependenceAlgorithm& algo,
+                               const ArrayDesign& design) {
+  if (design.t.k() != 2) {
+    throw std::invalid_argument(
+        "space_time_diagram: only 1-D arrays (k = 2) are drawable");
+  }
+  // Gather (time, pe) -> cells.
+  std::map<std::pair<Int, Int>, std::vector<VecI>> grid;
+  Int pe_min = 0, pe_max = 0, t_min = 0, t_max = 0;
+  bool first = true;
+  algo.index_set().for_each([&](const VecI& j) {
+    Int pe = design.t.processor(j)[0];
+    Int time = design.t.time(j);
+    grid[{time, pe}].push_back(j);
+    if (first) {
+      pe_min = pe_max = pe;
+      t_min = t_max = time;
+      first = false;
+    } else {
+      pe_min = std::min(pe_min, pe);
+      pe_max = std::max(pe_max, pe);
+      t_min = std::min(t_min, time);
+      t_max = std::max(t_max, time);
+    }
+  });
+
+  auto cell_text = [](const std::vector<VecI>& cells) {
+    std::string out;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "!";  // conflict marker: multiple computations
+      for (std::size_t i = 0; i < cells[c].size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(cells[c][i]);
+      }
+    }
+    return out;
+  };
+
+  std::size_t width = 5;
+  for (const auto& [key, cells] : grid) {
+    width = std::max(width, cell_text(cells).size() + 1);
+  }
+
+  std::ostringstream os;
+  os << "t\\PE";
+  for (Int pe = pe_min; pe <= pe_max; ++pe) {
+    std::string head = std::to_string(pe);
+    os << " |" << std::string(width - head.size(), ' ') << head;
+  }
+  os << "\n";
+  for (Int time = t_min; time <= t_max; ++time) {
+    std::string head = std::to_string(time);
+    os << head << std::string(4 - std::min<std::size_t>(4, head.size()), ' ');
+    for (Int pe = pe_min; pe <= pe_max; ++pe) {
+      auto it = grid.find({time, pe});
+      std::string text = it == grid.end() ? "." : cell_text(it->second);
+      os << " |" << std::string(width - text.size(), ' ') << text;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string frame_diagram(const model::UniformDependenceAlgorithm& algo,
+                          const ArrayDesign& design,
+                          std::size_t max_frames) {
+  if (design.t.k() != 3) {
+    throw std::invalid_argument(
+        "frame_diagram: only 2-D arrays (k = 3) are drawable");
+  }
+  // activity[(time, x, y)] = count of computations.
+  std::map<std::tuple<Int, Int, Int>, int> activity;
+  Int x_min = 0, x_max = 0, y_min = 0, y_max = 0, t_min = 0;
+  bool first = true;
+  algo.index_set().for_each([&](const VecI& j) {
+    VecI pe = design.t.processor(j);
+    Int time = design.t.time(j);
+    ++activity[{time, pe[0], pe[1]}];
+    if (first) {
+      x_min = x_max = pe[0];
+      y_min = y_max = pe[1];
+      t_min = time;
+      first = false;
+    } else {
+      x_min = std::min(x_min, pe[0]);
+      x_max = std::max(x_max, pe[0]);
+      y_min = std::min(y_min, pe[1]);
+      y_max = std::max(y_max, pe[1]);
+      t_min = std::min(t_min, time);
+    }
+  });
+  std::ostringstream os;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    Int time = t_min + static_cast<Int>(f);
+    os << "cycle " << time << ":\n";
+    for (Int y = y_max; y >= y_min; --y) {
+      os << "  ";
+      for (Int x = x_min; x <= x_max; ++x) {
+        auto it = activity.find({time, x, y});
+        if (it == activity.end()) {
+          os << '.';
+        } else {
+          os << (it->second > 1 ? '!' : '#');
+        }
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string link_diagram(const model::UniformDependenceAlgorithm& algo,
+                         const ArrayDesign& design) {
+  std::ostringstream os;
+  os << "array: " << design.num_processors() << " processors, "
+     << design.t.k() - 1 << "-dimensional\n";
+  const MatI& d = algo.dependence_matrix();
+  const MatI displacement = design.t.space() * d;  // S d_i per column
+  for (std::size_t i = 0; i < d.cols(); ++i) {
+    os << "link d_" << i + 1 << ": displacement "
+       << linalg::pretty(displacement.column_vector(i)) << ", delay "
+       << design.delays[i] << ", hops " << design.hops[i] << ", buffers "
+       << design.buffers[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sysmap::systolic

@@ -1,0 +1,31 @@
+// ASCII space-time diagrams (Figure 3 of the paper): one row per cycle,
+// one column per processor of a 1-D array, each cell showing the index
+// point(s) executed there.  Also a block-diagram rendering of the link
+// structure (Figure 2).
+#pragma once
+
+#include <string>
+
+#include "model/algorithm.hpp"
+#include "systolic/array.hpp"
+
+namespace sysmap::systolic {
+
+/// Space-time execution table for a linear (1-D) array; throws
+/// std::invalid_argument when the design's array is not 1-dimensional.
+std::string space_time_diagram(const model::UniformDependenceAlgorithm& algo,
+                               const ArrayDesign& design);
+
+/// One-line-per-link description of the array (Figure 2's content):
+/// direction, dependence served, and buffer count.
+std::string link_diagram(const model::UniformDependenceAlgorithm& algo,
+                         const ArrayDesign& design);
+
+/// Per-cycle activity frames for a 2-D array (k = 3): one grid per cycle
+/// in [first_cycle, first_cycle + max_frames), '#' for an active PE, '!'
+/// for a conflicting one, '.' idle.  Throws for non-2-D designs.
+std::string frame_diagram(const model::UniformDependenceAlgorithm& algo,
+                          const ArrayDesign& design,
+                          std::size_t max_frames = 4);
+
+}  // namespace sysmap::systolic

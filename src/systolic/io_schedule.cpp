@@ -1,0 +1,90 @@
+#include "systolic/io_schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace sysmap::systolic {
+
+std::uint64_t IoSchedule::total_inputs() const {
+  std::uint64_t total = 0;
+  for (const auto& c : classes) total += c.inputs.size();
+  return total;
+}
+
+std::uint64_t IoSchedule::total_outputs() const {
+  std::uint64_t total = 0;
+  for (const auto& c : classes) total += c.outputs.size();
+  return total;
+}
+
+std::string IoSchedule::summary() const {
+  std::ostringstream os;
+  for (const auto& c : classes) {
+    os << "class d_" << c.dep + 1 << ": " << c.inputs.size() << " inputs";
+    if (!c.inputs.empty()) {
+      os << " (cycles " << c.inputs.front().cycle << ".."
+         << c.inputs.back().cycle << ")";
+    }
+    os << ", " << c.outputs.size() << " outputs";
+    if (!c.outputs.empty()) {
+      os << " (cycles " << c.outputs.front().cycle << ".."
+         << c.outputs.back().cycle << ")";
+    }
+    os << "\n";
+  }
+  os << "peak host bandwidth: " << peak_input_bandwidth << " inputs/cycle, "
+     << peak_output_bandwidth << " outputs/cycle";
+  return os.str();
+}
+
+IoSchedule io_schedule(const model::UniformDependenceAlgorithm& algo,
+                       const ArrayDesign& design) {
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  const std::size_t n = set.dimension();
+  const std::size_t m = d.cols();
+
+  IoSchedule out;
+  out.classes.resize(m);
+  for (std::size_t i = 0; i < m; ++i) out.classes[i].dep = i;
+
+  std::map<Int, Int> input_load;
+  std::map<Int, Int> output_load;
+
+  set.for_each([&](const VecI& j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      VecI pred(n), succ(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        pred[r] = j[r] - d(r, i);
+        succ[r] = j[r] + d(r, i);
+      }
+      Int cycle = design.t.time(j);
+      if (!set.contains(pred)) {
+        out.classes[i].inputs.push_back({j, design.t.processor(j), cycle});
+        ++input_load[cycle];
+      }
+      if (!set.contains(succ)) {
+        out.classes[i].outputs.push_back({j, design.t.processor(j), cycle});
+        ++output_load[cycle];
+      }
+    }
+  });
+
+  auto by_cycle = [](const IoEvent& a, const IoEvent& b) {
+    return a.cycle < b.cycle || (a.cycle == b.cycle && a.pe < b.pe);
+  };
+  for (auto& c : out.classes) {
+    std::sort(c.inputs.begin(), c.inputs.end(), by_cycle);
+    std::sort(c.outputs.begin(), c.outputs.end(), by_cycle);
+  }
+  for (const auto& [cycle, load] : input_load) {
+    out.peak_input_bandwidth = std::max(out.peak_input_bandwidth, load);
+  }
+  for (const auto& [cycle, load] : output_load) {
+    out.peak_output_bandwidth = std::max(out.peak_output_bandwidth, load);
+  }
+  return out;
+}
+
+}  // namespace sysmap::systolic

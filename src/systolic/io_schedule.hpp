@@ -1,0 +1,55 @@
+// Host input/output schedules for a mapped array.
+//
+// A systolic design is only usable if the host knows exactly when and
+// where to feed operands and collect results -- the data skew visible at
+// the edges of Figure 3.  For each dependence class i:
+//   - an INPUT event occurs at computation j whenever its predecessor
+//     j - d_i falls outside J: the host must deliver that operand to
+//     processor S j by cycle Pi j;
+//   - an OUTPUT event occurs at j whenever its successor j + d_i falls
+//     outside J: the value v(j) carried by class i leaves the array at
+//     processor S j after cycle Pi j.
+// The tables below enumerate both, grouped per class, with summary
+// statistics (counts, first/last cycles, peak host bandwidth per cycle).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/algorithm.hpp"
+#include "systolic/array.hpp"
+
+namespace sysmap::systolic {
+
+struct IoEvent {
+  VecI j;      ///< the computation at the boundary
+  VecI pe;     ///< processor S j
+  Int cycle;   ///< Pi j
+};
+
+struct IoClassSchedule {
+  std::size_t dep = 0;
+  std::vector<IoEvent> inputs;   ///< operands the host must deliver
+  std::vector<IoEvent> outputs;  ///< values that leave the array
+};
+
+struct IoSchedule {
+  std::vector<IoClassSchedule> classes;
+  /// Maximum number of host-side input deliveries in any single cycle.
+  Int peak_input_bandwidth = 0;
+  /// Maximum number of result pickups in any single cycle.
+  Int peak_output_bandwidth = 0;
+
+  std::uint64_t total_inputs() const;
+  std::uint64_t total_outputs() const;
+  /// Compact rendering: per-class counts and windows plus the peaks.
+  std::string summary() const;
+};
+
+/// Builds the host I/O schedule of a design (events sorted by cycle,
+/// then PE).
+IoSchedule io_schedule(const model::UniformDependenceAlgorithm& algo,
+                       const ArrayDesign& design);
+
+}  // namespace sysmap::systolic

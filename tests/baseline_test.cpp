@@ -1,0 +1,115 @@
+// Tests for the baselines: brute-force oracles and the prior-work
+// ([22]/[23]) mappings the paper's evaluation compares against.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "baseline/prior_work.hpp"
+#include "model/gallery.hpp"
+#include "schedule/linear_schedule.hpp"
+#include "search/procedure51.hpp"
+
+namespace sysmap::baseline {
+namespace {
+
+using Status = mapping::ConflictVerdict::Status;
+
+TEST(BruteForce, CleanMappingPasses) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 4, 1});
+  EXPECT_EQ(brute_force_conflicts(t, algo.index_set()).status,
+            Status::kConflictFree);
+}
+
+TEST(BruteForce, ConflictWitnessIsKernelVector) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 1, 1});
+  mapping::ConflictVerdict v = brute_force_conflicts(t, algo.index_set());
+  ASSERT_EQ(v.status, Status::kHasConflict);
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_TRUE(linalg::is_zero_vector(to_bigint(t.matrix()) * *v.witness));
+  EXPECT_FALSE(
+      mapping::is_feasible_conflict_vector(*v.witness, algo.index_set()));
+}
+
+TEST(BruteForce, OptimalScheduleMatchesProcedure51) {
+  for (Int mu : {2, 3, 4}) {
+    model::UniformDependenceAlgorithm algo = model::matmul(mu);
+    MatI s{{1, 1, -1}};
+    BruteForceOptimum brute =
+        brute_force_optimal_schedule(algo, s, /*max_objective=*/mu * 12);
+    search::SearchResult proc = search::procedure_5_1(algo, s);
+    ASSERT_TRUE(brute.found) << "mu=" << mu;
+    ASSERT_TRUE(proc.found) << "mu=" << mu;
+    EXPECT_EQ(brute.objective, proc.objective) << "mu=" << mu;
+    EXPECT_EQ(brute.pi, proc.pi) << "mu=" << mu;
+  }
+}
+
+TEST(BruteForce, RespectsObjectiveCap) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  BruteForceOptimum r =
+      brute_force_optimal_schedule(algo, MatI{{1, 1, -1}}, /*max=*/5);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(PriorWork, Ref23ClosedForms) {
+  for (Int mu : {3, 4, 8}) {
+    PriorMapping p = ref23_matmul(mu);
+    model::UniformDependenceAlgorithm algo = model::matmul(mu);
+    schedule::LinearSchedule s(p.pi);
+    EXPECT_TRUE(s.respects_dependences(algo.dependence_matrix()));
+    EXPECT_EQ(s.makespan(algo.index_set()), p.published_makespan);
+    // [23]'s mapping is itself conflict-free (gamma = (-(mu+1), 2+mu, 1)).
+    mapping::MappingMatrix t(p.space, p.pi);
+    EXPECT_EQ(brute_force_conflicts(t, algo.index_set()).status,
+              Status::kConflictFree)
+        << "mu=" << mu;
+  }
+}
+
+TEST(PriorWork, Ref22ClosedForms) {
+  for (Int mu : {2, 4, 6}) {
+    PriorMapping p = ref22_transitive_closure(mu);
+    model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+    schedule::LinearSchedule s(p.pi);
+    EXPECT_TRUE(s.respects_dependences(algo.dependence_matrix()));
+    EXPECT_EQ(s.makespan(algo.index_set()), p.published_makespan);
+    mapping::MappingMatrix t(p.space, p.pi);
+    EXPECT_EQ(brute_force_conflicts(t, algo.index_set()).status,
+              Status::kConflictFree)
+        << "mu=" << mu;
+  }
+}
+
+TEST(PriorWork, PaperOptimaAreConflictFreeInTheirRegime) {
+  // Matmul optimum Pi = [1, mu, 1] is valid for even mu.
+  for (Int mu : {2, 4, 6}) {
+    PriorMapping p = paper_matmul_optimum(mu);
+    model::UniformDependenceAlgorithm algo = model::matmul(mu);
+    mapping::MappingMatrix t(p.space, p.pi);
+    EXPECT_EQ(brute_force_conflicts(t, algo.index_set()).status,
+              Status::kConflictFree)
+        << "mu=" << mu;
+    EXPECT_EQ(schedule::LinearSchedule(p.pi).makespan(algo.index_set()),
+              p.published_makespan);
+  }
+  // ... and NOT for odd mu (the gcd trap).
+  PriorMapping odd = paper_matmul_optimum(5);
+  mapping::MappingMatrix t(odd.space, odd.pi);
+  EXPECT_EQ(
+      brute_force_conflicts(t, model::matmul(5).index_set()).status,
+      Status::kHasConflict);
+  // Transitive-closure optimum holds for all mu >= 2.
+  for (Int mu : {2, 3, 5}) {
+    PriorMapping p = paper_transitive_closure_optimum(mu);
+    mapping::MappingMatrix tc(p.space, p.pi);
+    EXPECT_EQ(
+        brute_force_conflicts(tc, model::transitive_closure(mu).index_set())
+            .status,
+        Status::kConflictFree)
+        << "mu=" << mu;
+  }
+}
+
+}  // namespace
+}  // namespace sysmap::baseline

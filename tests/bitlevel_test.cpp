@@ -1,0 +1,111 @@
+// Tests for the bit-level expansion substrate (the RAB-style front end).
+#include <gtest/gtest.h>
+
+#include "bitlevel/expand.hpp"
+#include "mapping/conflict.hpp"
+#include "model/gallery.hpp"
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::bitlevel {
+namespace {
+
+TEST(BitExpand, LiftsDimensionsAndBounds) {
+  model::UniformDependenceAlgorithm word = model::matmul(3);
+  model::UniformDependenceAlgorithm bit = bit_expand(word, 4);
+  EXPECT_EQ(bit.dimension(), 5u);
+  EXPECT_EQ(bit.num_dependences(), 6u);  // 3 word deps + carry/reuse/shift
+  EXPECT_EQ(bit.index_set().bounds(), (VecI{3, 3, 3, 7, 3}));
+  EXPECT_EQ(bit.name(), "matmul_bit4");
+}
+
+TEST(BitExpand, WordDependencesZeroExtended) {
+  model::UniformDependenceAlgorithm bit = bit_matmul(2, 2);
+  // First three columns are the word-level unit vectors, zero-extended.
+  for (std::size_t c = 0; c < 3; ++c) {
+    VecI d = bit.dependence(c);
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(d[r], r == c ? 1 : 0);
+    }
+  }
+  // Bit-level columns.
+  EXPECT_EQ(bit.dependence(3), (VecI{0, 0, 0, 1, 0}));   // carry
+  EXPECT_EQ(bit.dependence(4), (VecI{0, 0, 0, 0, 1}));   // reuse
+  EXPECT_EQ(bit.dependence(5), (VecI{0, 0, 0, 1, -1}));  // shift-add
+}
+
+TEST(BitExpand, RejectsDegenerateWidth) {
+  EXPECT_THROW(bit_expand(model::matmul(2), 1), std::invalid_argument);
+}
+
+TEST(BitExpand, ConvolutionIs4D) {
+  model::UniformDependenceAlgorithm bit = bit_convolution(4, 2, 3);
+  EXPECT_EQ(bit.dimension(), 4u);
+  EXPECT_EQ(bit.num_dependences(), 6u);
+  EXPECT_EQ(bit.index_set().bounds(), (VecI{4, 2, 5, 2}));
+}
+
+TEST(BitExpand, LuIs5D) {
+  model::UniformDependenceAlgorithm bit = bit_lu(3, 2);
+  EXPECT_EQ(bit.dimension(), 5u);
+}
+
+TEST(BitExpand, ScheduleValidityCarriesOver) {
+  // A valid bit-level schedule must respect both word and bit dependences:
+  // the shift-add column (0,0,0,1,-1) demands pi_4 > pi_5.
+  model::UniformDependenceAlgorithm bit = bit_matmul(2, 2);
+  schedule::LinearSchedule good(VecI{9, 9, 9, 2, 1});
+  EXPECT_TRUE(good.respects_dependences(bit.dependence_matrix()));
+  schedule::LinearSchedule bad(VecI{9, 9, 9, 1, 1});  // pi_4 - pi_5 = 0
+  EXPECT_FALSE(bad.respects_dependences(bit.dependence_matrix()));
+}
+
+TEST(BitExpand, CarrySchemeChangesCarryColumn) {
+  model::UniformDependenceAlgorithm ripple = bit_expand(
+      model::matmul(2), 2, CarryScheme::kRippleCarry);
+  model::UniformDependenceAlgorithm save = bit_expand(
+      model::matmul(2), 2, CarryScheme::kCarrySave);
+  EXPECT_EQ(ripple.dependence(3), (VecI{0, 0, 0, 1, 0}));
+  EXPECT_EQ(save.dependence(3), (VecI{0, 0, 0, 1, 1}));
+  EXPECT_EQ(save.name(), "matmul_bit2_cs");
+  // All other columns coincide.
+  for (std::size_t c : {0u, 1u, 2u, 4u, 5u}) {
+    EXPECT_EQ(ripple.dependence(c), save.dependence(c)) << c;
+  }
+}
+
+TEST(BitExpand, CarrySchemesShareScheduleRegion) {
+  // With the reuse dep e_p and shift-add e_l - e_p, both carry schemes
+  // reduce to pi_l > pi_p > 0: validity must coincide on a sweep.
+  model::UniformDependenceAlgorithm ripple = bit_expand(
+      model::matmul(2), 2, CarryScheme::kRippleCarry);
+  model::UniformDependenceAlgorithm save = bit_expand(
+      model::matmul(2), 2, CarryScheme::kCarrySave);
+  for (Int pl = -3; pl <= 3; ++pl) {
+    for (Int pp = -3; pp <= 3; ++pp) {
+      VecI pi{1, 1, 1, pl, pp};
+      schedule::LinearSchedule s(pi);
+      EXPECT_EQ(s.respects_dependences(ripple.dependence_matrix()),
+                s.respects_dependences(save.dependence_matrix()))
+          << pl << "," << pp;
+    }
+  }
+}
+
+TEST(BitExpand, FourDToTwoDMappingExists) {
+  // A 4-D bit-level convolution admits a conflict-free mapping onto a 2-D
+  // array (k = 3 = n - 1): Theorem 3.1 territory.
+  model::UniformDependenceAlgorithm bit = bit_convolution(2, 2, 2);
+  // Space: processor = (i, l) -- output index and product-bit row.
+  MatI s{{1, 0, 0, 0}, {0, 0, 1, 0}};
+  VecI pi{1, 2, 3, 1};  // gamma(Pi) = (0, 1, 0, -2): |−2| > mu_p = 1
+  schedule::LinearSchedule sched(pi);
+  ASSERT_TRUE(sched.respects_dependences(bit.dependence_matrix()));
+  mapping::MappingMatrix t(s, pi);
+  ASSERT_TRUE(t.has_full_rank());
+  mapping::ConflictVerdict v =
+      mapping::decide_conflict_free(t, bit.index_set());
+  EXPECT_TRUE(v.conflict_free()) << v.rule;
+}
+
+}  // namespace
+}  // namespace sysmap::bitlevel

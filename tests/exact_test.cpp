@@ -1,0 +1,368 @@
+// Unit and property tests for the exact-arithmetic substrate: checked
+// int64 ops, BigInt, Rational.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "exact/bigint.hpp"
+#include "exact/checked.hpp"
+#include "exact/rational.hpp"
+
+namespace sysmap::exact {
+namespace {
+
+// ---------------------------------------------------------------------------
+// checked.hpp
+// ---------------------------------------------------------------------------
+
+TEST(Checked, AddBasics) {
+  EXPECT_EQ(add_checked(2, 3), 5);
+  EXPECT_EQ(add_checked(-2, 2), 0);
+  EXPECT_EQ(add_checked(INT64_MAX - 1, 1), INT64_MAX);
+}
+
+TEST(Checked, AddOverflowThrows) {
+  EXPECT_THROW(add_checked(INT64_MAX, 1), OverflowError);
+  EXPECT_THROW(add_checked(INT64_MIN, -1), OverflowError);
+}
+
+TEST(Checked, SubOverflowThrows) {
+  EXPECT_THROW(sub_checked(INT64_MIN, 1), OverflowError);
+  EXPECT_EQ(sub_checked(5, 7), -2);
+}
+
+TEST(Checked, MulOverflowThrows) {
+  EXPECT_THROW(mul_checked(INT64_MAX / 2 + 1, 2), OverflowError);
+  EXPECT_EQ(mul_checked(-4, 5), -20);
+}
+
+TEST(Checked, NegAndAbsOfMinThrow) {
+  EXPECT_THROW(neg_checked(INT64_MIN), OverflowError);
+  EXPECT_THROW(abs_checked(INT64_MIN), OverflowError);
+  EXPECT_EQ(abs_checked(-7), 7);
+}
+
+TEST(Checked, DivisionEdgeCases) {
+  EXPECT_THROW(div_checked(1, 0), OverflowError);
+  EXPECT_THROW(div_checked(INT64_MIN, -1), OverflowError);
+  EXPECT_EQ(div_checked(-7, 2), -3);   // truncated
+  EXPECT_EQ(rem_checked(-7, 2), -1);   // sign of dividend
+  EXPECT_EQ(floor_div_checked(-7, 2), -4);
+  EXPECT_EQ(floor_div_checked(7, -2), -4);
+  EXPECT_EQ(floor_div_checked(6, 3), 2);
+}
+
+TEST(Checked, GcdLcm) {
+  EXPECT_EQ(gcd_i64(12, 18), 6);
+  EXPECT_EQ(gcd_i64(-12, 18), 6);
+  EXPECT_EQ(gcd_i64(0, 0), 0);
+  EXPECT_EQ(gcd_i64(0, 5), 5);
+  EXPECT_EQ(lcm_i64(4, 6), 12);
+  EXPECT_EQ(lcm_i64(0, 6), 0);
+}
+
+TEST(Checked, ExtendedGcdBezout) {
+  for (std::int64_t a : {240, -240, 0, 17}) {
+    for (std::int64_t b : {46, -46, 0, 17}) {
+      ExtendedGcd e = extended_gcd_i64(a, b);
+      EXPECT_EQ(e.g, gcd_i64(a, b));
+      EXPECT_EQ(e.x * a + e.y * b, e.g) << a << "," << b;
+    }
+  }
+}
+
+TEST(Checked, Signum) {
+  EXPECT_EQ(signum(5), 1);
+  EXPECT_EQ(signum(-5), -1);
+  EXPECT_EQ(signum(0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// BigInt basics
+// ---------------------------------------------------------------------------
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.signum(), 0);
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.to_int64(), 0);
+}
+
+TEST(BigInt, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{123456789}, INT64_MAX, INT64_MIN,
+                         INT64_MIN + 1}) {
+    BigInt b(v);
+    EXPECT_TRUE(b.fits_int64());
+    EXPECT_EQ(b.to_int64(), v) << v;
+    EXPECT_EQ(b.to_string(), std::to_string(v)) << v;
+  }
+}
+
+TEST(BigInt, FromStringParsesAndRejects) {
+  EXPECT_EQ(BigInt::from_string("12345678901234567890123").to_string(),
+            "12345678901234567890123");
+  EXPECT_EQ(BigInt::from_string("-42").to_int64(), -42);
+  EXPECT_EQ(BigInt::from_string("+7").to_int64(), 7);
+  EXPECT_EQ(BigInt::from_string("000123").to_int64(), 123);
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12a"), std::invalid_argument);
+}
+
+TEST(BigInt, AdditionCarriesAcrossLimbs) {
+  BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  BigInt big = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((big + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, SignedAddition) {
+  EXPECT_EQ((BigInt(5) + BigInt(-7)).to_int64(), -2);
+  EXPECT_EQ((BigInt(-5) + BigInt(7)).to_int64(), 2);
+  EXPECT_EQ((BigInt(-5) + BigInt(-7)).to_int64(), -12);
+  EXPECT_TRUE((BigInt(5) + BigInt(-5)).is_zero());
+}
+
+TEST(BigInt, MultiplicationLarge) {
+  BigInt a = BigInt::from_string("123456789123456789");
+  BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+  EXPECT_EQ((a * BigInt(0)).to_string(), "0");
+  EXPECT_EQ((a * BigInt(-1)).to_string(), "-123456789123456789");
+}
+
+TEST(BigInt, DivModTruncatedSigns) {
+  // Truncated division: remainder carries the dividend's sign.
+  auto check = [](std::int64_t a, std::int64_t b) {
+    BigInt q, r;
+    BigInt::div_mod(BigInt(a), BigInt(b), q, r);
+    EXPECT_EQ(q.to_int64(), a / b) << a << "/" << b;
+    EXPECT_EQ(r.to_int64(), a % b) << a << "%" << b;
+  };
+  check(7, 2);
+  check(-7, 2);
+  check(7, -2);
+  check(-7, -2);
+  check(6, 3);
+  check(0, 5);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  BigInt q, r;
+  EXPECT_THROW(BigInt::div_mod(BigInt(1), BigInt(0), q, r), OverflowError);
+}
+
+TEST(BigInt, FloorDiv) {
+  EXPECT_EQ(BigInt::floor_div(BigInt(-7), BigInt(2)).to_int64(), -4);
+  EXPECT_EQ(BigInt::floor_div(BigInt(7), BigInt(-2)).to_int64(), -4);
+  EXPECT_EQ(BigInt::floor_div(BigInt(-7), BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ(BigInt::floor_div(BigInt(6), BigInt(2)).to_int64(), 3);
+}
+
+TEST(BigInt, LongDivisionMultiLimb) {
+  BigInt a = BigInt::from_string("340282366920938463463374607431768211456");
+  BigInt b = BigInt::from_string("18446744073709551616");
+  BigInt q, r;
+  BigInt::div_mod(a, b, q, r);
+  EXPECT_EQ(q.to_string(), "18446744073709551616");
+  EXPECT_TRUE(r.is_zero());
+  // Non-exact case.
+  BigInt::div_mod(a + BigInt(12345), b, q, r);
+  EXPECT_EQ(q.to_string(), "18446744073709551616");
+  EXPECT_EQ(r.to_int64(), 12345);
+}
+
+TEST(BigInt, ComparisonOrdering) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt::from_string("-99999999999999999999"), BigInt(INT64_MIN));
+  EXPECT_GT(BigInt::from_string("99999999999999999999"), BigInt(INT64_MAX));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+}
+
+TEST(BigInt, GcdMatchesInt64) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).to_int64(), 0);
+  BigInt big = BigInt::from_string("123456789123456789123456789");
+  EXPECT_EQ(BigInt::gcd(big * BigInt(6), big * BigInt(10)).to_string(),
+            (big * BigInt(2)).to_string());
+}
+
+TEST(BigInt, ExtendedGcdBezoutIdentity) {
+  BigInt a = BigInt::from_string("123456789123456789");
+  BigInt b = BigInt::from_string("987654321987");
+  BigIntXgcd e = extended_gcd(a, b);
+  EXPECT_EQ(e.g, BigInt::gcd(a, b));
+  EXPECT_EQ(e.x * a + e.y * b, e.g);
+  // Degenerate inputs.
+  e = extended_gcd(BigInt(0), BigInt(0));
+  EXPECT_TRUE(e.g.is_zero());
+  e = extended_gcd(BigInt(0), BigInt(-5));
+  EXPECT_EQ(e.g.to_int64(), 5);
+  EXPECT_EQ(e.x * BigInt(0) + e.y * BigInt(-5), e.g);
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ(BigInt::from_string("18446744073709551616").bit_length(), 65u);
+}
+
+TEST(BigInt, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt(INT64_MAX).fits_int64());
+  EXPECT_TRUE(BigInt(INT64_MIN).fits_int64());
+  EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).fits_int64());
+  EXPECT_FALSE((BigInt(INT64_MIN) - BigInt(1)).fits_int64());
+  EXPECT_EQ((BigInt(INT64_MIN)).to_int64(), INT64_MIN);
+  EXPECT_THROW((BigInt(INT64_MAX) + BigInt(1)).to_int64(), OverflowError);
+}
+
+// Randomized cross-check of BigInt arithmetic against __int128.
+TEST(BigIntProperty, MatchesInt128Arithmetic) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::int64_t> dist(-1'000'000'000'000'000,
+                                                   1'000'000'000'000'000);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::int64_t a = dist(rng);
+    std::int64_t b = dist(rng);
+    __int128 prod = static_cast<__int128>(a) * b;
+    BigInt bp = BigInt(a) * BigInt(b);
+    // Render the __int128 for comparison.
+    bool neg = prod < 0;
+    unsigned __int128 mag =
+        neg ? static_cast<unsigned __int128>(-prod)
+            : static_cast<unsigned __int128>(prod);
+    std::string s;
+    if (mag == 0) s = "0";
+    while (mag > 0) {
+      s.insert(s.begin(), static_cast<char>('0' + static_cast<int>(mag % 10)));
+      mag /= 10;
+    }
+    if (neg && s != "0") s.insert(s.begin(), '-');
+    EXPECT_EQ(bp.to_string(), s) << a << " * " << b;
+    EXPECT_EQ((BigInt(a) + BigInt(b)).to_int64(), a + b);
+    EXPECT_EQ((BigInt(a) - BigInt(b)).to_int64(), a - b);
+  }
+}
+
+// Division property: for random multi-limb a, b: a = q*b + r, |r| < |b|,
+// sign(r) == sign(a) or r == 0.
+TEST(BigIntProperty, DivModInvariant) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::int64_t> dist(
+      std::numeric_limits<std::int64_t>::min() / 2,
+      std::numeric_limits<std::int64_t>::max() / 2);
+  for (int iter = 0; iter < 300; ++iter) {
+    BigInt a = BigInt(dist(rng)) * BigInt(dist(rng)) + BigInt(dist(rng));
+    BigInt b = BigInt(dist(rng));
+    if (b.is_zero()) continue;
+    BigInt q, r;
+    BigInt::div_mod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.abs(), b.abs());
+    if (!r.is_zero()) EXPECT_EQ(r.signum(), a.signum());
+  }
+}
+
+TEST(BigInt, KnuthAddBackPath) {
+  // Hacker's-Delight-style divisor/dividend pair that forces the rare
+  // "qhat was one too large, add the divisor back" branch of algorithm D
+  // (base 2^32): u = 3 + 0x80000000 * 2^64, v = 1 + 0x80000000 * 2^32.
+  BigInt two32 = BigInt(1);
+  for (int i = 0; i < 32; ++i) two32 *= BigInt(2);
+  BigInt two64 = two32 * two32;
+  BigInt u = BigInt(3) + BigInt(0x80000000LL) * two64;
+  BigInt v = BigInt(1) + BigInt(0x80000000LL) * two32;
+  BigInt q, r;
+  BigInt::div_mod(u, v, q, r);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r.abs(), v.abs());
+  EXPECT_GE(r.signum(), 0);
+  // A second classic shape: u just below a multiple of v.
+  BigInt u2 = v * two32 - BigInt(1);
+  BigInt::div_mod(u2, v, q, r);
+  EXPECT_EQ(q * v + r, u2);
+  EXPECT_LT(r, v);
+}
+
+// ---------------------------------------------------------------------------
+// Rational
+// ---------------------------------------------------------------------------
+
+TEST(Rational, NormalizesOnConstruction) {
+  Rational r(BigInt(6), BigInt(-4));
+  EXPECT_EQ(r.num().to_int64(), -3);
+  EXPECT_EQ(r.den().to_int64(), 2);
+  EXPECT_EQ(r.to_string(), "-3/2");
+  EXPECT_THROW(Rational(BigInt(1), BigInt(0)), OverflowError);
+}
+
+TEST(Rational, ZeroIsCanonical) {
+  Rational z(BigInt(0), BigInt(-17));
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.den().to_int64(), 1);
+  EXPECT_EQ(z.to_string(), "0");
+}
+
+TEST(Rational, Arithmetic) {
+  Rational half(BigInt(1), BigInt(2));
+  Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).to_string(), "5/6");
+  EXPECT_EQ((half - third).to_string(), "1/6");
+  EXPECT_EQ((half * third).to_string(), "1/6");
+  EXPECT_EQ((half / third).to_string(), "3/2");
+  EXPECT_THROW(half / Rational(0), OverflowError);
+}
+
+TEST(Rational, ComparisonCrossMultiplies) {
+  EXPECT_LT(Rational(BigInt(1), BigInt(3)), Rational(BigInt(1), BigInt(2)));
+  EXPECT_LT(Rational(BigInt(-1), BigInt(2)), Rational(BigInt(-1), BigInt(3)));
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)), Rational(BigInt(1), BigInt(2)));
+}
+
+TEST(Rational, FloorCeil) {
+  Rational seven_halves(BigInt(7), BigInt(2));
+  EXPECT_EQ(seven_halves.floor().to_int64(), 3);
+  EXPECT_EQ(seven_halves.ceil().to_int64(), 4);
+  Rational neg(BigInt(-7), BigInt(2));
+  EXPECT_EQ(neg.floor().to_int64(), -4);
+  EXPECT_EQ(neg.ceil().to_int64(), -3);
+  Rational intval(5);
+  EXPECT_EQ(intval.floor().to_int64(), 5);
+  EXPECT_EQ(intval.ceil().to_int64(), 5);
+}
+
+TEST(Rational, IntegerDetection) {
+  EXPECT_TRUE(Rational(BigInt(4), BigInt(2)).is_integer());
+  EXPECT_EQ(Rational(BigInt(4), BigInt(2)).to_integer().to_int64(), 2);
+  EXPECT_FALSE(Rational(BigInt(1), BigInt(2)).is_integer());
+  EXPECT_THROW(Rational(BigInt(1), BigInt(2)).to_integer(), std::domain_error);
+}
+
+TEST(RationalProperty, FieldAxiomsSample) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::int64_t> dist(-50, 50);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::int64_t d1 = dist(rng), d2 = dist(rng), d3 = dist(rng);
+    if (d1 == 0 || d2 == 0 || d3 == 0) continue;
+    Rational a(BigInt(dist(rng)), BigInt(d1));
+    Rational b(BigInt(dist(rng)), BigInt(d2));
+    Rational c(BigInt(dist(rng)), BigInt(d3));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    if (!a.is_zero()) EXPECT_EQ((b / a) * a, b);
+    EXPECT_EQ(a - a, Rational(0));
+  }
+}
+
+}  // namespace
+}  // namespace sysmap::exact

@@ -1,0 +1,202 @@
+// End-to-end integration tests: the Mapper facade driving search, array
+// design and simulation on every gallery workload.
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "bitlevel/expand.hpp"
+#include "model/gallery.hpp"
+
+namespace sysmap::core {
+namespace {
+
+TEST(Mapper, MatmulEndToEnd) {
+  const Int mu = 4;
+  MapperOptions opts;
+  opts.simulate = true;
+  Mapper mapper(opts);
+  MappingSolution s =
+      mapper.find_time_optimal(model::matmul(mu), MatI{{1, 1, -1}});
+  ASSERT_TRUE(s.found);
+  EXPECT_EQ(s.makespan, mu * (mu + 2) + 1);
+  ASSERT_TRUE(s.array.has_value());
+  EXPECT_EQ(s.array->total_buffers(), 3);
+  ASSERT_TRUE(s.simulation.has_value());
+  EXPECT_TRUE(s.simulation->clean()) << s.simulation->summary();
+  EXPECT_EQ(s.simulation->makespan, s.makespan);
+  EXPECT_FALSE(s.method_used.empty());
+}
+
+TEST(Mapper, MatmulIlpAndProcedureAgree) {
+  for (Int mu : {2, 3, 4, 5}) {
+    MapperOptions ilp_opts;
+    ilp_opts.method = Method::kIlpCertified;
+    MapperOptions proc_opts;
+    proc_opts.method = Method::kProcedure51;
+    MappingSolution a = Mapper(ilp_opts).find_time_optimal(
+        model::matmul(mu), MatI{{1, 1, -1}});
+    MappingSolution b = Mapper(proc_opts).find_time_optimal(
+        model::matmul(mu), MatI{{1, 1, -1}});
+    ASSERT_TRUE(a.found) << "mu=" << mu;
+    ASSERT_TRUE(b.found) << "mu=" << mu;
+    EXPECT_EQ(a.objective, b.objective) << "mu=" << mu;
+  }
+}
+
+TEST(Mapper, TransitiveClosureEndToEnd) {
+  const Int mu = 4;
+  MapperOptions opts;
+  opts.simulate = true;
+  Mapper mapper(opts);
+  MappingSolution s =
+      mapper.find_time_optimal(model::transitive_closure(mu), MatI{{0, 0, 1}});
+  ASSERT_TRUE(s.found);
+  EXPECT_EQ(s.pi, (VecI{mu + 1, 1, 1}));
+  EXPECT_EQ(s.makespan, mu * (mu + 3) + 1);
+  ASSERT_TRUE(s.simulation.has_value());
+  EXPECT_TRUE(s.simulation->clean()) << s.simulation->summary();
+}
+
+TEST(Mapper, FixedInterconnectTarget) {
+  const Int mu = 4;
+  MapperOptions opts;
+  opts.target = schedule::Interconnect::nearest_neighbor(1);
+  opts.simulate = true;
+  Mapper mapper(opts);
+  MappingSolution s =
+      mapper.find_time_optimal(model::matmul(mu), MatI{{1, 1, -1}});
+  ASSERT_TRUE(s.found);
+  EXPECT_EQ(s.makespan, mu * (mu + 2) + 1);
+  ASSERT_TRUE(s.array.has_value());
+  EXPECT_TRUE(s.simulation->clean()) << s.simulation->summary();
+}
+
+TEST(Mapper, ConvolutionToLinearArray) {
+  MapperOptions opts;
+  opts.simulate = true;
+  Mapper mapper(opts);
+  // 2-D convolution onto a linear array with S = [1, 0] (k = n - 1).
+  MappingSolution s = mapper.find_time_optimal(model::convolution(5, 3),
+                                               MatI{{1, 0}});
+  ASSERT_TRUE(s.found);
+  EXPECT_TRUE(s.simulation->clean()) << s.simulation->summary();
+}
+
+TEST(Mapper, BitLevelConvolutionTo2D) {
+  // 4-D bit-level convolution onto a 2-D array: k = 3 = n - 1, so the ILP
+  // route applies.
+  MapperOptions opts;
+  opts.method = Method::kProcedure51;  // exhaustive; small bounds
+  opts.simulate = true;
+  Mapper mapper(opts);
+  model::UniformDependenceAlgorithm bit = bitlevel::bit_convolution(2, 2, 2);
+  MatI s{{1, 0, 0, 0}, {0, 0, 1, 0}};
+  MappingSolution sol = mapper.find_time_optimal(bit, s);
+  ASSERT_TRUE(sol.found);
+  EXPECT_TRUE(sol.simulation->clean()) << sol.simulation->summary();
+}
+
+TEST(Mapper, BitLevelMatmulTo2D) {
+  // 5-D bit-level matmul onto a 2-D array: k = 3 = n - 2, Theorem 4.7
+  // territory (formulation (5.5)-(5.6)); Procedure 5.1 handles it exactly.
+  MapperOptions opts;
+  opts.simulate = true;
+  Mapper mapper(opts);
+  model::UniformDependenceAlgorithm bit = bitlevel::bit_matmul(2, 2);
+  // Processors: (i, j); time must separate k, l, p.
+  MatI s{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}};
+  MappingSolution sol = mapper.find_time_optimal(bit, s);
+  ASSERT_TRUE(sol.found);
+  EXPECT_TRUE(sol.simulation->clean()) << sol.simulation->summary();
+  EXPECT_EQ(sol.verdict.status,
+            mapping::ConflictVerdict::Status::kConflictFree);
+}
+
+TEST(Mapper, Convolution2dTo2DArrayWithValues) {
+  // 4-D word-level 2-D convolution onto a 2-D array (k = 3 = n - 1),
+  // validated value-for-value on the simulator.
+  const Int mu_i1 = 2, mu_i2 = 2, mu_k1 = 1, mu_k2 = 1;
+  MatI w(2, 2), x(4, 4);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t b = 0; b < 2; ++b) w(a, b) = static_cast<Int>(a + b + 1);
+  }
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      x(a, b) = static_cast<Int>(3 * a) - static_cast<Int>(b);
+    }
+  }
+  model::SemanticAlgorithm sem =
+      model::semantic_convolution_2d(mu_i1, mu_i2, mu_k1, mu_k2, w, x);
+  // Processor = (i1, i2): one PE per output pixel.
+  MatI space{{1, 0, 0, 0}, {0, 1, 0, 0}};
+  Mapper mapper;
+  MappingSolution s = mapper.find_time_optimal(sem.structure, space);
+  ASSERT_TRUE(s.found);
+  mapping::MappingMatrix t(space, s.pi);
+  systolic::ArrayDesign design =
+      systolic::design_dedicated_array(sem.structure, t);
+  systolic::SimulationReport r = systolic::simulate(sem, design);
+  EXPECT_TRUE(r.conflicts.empty()) << r.summary();
+  EXPECT_TRUE(r.values_match);
+  // Reference output really is the 2-D convolution.
+  std::vector<Int> reference = model::evaluate_reference(sem);
+  MatI y = model::convolution_2d_result(sem.structure.index_set(), reference);
+  Int corner = 0;
+  for (Int k1 = 0; k1 <= mu_k1; ++k1) {
+    for (Int k2 = 0; k2 <= mu_k2; ++k2) {
+      corner += w(static_cast<std::size_t>(k1), static_cast<std::size_t>(k2)) *
+                x(static_cast<std::size_t>(mu_k1 - k1),
+                  static_cast<std::size_t>(mu_k2 - k2));
+    }
+  }
+  EXPECT_EQ(y(0, 0), corner);
+}
+
+TEST(Mapper, MatvecToLinearArray) {
+  const Int mu = 4;
+  MapperOptions opts;
+  opts.simulate = true;
+  MappingSolution s = Mapper(opts).find_time_optimal(model::matvec(mu),
+                                                     MatI{{1, 0}});
+  ASSERT_TRUE(s.found);
+  EXPECT_TRUE(s.simulation->clean()) << s.simulation->summary();
+  // k = n = 2: square mapping, conflict-free by rank; smallest valid
+  // schedule has pi = [1, 1].
+  EXPECT_EQ(s.pi, (VecI{1, 1}));
+}
+
+TEST(Mapper, LuSharesMatmulStructure) {
+  const Int mu = 4;
+  Mapper mapper;
+  MappingSolution lu =
+      mapper.find_time_optimal(model::lu_decomposition(mu), MatI{{1, 1, -1}});
+  MappingSolution mm =
+      mapper.find_time_optimal(model::matmul(mu), MatI{{1, 1, -1}});
+  ASSERT_TRUE(lu.found);
+  ASSERT_TRUE(mm.found);
+  EXPECT_EQ(lu.objective, mm.objective);
+}
+
+TEST(Mapper, ValidatesShapes) {
+  Mapper mapper;
+  EXPECT_THROW(mapper.find_time_optimal(model::matmul(3), MatI{{1, 1}}),
+               std::invalid_argument);
+  MapperOptions bad;
+  bad.method = Method::kIlpCertified;
+  // k = 3 = n for matmul with a 2-row S: ILP route inapplicable.
+  EXPECT_THROW(Mapper(bad).find_time_optimal(
+                   model::matmul(3), MatI{{1, 0, 0}, {0, 1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Mapper, SquareMappingFallsBackGracefully) {
+  // k = n: any full-rank T is conflict-free; the optimum is the smallest
+  // valid schedule.
+  Mapper mapper;
+  MappingSolution s = mapper.find_time_optimal(model::matmul(2),
+                                               MatI{{1, 0, 0}, {0, 1, 0}});
+  ASSERT_TRUE(s.found);
+  EXPECT_EQ(s.pi, (VecI{1, 1, 1}));  // Pi D > 0 with D = I needs pi >= 1
+}
+
+}  // namespace
+}  // namespace sysmap::core

@@ -1,0 +1,206 @@
+// Tests for host I/O scheduling, the edit-distance workload, the greedy
+// heuristic baseline, and the report generator.
+#include <gtest/gtest.h>
+
+#include "baseline/heuristic.hpp"
+#include "core/mapper.hpp"
+#include "core/report.hpp"
+#include "model/gallery.hpp"
+#include "search/procedure51.hpp"
+#include "systolic/io_schedule.hpp"
+#include "systolic/simulator.hpp"
+
+namespace sysmap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// I/O schedules
+// ---------------------------------------------------------------------------
+
+TEST(IoSchedule, MatmulBoundaryCounts) {
+  const Int mu = 4;
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, mu, 1});
+  systolic::ArrayDesign design = systolic::design_dedicated_array(algo, t);
+  systolic::IoSchedule io = systolic::io_schedule(algo, design);
+  ASSERT_EQ(io.classes.size(), 3u);
+  // Every boundary face of the cube has (mu+1)^2 = 25 points.
+  for (const auto& c : io.classes) {
+    EXPECT_EQ(c.inputs.size(), 25u) << "class " << c.dep;
+    EXPECT_EQ(c.outputs.size(), 25u) << "class " << c.dep;
+  }
+  EXPECT_EQ(io.total_inputs(), 75u);
+  EXPECT_EQ(io.total_outputs(), 75u);
+  // B (d_1) inputs enter on the j1 = 0 face; first at cycle 0.
+  EXPECT_EQ(io.classes[0].inputs.front().cycle, 0);
+  // C results (d_3 outputs) leave on the j3 = mu face; last at the final
+  // cycle Pi (mu, mu, mu) = mu(mu+2).
+  EXPECT_EQ(io.classes[2].outputs.back().cycle, mu * (mu + 2));
+  EXPECT_GT(io.peak_input_bandwidth, 0);
+  EXPECT_GT(io.peak_output_bandwidth, 0);
+  // Events are sorted by cycle.
+  for (const auto& c : io.classes) {
+    for (std::size_t i = 1; i < c.inputs.size(); ++i) {
+      EXPECT_LE(c.inputs[i - 1].cycle, c.inputs[i].cycle);
+    }
+  }
+  std::string s = io.summary();
+  EXPECT_NE(s.find("class d_1"), std::string::npos);
+  EXPECT_NE(s.find("peak host bandwidth"), std::string::npos);
+}
+
+TEST(IoSchedule, EventsSitOnBoundaryFaces) {
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(3);
+  mapping::MappingMatrix t(MatI{{0, 0, 1}}, VecI{4, 1, 1});
+  systolic::ArrayDesign design = systolic::design_dedicated_array(algo, t);
+  systolic::IoSchedule io = systolic::io_schedule(algo, design);
+  const model::IndexSet& set = algo.index_set();
+  const MatI& d = algo.dependence_matrix();
+  for (const auto& c : io.classes) {
+    for (const auto& e : c.inputs) {
+      VecI pred(3);
+      for (std::size_t r = 0; r < 3; ++r) pred[r] = e.j[r] - d(r, c.dep);
+      EXPECT_FALSE(set.contains(pred));
+      EXPECT_TRUE(set.contains(e.j));
+      EXPECT_EQ(e.cycle, t.time(e.j));
+      EXPECT_EQ(e.pe, t.processor(e.j));
+    }
+    for (const auto& e : c.outputs) {
+      VecI succ(3);
+      for (std::size_t r = 0; r < 3; ++r) succ[r] = e.j[r] + d(r, c.dep);
+      EXPECT_FALSE(set.contains(succ));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edit distance workload
+// ---------------------------------------------------------------------------
+
+TEST(EditDistance, ReferenceMatchesClassicDp) {
+  struct Case {
+    const char* a;
+    const char* b;
+    Int expect;
+  };
+  const Case cases[] = {
+      {"kitten", "sitting", 3},
+      {"abc", "abc", 0},
+      {"abcd", "bc", 2},
+      {"ab", "ba", 2},
+      {"systolic", "diastolic", 3},
+  };
+  for (const Case& c : cases) {
+    model::SemanticAlgorithm sem =
+        model::semantic_edit_distance(c.a, c.b);
+    std::vector<Int> values = model::evaluate_reference(sem);
+    EXPECT_EQ(model::edit_distance_result(sem.structure.index_set(), values),
+              c.expect)
+        << c.a << " vs " << c.b;
+  }
+  EXPECT_THROW(model::semantic_edit_distance("a", "abc"),
+               std::invalid_argument);
+}
+
+TEST(EditDistance, MapsToLinearArrayWithValues) {
+  model::SemanticAlgorithm sem =
+      model::semantic_edit_distance("kitten", "sitting");
+  // Anti-diagonal wavefront: S = [1, -1] (classic systolic DP layout).
+  MatI space{{1, -1}};
+  core::Mapper mapper;
+  core::MappingSolution s =
+      mapper.find_time_optimal(sem.structure, space);
+  ASSERT_TRUE(s.found);
+  mapping::MappingMatrix t(space, s.pi);
+  systolic::ArrayDesign design =
+      systolic::design_dedicated_array(sem.structure, t);
+  systolic::SimulationReport r = systolic::simulate(sem, design);
+  EXPECT_TRUE(r.conflicts.empty()) << r.summary();
+  EXPECT_TRUE(r.values_match);
+}
+
+// ---------------------------------------------------------------------------
+// Greedy heuristic baseline
+// ---------------------------------------------------------------------------
+
+TEST(Heuristic, FindsValidButNotBetterThanOptimal) {
+  for (Int mu : {2, 3, 4}) {
+    model::UniformDependenceAlgorithm algo = model::matmul(mu);
+    MatI space{{1, 1, -1}};
+    baseline::HeuristicResult h = baseline::greedy_schedule(algo, space);
+    ASSERT_TRUE(h.found) << "mu=" << mu;
+    // Result must actually validate.
+    mapping::MappingMatrix t(space, h.pi);
+    EXPECT_TRUE(
+        mapping::decide_conflict_free(t, algo.index_set()).conflict_free());
+    schedule::LinearSchedule sched(h.pi);
+    EXPECT_TRUE(sched.respects_dependences(algo.dependence_matrix()));
+    // ... and can never beat the certified optimum.
+    search::SearchResult opt = search::procedure_5_1(algo, space);
+    ASSERT_TRUE(opt.found);
+    EXPECT_GE(h.makespan, opt.makespan) << "mu=" << mu;
+  }
+}
+
+TEST(Heuristic, TransitiveClosureRepairsDependences) {
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(4);
+  baseline::HeuristicResult h =
+      baseline::greedy_schedule(algo, MatI{{0, 0, 1}});
+  ASSERT_TRUE(h.found);
+  EXPECT_GT(h.repairs, 0u);  // the all-ones start violates Pi D > 0
+  search::SearchResult opt = search::procedure_5_1(algo, MatI{{0, 0, 1}});
+  EXPECT_GE(h.makespan, opt.makespan);
+}
+
+TEST(Heuristic, GivesUpGracefully) {
+  model::UniformDependenceAlgorithm algo = model::matmul(3);
+  baseline::HeuristicResult h =
+      baseline::greedy_schedule(algo, MatI{{1, 1, -1}}, /*max_repairs=*/1);
+  EXPECT_FALSE(h.found);
+}
+
+// ---------------------------------------------------------------------------
+// Report generator
+// ---------------------------------------------------------------------------
+
+TEST(Report, ContainsEverySectionFor1D) {
+  core::MapperOptions options;
+  options.simulate = true;
+  core::Mapper mapper(options);
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  core::MappingSolution s =
+      mapper.find_time_optimal(algo, MatI{{1, 1, -1}});
+  ASSERT_TRUE(s.found);
+  std::string report = core::render_report(algo, s);
+  for (const char* needle :
+       {"# Mapping report: matmul", "Definition 2.2", "VALID mapping",
+        "## Array", "link collisions: none", "## Host I/O",
+        "peak host bandwidth", "## Simulation", "utilization",
+        "## Space-time diagram", "dependence-chain lower bound"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, FramesFor2D) {
+  core::MapperOptions options;
+  options.simulate = true;
+  model::UniformDependenceAlgorithm bit = model::convolution_2d(1, 1, 1, 1);
+  MatI space{{1, 0, 0, 0}, {0, 1, 0, 0}};
+  core::MappingSolution s =
+      core::Mapper(options).find_time_optimal(bit, space);
+  ASSERT_TRUE(s.found);
+  core::ReportOptions ropt;
+  ropt.include_frames = true;
+  std::string report = core::render_report(bit, s, ropt);
+  EXPECT_NE(report.find("## Activity frames"), std::string::npos);
+  EXPECT_EQ(report.find("## Space-time diagram"), std::string::npos);
+}
+
+TEST(Report, RejectsUnsolved) {
+  core::MappingSolution empty;
+  EXPECT_THROW(core::render_report(model::matmul(2), empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysmap

@@ -1,0 +1,288 @@
+// Tests for the conflict-vector machinery: Definition 2.3, Theorem 2.2,
+// Equation 3.2 / Theorem 3.1, the exact decision procedures, and the
+// paper's Examples 2.1, 3.1, 3.2 and 4.1 as golden values.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/brute_force.hpp"
+#include "lattice/kernel.hpp"
+#include "linalg/matrix_io.hpp"
+#include "mapping/conflict.hpp"
+#include "mapping/mapping_matrix.hpp"
+#include "model/gallery.hpp"
+
+namespace sysmap::mapping {
+namespace {
+
+using exact::BigInt;
+using Status = ConflictVerdict::Status;
+
+TEST(MappingMatrix, LayoutAndAccessors) {
+  MatI s{{1, 1, -1}};
+  VecI pi{1, 4, 1};
+  MappingMatrix t(s, pi);
+  EXPECT_EQ(t.k(), 2u);
+  EXPECT_EQ(t.n(), 3u);
+  EXPECT_EQ(t.space(), s);
+  EXPECT_EQ(t.schedule(), pi);
+  EXPECT_EQ(t.matrix(), (MatI{{1, 1, -1}, {1, 4, 1}}));
+}
+
+TEST(MappingMatrix, ApplySplitsSpaceTime) {
+  MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 4, 1});
+  VecI j{2, 1, 3};
+  EXPECT_EQ(t.apply(j), (VecI{0, 9}));
+  EXPECT_EQ(t.processor(j), (VecI{0}));
+  EXPECT_EQ(t.time(j), 9);
+}
+
+TEST(MappingMatrix, Validation) {
+  EXPECT_THROW(MappingMatrix(MatI(0, 0)), std::invalid_argument);
+  EXPECT_THROW(MappingMatrix(MatI{{1}, {2}}), std::invalid_argument);  // k > n
+  EXPECT_THROW(MappingMatrix(MatI{{1, 2}}, VecI{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(MappingMatrix, RankCheck) {
+  EXPECT_TRUE(MappingMatrix(MatI{{1, 1, -1}, {1, 4, 1}}).has_full_rank());
+  EXPECT_FALSE(MappingMatrix(MatI{{1, 1, -1}, {2, 2, -2}}).has_full_rank());
+}
+
+// --------------------------------------------------------------------------
+// Theorem 2.2 feasibility
+// --------------------------------------------------------------------------
+
+TEST(Feasibility, Figure1) {
+  // Figure 1: J = [0,4]^2; gamma_1 = (1,1) is non-feasible, gamma_2 = (3,5)
+  // is feasible.
+  model::IndexSet set({4, 4});
+  EXPECT_FALSE(is_feasible_conflict_vector(VecI{1, 1}, set));
+  EXPECT_TRUE(is_feasible_conflict_vector(VecI{3, 5}, set));
+}
+
+TEST(Feasibility, BoundaryIsStrict) {
+  model::IndexSet set({4, 4});
+  // |gamma_i| must EXCEED mu_i.
+  EXPECT_FALSE(is_feasible_conflict_vector(VecI{4, -4}, set));
+  EXPECT_TRUE(is_feasible_conflict_vector(VecI{-5, 0}, set));
+  EXPECT_TRUE(is_feasible_conflict_vector(to_bigint(VecI{0, 5}), set));
+}
+
+// Theorem 2.2's equivalence: gamma feasible iff for NO j in J both j and
+// j + gamma lie in J.  Exhaustive cross-check on small boxes.
+class Theorem22Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem22Property, MatchesExhaustiveDefinition) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()) * 31u);
+  std::uniform_int_distribution<Int> mu_dist(1, 4);
+  std::uniform_int_distribution<Int> g_dist(-6, 6);
+  for (int iter = 0; iter < 50; ++iter) {
+    model::IndexSet set({mu_dist(rng), mu_dist(rng), mu_dist(rng)});
+    VecI gamma{g_dist(rng), g_dist(rng), g_dist(rng)};
+    if (gamma == VecI{0, 0, 0}) continue;
+    bool feasible_thm = is_feasible_conflict_vector(gamma, set);
+    bool collision = false;
+    set.for_each([&](const VecI& j) {
+      VecI shifted(3);
+      for (int i = 0; i < 3; ++i) {
+        shifted[static_cast<std::size_t>(i)] =
+            j[static_cast<std::size_t>(i)] + gamma[static_cast<std::size_t>(i)];
+      }
+      if (set.contains(shifted)) collision = true;
+    });
+    EXPECT_EQ(feasible_thm, !collision)
+        << "gamma=" << gamma[0] << "," << gamma[1] << "," << gamma[2];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem22Property,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --------------------------------------------------------------------------
+// Unique conflict vector (Equation 3.2 / Theorem 3.1)
+// --------------------------------------------------------------------------
+
+TEST(UniqueConflictVector, Example31Matmul) {
+  // gamma(Pi) = +-(-pi2-pi3, pi1+pi3, pi1-pi2) for S = [1,1,-1].
+  MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 4, 1});
+  VecZ gamma = unique_conflict_vector(t);
+  // (-5, 2, -3) normalized to first-positive: (5, -2, 3).
+  EXPECT_EQ(gamma[0].to_int64(), 5);
+  EXPECT_EQ(gamma[1].to_int64(), -2);
+  EXPECT_EQ(gamma[2].to_int64(), 3);
+  // T gamma = 0.
+  MatZ tz = to_bigint(t.matrix());
+  EXPECT_TRUE(linalg::is_zero_vector(tz * gamma));
+}
+
+TEST(UniqueConflictVector, Example32TransitiveClosure) {
+  // S = [0,0,1]: gamma = (pi2, -pi1, 0) normalized.
+  MappingMatrix t(MatI{{0, 0, 1}}, VecI{5, 1, 1});
+  VecZ gamma = unique_conflict_vector(t);
+  EXPECT_EQ(gamma[0].to_int64(), 1);
+  EXPECT_EQ(gamma[1].to_int64(), -5);
+  EXPECT_EQ(gamma[2].to_int64(), 0);
+}
+
+TEST(UniqueConflictVector, PrimitiveEvenWhenEntriesShareGcd) {
+  // Pi = [1, 5, 1], mu = 5 (odd case): raw gamma = (-6, 2, -4), gcd 2.
+  MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 5, 1});
+  VecZ gamma = unique_conflict_vector(t);
+  EXPECT_EQ(gamma[0].to_int64(), 3);
+  EXPECT_EQ(gamma[1].to_int64(), -1);
+  EXPECT_EQ(gamma[2].to_int64(), 2);
+}
+
+TEST(UniqueConflictVector, RequiresShape) {
+  EXPECT_THROW(
+      unique_conflict_vector(MappingMatrix(MatI{{1, 0, 0, 0}}, VecI{0, 1, 0, 0})),
+      std::domain_error);  // k = 2, n = 4: not n-1
+}
+
+TEST(UniqueConflictVector, RankDeficientThrows) {
+  MappingMatrix t(MatI{{1, 1, 1}}, VecI{2, 2, 2});
+  EXPECT_THROW(unique_conflict_vector(t), std::domain_error);
+}
+
+// --------------------------------------------------------------------------
+// Example 2.1 / 4.1: the 4-D algorithm mapped to a linear array
+// --------------------------------------------------------------------------
+
+TEST(Example21, ConflictVectorsAndFeasibility) {
+  model::IndexSet set = model::IndexSet::cube(4, 6);
+  MappingMatrix t(MatI{{1, 7, 1, 1}, {1, 7, 1, 0}});
+  MatZ tz = to_bigint(t.matrix());
+
+  VecZ g1 = to_bigint(VecI{0, 1, -7, 0});
+  VecZ g2 = to_bigint(VecI{7, -1, 0, 0});
+  VecZ g3 = to_bigint(VecI{1, 0, -1, 0});
+  EXPECT_TRUE(linalg::is_zero_vector(tz * g1));
+  EXPECT_TRUE(linalg::is_zero_vector(tz * g2));
+  EXPECT_TRUE(linalg::is_zero_vector(tz * g3));
+  // gamma_1, gamma_2 feasible; gamma_3 not (Example 2.1's conclusion).
+  EXPECT_TRUE(is_feasible_conflict_vector(g1, set));
+  EXPECT_TRUE(is_feasible_conflict_vector(g2, set));
+  EXPECT_FALSE(is_feasible_conflict_vector(g3, set));
+}
+
+TEST(Example21, TIsNotConflictFree) {
+  model::IndexSet set = model::IndexSet::cube(4, 6);
+  MappingMatrix t(MatI{{1, 7, 1, 1}, {1, 7, 1, 0}});
+  ConflictVerdict exact = decide_conflict_free_exact(t, set);
+  EXPECT_EQ(exact.status, Status::kHasConflict);
+  ASSERT_TRUE(exact.witness.has_value());
+  // The witness is a genuine non-feasible conflict vector.
+  EXPECT_TRUE(linalg::is_zero_vector(to_bigint(t.matrix()) * *exact.witness));
+  EXPECT_FALSE(is_feasible_conflict_vector(*exact.witness, set));
+
+  ConflictVerdict dispatched = decide_conflict_free(t, set);
+  EXPECT_EQ(dispatched.status, Status::kHasConflict);
+}
+
+// --------------------------------------------------------------------------
+// Exact decision procedures
+// --------------------------------------------------------------------------
+
+TEST(DecideExact, SquareFullRankIsConflictFree) {
+  model::IndexSet set = model::IndexSet::cube(2, 3);
+  MappingMatrix t(MatI::identity(2));
+  EXPECT_EQ(decide_conflict_free(t, set).status, Status::kConflictFree);
+  EXPECT_EQ(decide_conflict_free_exact(t, set).status, Status::kConflictFree);
+}
+
+TEST(DecideExact, SquareSingularHasConflict) {
+  model::IndexSet set = model::IndexSet::cube(2, 3);
+  MappingMatrix t(MatI{{1, 1}, {2, 2}});
+  EXPECT_EQ(decide_conflict_free(t, set).status, Status::kHasConflict);
+}
+
+TEST(DecideExact, MatmulOptimalScheduleIsConflictFree) {
+  // T = [[1,1,-1],[1,4,1]], mu = 4: the paper's Figure 3 design.
+  model::IndexSet set = model::IndexSet::cube(3, 4);
+  MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 4, 1});
+  EXPECT_EQ(decide_conflict_free(t, set).status, Status::kConflictFree);
+  EXPECT_EQ(decide_conflict_free_exact(t, set).status, Status::kConflictFree);
+}
+
+TEST(DecideExact, OddMuGcdTrapDetected) {
+  // mu = 5, Pi = [1, 5, 1]: raw gamma has gcd 2; the primitive vector
+  // (3, -1, 2) is NON-feasible.  (The appendix's gcd caveat, concretely.)
+  model::IndexSet set = model::IndexSet::cube(3, 5);
+  MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 5, 1});
+  ConflictVerdict v = decide_conflict_free(t, set);
+  EXPECT_EQ(v.status, Status::kHasConflict);
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_FALSE(is_feasible_conflict_vector(*v.witness, set));
+}
+
+TEST(DecideExact, BudgetExhaustionReturnsUnknown) {
+  model::IndexSet set = model::IndexSet::cube(4, 6);
+  MappingMatrix t(MatI{{1, 7, 1, 1}});  // k=1, n=4: 3 free dims
+  ConflictVerdict v = decide_conflict_free_exact(t, set, /*budget=*/10);
+  EXPECT_EQ(v.status, Status::kUnknown);
+}
+
+// Random cross-validation: the exact lattice decision must agree with the
+// brute-force full-scan oracle.
+class DecideProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecideProperty, ExactMatchesBruteForce) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()) * 101u);
+  std::uniform_int_distribution<Int> entry(-3, 3);
+  std::uniform_int_distribution<Int> mu_dist(1, 3);
+  std::uniform_int_distribution<int> nd(3, 4);
+  int checked = 0;
+  while (checked < 25) {
+    std::size_t n = static_cast<std::size_t>(nd(rng));
+    std::size_t k = n - 2;
+    MatI t(k, n);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < n; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    VecI mu(n);
+    for (auto& b : mu) b = mu_dist(rng);
+    model::IndexSet set(mu);
+    ConflictVerdict exact = decide_conflict_free_exact(mm, set);
+    ASSERT_NE(exact.status, Status::kUnknown);
+    ConflictVerdict brute = baseline::brute_force_conflicts(mm, set);
+    EXPECT_EQ(exact.status, brute.status) << linalg::pretty(t);
+    ConflictVerdict dispatched = decide_conflict_free(mm, set);
+    EXPECT_EQ(dispatched.status, brute.status)
+        << linalg::pretty(t) << " via " << dispatched.rule;
+    ++checked;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecideProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DecideExact, WitnessIsAlwaysGenuine) {
+  // Whenever a conflict is reported, the witness must be in ker(T), be
+  // primitive, and be non-feasible.
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<Int> entry(-4, 4);
+  int reported = 0;
+  for (int iter = 0; iter < 200 && reported < 20; ++iter) {
+    MatI t(2, 4);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(4, 2);
+    ConflictVerdict v = decide_conflict_free(mm, set);
+    if (v.status != Status::kHasConflict) continue;
+    ++reported;
+    ASSERT_TRUE(v.witness.has_value());
+    EXPECT_TRUE(linalg::is_zero_vector(to_bigint(t) * *v.witness));
+    EXPECT_TRUE(lattice::is_primitive(*v.witness));
+    EXPECT_FALSE(is_feasible_conflict_vector(*v.witness, set));
+  }
+  EXPECT_GT(reported, 0);
+}
+
+}  // namespace
+}  // namespace sysmap::mapping

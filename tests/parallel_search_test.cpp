@@ -1,0 +1,89 @@
+// Tests for the parallel Procedure 5.1: bit-identical results to the
+// serial scan at every thread count, across oracles and workloads.
+#include <gtest/gtest.h>
+
+#include "model/gallery.hpp"
+#include "search/parallel_search.hpp"
+
+namespace sysmap::search {
+namespace {
+
+void expect_same(const SearchResult& serial, const SearchResult& parallel) {
+  ASSERT_EQ(serial.found, parallel.found);
+  if (!serial.found) return;
+  EXPECT_EQ(serial.pi, parallel.pi);
+  EXPECT_EQ(serial.objective, parallel.objective);
+  EXPECT_EQ(serial.makespan, parallel.makespan);
+  EXPECT_EQ(serial.verdict.status, parallel.verdict.status);
+}
+
+class ThreadCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadCounts, MatmulIdenticalToSerial) {
+  const std::size_t threads = static_cast<std::size_t>(GetParam());
+  for (Int mu : {3, 4, 5}) {
+    model::UniformDependenceAlgorithm algo = model::matmul(mu);
+    MatI space{{1, 1, -1}};
+    SearchResult serial = procedure_5_1(algo, space);
+    SearchResult parallel =
+        procedure_5_1_parallel(algo, space, {}, threads);
+    expect_same(serial, parallel);
+  }
+}
+
+TEST_P(ThreadCounts, TransitiveClosureIdenticalToSerial) {
+  const std::size_t threads = static_cast<std::size_t>(GetParam());
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(4);
+  MatI space{{0, 0, 1}};
+  SearchResult serial = procedure_5_1(algo, space);
+  SearchResult parallel = procedure_5_1_parallel(algo, space, {}, threads);
+  expect_same(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ThreadCounts,
+                         ::testing::Values(1, 2, 3, 8));
+
+TEST(ParallelSearch, RoutingTargetSupported) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  SearchOptions opts;
+  opts.target = schedule::Interconnect::nearest_neighbor(1);
+  SearchResult serial = procedure_5_1(algo, MatI{{1, 1, -1}}, opts);
+  SearchResult parallel =
+      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, opts, 4);
+  expect_same(serial, parallel);
+  ASSERT_TRUE(parallel.routing.has_value());
+  EXPECT_EQ(parallel.routing->total_buffers(),
+            serial.routing->total_buffers());
+}
+
+TEST(ParallelSearch, OraclesAgree) {
+  model::UniformDependenceAlgorithm algo = model::matmul(3);
+  MatI space{{1, 1, -1}};
+  for (ConflictOracle oracle :
+       {ConflictOracle::kExact, ConflictOracle::kPaperTheorems,
+        ConflictOracle::kBruteForce}) {
+    SearchOptions opts;
+    opts.oracle = oracle;
+    SearchResult serial = procedure_5_1(algo, space, opts);
+    SearchResult parallel = procedure_5_1_parallel(algo, space, opts, 4);
+    expect_same(serial, parallel);
+  }
+}
+
+TEST(ParallelSearch, NotFoundMatchesSerial) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  SearchOptions opts;
+  opts.max_objective = 5;
+  SearchResult parallel =
+      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, opts, 4);
+  EXPECT_FALSE(parallel.found);
+}
+
+TEST(ParallelSearch, ValidatesShapes) {
+  EXPECT_THROW(
+      procedure_5_1_parallel(model::matmul(3), MatI{{1, 1}}, {}, 2),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysmap::search

@@ -1,0 +1,159 @@
+// Tests for the polyhedral index-set extension (lifting Assumption 2.1):
+// geometry, ILP-based conflict-vector feasibility, and the polyhedral
+// conflict decision vs full-scan ground truth.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/brute_force.hpp"
+#include "linalg/matrix_io.hpp"
+#include "mapping/conflict.hpp"
+#include "model/polyhedron.hpp"
+
+namespace sysmap::model {
+namespace {
+
+using Status = mapping::ConflictVerdict::Status;
+
+TEST(Polyhedron, BoxRoundTrip) {
+  IndexSet box({3, 2});
+  PolyhedralIndexSet poly = PolyhedralIndexSet::from_box(box);
+  EXPECT_EQ(poly.dimension(), 2u);
+  EXPECT_TRUE(poly.contains({0, 0}));
+  EXPECT_TRUE(poly.contains({3, 2}));
+  EXPECT_FALSE(poly.contains({4, 0}));
+  EXPECT_FALSE(poly.contains({0, -1}));
+  EXPECT_EQ(poly.count_points().to_int64(), 12);
+  auto bb = poly.bounding_box();
+  ASSERT_TRUE(bb.has_value());
+  EXPECT_EQ(bb->first, (VecI{0, 0}));
+  EXPECT_EQ(bb->second, (VecI{3, 2}));
+}
+
+TEST(Polyhedron, SimplexChainIsTriangular) {
+  // 0 <= j1 <= j2 <= mu: (mu+1)(mu+2)/2 points.
+  PolyhedralIndexSet tri = PolyhedralIndexSet::simplex_chain(2, 4);
+  EXPECT_EQ(tri.count_points().to_int64(), 15);
+  EXPECT_TRUE(tri.contains({0, 0}));
+  EXPECT_TRUE(tri.contains({2, 4}));
+  EXPECT_FALSE(tri.contains({3, 2}));  // j1 > j2
+  // 3-D: tetrahedral count (mu+1)(mu+2)(mu+3)/6.
+  PolyhedralIndexSet tet = PolyhedralIndexSet::simplex_chain(3, 3);
+  EXPECT_EQ(tet.count_points().to_int64(), 20);
+}
+
+TEST(Polyhedron, EmptyAndUnbounded) {
+  // x <= -1 and -x <= -1 (x >= 1): empty.
+  PolyhedralIndexSet empty(MatI{{1}, {-1}}, VecI{-1, -1});
+  EXPECT_FALSE(empty.bounding_box().has_value());
+  EXPECT_EQ(empty.count_points().to_int64(), 0);
+  // x <= 5 alone: unbounded below.
+  PolyhedralIndexSet unbounded(MatI{{1}}, VecI{5});
+  EXPECT_THROW(unbounded.bounding_box(), std::invalid_argument);
+}
+
+TEST(Polyhedron, ValidatesShapes) {
+  EXPECT_THROW(PolyhedralIndexSet(MatI(0, 0), VecI{}),
+               std::invalid_argument);
+  EXPECT_THROW(PolyhedralIndexSet(MatI{{1, 0}}, VecI{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(PolyhedralFeasibility, MatchesBoxTheorem22) {
+  // On boxes, the ILP criterion must coincide with Theorem 2.2.
+  IndexSet box({4, 4});
+  PolyhedralIndexSet poly = PolyhedralIndexSet::from_box(box);
+  for (Int x = -6; x <= 6; ++x) {
+    for (Int y = -6; y <= 6; ++y) {
+      if (x == 0 && y == 0) continue;
+      VecI gamma{x, y};
+      EXPECT_EQ(is_feasible_conflict_vector_polyhedral(gamma, poly),
+                mapping::is_feasible_conflict_vector(gamma, box))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(PolyhedralFeasibility, TriangleSpecifics) {
+  // In the triangle 0 <= j1 <= j2 <= 4, gamma = (5, 0) never fits twice
+  // (j1 range is 0..4), but gamma = (-4, 0) fits at j = (4, 4) ->
+  // (0, 4): non-feasible.
+  PolyhedralIndexSet tri = PolyhedralIndexSet::simplex_chain(2, 4);
+  EXPECT_TRUE(is_feasible_conflict_vector_polyhedral(VecI{5, 0}, tri));
+  EXPECT_FALSE(is_feasible_conflict_vector_polyhedral(VecI{-4, 0}, tri));
+  // gamma = (4, -4) cannot: j2 + (-4) >= j1 + 4 requires j2 - j1 >= 8 > 4.
+  EXPECT_TRUE(is_feasible_conflict_vector_polyhedral(VecI{4, -4}, tri));
+}
+
+TEST(PolyhedralDecision, TriangularLuSpace) {
+  // True (triangular) LU iteration space 0 <= j1 <= j2 <= j3 <= mu with a
+  // 1-D projection: decide conflict-freedom exactly.
+  PolyhedralIndexSet tri = PolyhedralIndexSet::simplex_chain(3, 3);
+  // T = [[1,0,0],[1,2,5]]: schedule separates the triangle?
+  mapping::MappingMatrix t(MatI{{1, 0, 0}, {1, 2, 5}});
+  mapping::ConflictVerdict poly_verdict =
+      mapping::decide_conflict_free_polyhedral(t, tri);
+  mapping::ConflictVerdict truth =
+      baseline::brute_force_conflicts_polyhedral(t, tri);
+  ASSERT_NE(poly_verdict.status, Status::kUnknown);
+  EXPECT_EQ(poly_verdict.status, truth.status);
+}
+
+TEST(PolyhedralDecision, BoxAgreesWithStandardDecision) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<Int> entry(-3, 3);
+  int checked = 0;
+  while (checked < 10) {
+    MatI traw(2, 3);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) traw(i, j) = entry(rng);
+    }
+    mapping::MappingMatrix t(traw);
+    if (!t.has_full_rank()) continue;
+    ++checked;
+    IndexSet box = IndexSet::cube(3, 3);
+    PolyhedralIndexSet poly = PolyhedralIndexSet::from_box(box);
+    mapping::ConflictVerdict a = mapping::decide_conflict_free(t, box);
+    mapping::ConflictVerdict b =
+        mapping::decide_conflict_free_polyhedral(t, poly);
+    ASSERT_NE(b.status, Status::kUnknown);
+    EXPECT_EQ(a.status, b.status) << linalg::pretty(traw);
+  }
+}
+
+TEST(PolyhedralDecision, RandomTrianglesMatchBruteForce) {
+  std::mt19937_64 rng(424242);
+  std::uniform_int_distribution<Int> entry(-4, 4);
+  PolyhedralIndexSet tri = PolyhedralIndexSet::simplex_chain(3, 3);
+  int checked = 0;
+  while (checked < 15) {
+    MatI traw(2, 3);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 3; ++j) traw(i, j) = entry(rng);
+    }
+    mapping::MappingMatrix t(traw);
+    if (!t.has_full_rank()) continue;
+    ++checked;
+    mapping::ConflictVerdict fast =
+        mapping::decide_conflict_free_polyhedral(t, tri);
+    mapping::ConflictVerdict truth =
+        baseline::brute_force_conflicts_polyhedral(t, tri);
+    ASSERT_NE(fast.status, Status::kUnknown);
+    EXPECT_EQ(fast.status, truth.status) << linalg::pretty(traw);
+    if (fast.status == Status::kHasConflict) {
+      // Witness is genuinely non-feasible on the triangle.
+      EXPECT_FALSE(
+          is_feasible_conflict_vector_polyhedral(*fast.witness, tri));
+    }
+  }
+}
+
+TEST(PolyhedralDecision, SquareMappingShortCircuits) {
+  PolyhedralIndexSet tri = PolyhedralIndexSet::simplex_chain(2, 3);
+  mapping::MappingMatrix t(MatI::identity(2));
+  EXPECT_EQ(mapping::decide_conflict_free_polyhedral(t, tri).status,
+            Status::kConflictFree);
+}
+
+}  // namespace
+}  // namespace sysmap::model

@@ -1,0 +1,227 @@
+// Cross-module invariants and failure-injection tests: simulator vs
+// theory, routing algebra, overflow trapping, determinism, and the
+// appendix's integral-vertex claims.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/brute_force.hpp"
+#include "core/mapper.hpp"
+#include "exact/checked.hpp"
+#include "linalg/ops.hpp"
+#include "linalg/matrix_io.hpp"
+#include "model/gallery.hpp"
+#include "opt/vertex_enum.hpp"
+#include "search/ilp_formulation.hpp"
+#include "search/procedure51.hpp"
+#include "systolic/array.hpp"
+#include "systolic/simulator.hpp"
+
+namespace sysmap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator vs theory
+// ---------------------------------------------------------------------------
+
+class SimulatorInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorInvariants, TheoryPredictsSimulation) {
+  std::mt19937_64 rng(static_cast<unsigned>(GetParam()) * 5417u);
+  std::uniform_int_distribution<Int> pi_dist(1, 6);
+  std::uniform_int_distribution<Int> s_dist(-1, 1);
+  const Int mu = 3;
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  int simulated = 0;
+  for (int iter = 0; iter < 40 && simulated < 12; ++iter) {
+    VecI pi{pi_dist(rng), pi_dist(rng), pi_dist(rng)};
+    VecI s{s_dist(rng), s_dist(rng), s_dist(rng)};
+    if (s == VecI{0, 0, 0}) continue;
+    mapping::MappingMatrix t(MatI::row(s), pi);
+    if (!t.has_full_rank()) continue;
+    ++simulated;
+    systolic::ArrayDesign design =
+        systolic::design_dedicated_array(algo, t);
+    systolic::SimulationReport report = systolic::simulate(algo, design);
+
+    // 1. The simulated makespan equals the closed form (Equation 2.7)
+    //    because Pi is positive here.
+    schedule::LinearSchedule sched(pi);
+    EXPECT_EQ(report.makespan, sched.makespan(algo.index_set()));
+
+    // 2. Simulated conflicts agree exactly with the decision procedure.
+    mapping::ConflictVerdict verdict =
+        mapping::decide_conflict_free(t, algo.index_set());
+    EXPECT_EQ(report.conflicts.empty(), verdict.conflict_free())
+        << linalg::pretty(t.matrix());
+
+    // 3. For conflict-free mappings the observed buffer occupancy never
+    //    exceeds the design budget Pi d_i - hops_i (a conflicted mapping
+    //    can inject two data into one link in a single cycle, so the
+    //    bound only applies to valid designs).
+    if (verdict.conflict_free()) {
+      for (std::size_t i = 0; i < design.buffers.size(); ++i) {
+        EXPECT_LE(report.buffer_high_water[i], design.buffers[i]) << i;
+      }
+    }
+
+    // 4. Every computation executes exactly once.
+    EXPECT_EQ(report.computations, algo.index_set().size_u64());
+  }
+  EXPECT_GT(simulated, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorInvariants,
+                         ::testing::Values(1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Routing algebra
+// ---------------------------------------------------------------------------
+
+TEST(RoutingAlgebra, SDEqualsPKOnRandomMappings) {
+  std::mt19937_64 rng(8080);
+  std::uniform_int_distribution<Int> s_dist(-2, 2);
+  const Int mu = 4;
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  schedule::Interconnect net = schedule::Interconnect::nearest_neighbor(1);
+  int routed = 0;
+  for (int iter = 0; iter < 60 && routed < 15; ++iter) {
+    MatI s(1, 3);
+    for (std::size_t c = 0; c < 3; ++c) s(0, c) = s_dist(rng);
+    schedule::LinearSchedule pi(VecI{3, 2, 3});
+    std::optional<schedule::Routing> r =
+        schedule::route(s, algo.dependence_matrix(), net, pi);
+    if (!r) continue;
+    ++routed;
+    MatI sd = s * algo.dependence_matrix();
+    MatI pk = net.p() * r->k;
+    EXPECT_EQ(sd, pk) << linalg::pretty(s);
+    // Hops = column sums; buffers = delay - hops >= 0.
+    for (std::size_t i = 0; i < 3; ++i) {
+      Int colsum = 0;
+      for (std::size_t row = 0; row < r->k.rows(); ++row) {
+        colsum += r->k(row, i);
+      }
+      EXPECT_EQ(colsum, r->hops[i]);
+      EXPECT_GE(r->buffers[i], 0);
+      EXPECT_EQ(r->hops[i] + r->buffers[i], r->delays[i]);
+    }
+  }
+  EXPECT_GT(routed, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Overflow trapping (failure injection)
+// ---------------------------------------------------------------------------
+
+TEST(OverflowInjection, ScheduleObjectiveTraps) {
+  model::IndexSet set({INT64_MAX / 2, 2});
+  schedule::LinearSchedule pi(VecI{3, 1});
+  EXPECT_THROW(pi.objective(set), exact::OverflowError);
+}
+
+TEST(OverflowInjection, DotProductTraps) {
+  // respects_dependences uses checked arithmetic internally.
+  schedule::LinearSchedule pi(VecI{INT64_MAX / 2, INT64_MAX / 2});
+  MatI d{{2}, {2}};
+  EXPECT_THROW(pi.respects_dependences(d), exact::OverflowError);
+}
+
+TEST(OverflowInjection, BigIntPathSurvivesWhereInt64Dies) {
+  // Bareiss over int64 on large entries overflows (plain ops wrap or trap
+  // depending on expression); the BigInt path is exact.
+  MatI big(3, 3);
+  Int base = 2'000'000'000;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      big(i, j) = base + static_cast<Int>(i * 3 + j);
+    }
+  }
+  MatZ bz = to_bigint(big);
+  exact::BigInt det = linalg::determinant(bz);
+  // This matrix has rank 2 (rows are arithmetic progressions): det = 0.
+  EXPECT_TRUE(det.is_zero());
+  EXPECT_EQ(linalg::rank(bz), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, Procedure51IsReproducible) {
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(4);
+  MatI s{{0, 0, 1}};
+  search::SearchResult a = search::procedure_5_1(algo, s);
+  search::SearchResult b = search::procedure_5_1(algo, s);
+  ASSERT_TRUE(a.found);
+  EXPECT_EQ(a.pi, b.pi);
+  EXPECT_EQ(a.candidates_tested, b.candidates_tested);
+  EXPECT_EQ(a.verdict.rule, b.verdict.rule);
+}
+
+TEST(Determinism, MapperIsReproducible) {
+  core::Mapper mapper;
+  core::MappingSolution a =
+      mapper.find_time_optimal(model::matmul(5), MatI{{1, 1, -1}});
+  core::MappingSolution b =
+      mapper.find_time_optimal(model::matmul(5), MatI{{1, 1, -1}});
+  ASSERT_TRUE(a.found);
+  EXPECT_EQ(a.pi, b.pi);
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+// ---------------------------------------------------------------------------
+// Appendix integral-vertex claims
+// ---------------------------------------------------------------------------
+
+TEST(AppendixClaims, BranchPolytopesHaveIntegralVertices) {
+  // "Because the coefficients ... are either 1, 0 or -1, every extreme
+  // point of the convex set is integral."  Check it for every branch of
+  // the matmul and transitive-closure formulations.
+  for (bool tc : {false, true}) {
+    model::UniformDependenceAlgorithm algo =
+        tc ? model::transitive_closure(4) : model::matmul(4);
+    MatI s = tc ? MatI{{0, 0, 1}} : MatI{{1, 1, -1}};
+    MatZ f = search::conflict_coefficients(s);
+    for (std::size_t row = 0; row < 3; ++row) {
+      for (int side : {+1, -1}) {
+        opt::LinearProgram lp = search::build_branch(algo, f, row, side);
+        for (const VecQ& vertex : opt::enumerate_vertices(lp)) {
+          for (const auto& x : vertex) {
+            EXPECT_TRUE(x.is_integer())
+                << "tc=" << tc << " row=" << row << " side=" << side;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Search truncation behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Truncation, MaxObjectiveRespected) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  search::SearchOptions opts;
+  opts.max_objective = 5;  // optimum needs f = 24
+  search::SearchResult r = search::procedure_5_1(algo, MatI{{1, 1, -1}}, opts);
+  EXPECT_FALSE(r.found);
+  opts.max_objective = 24;
+  r = search::procedure_5_1(algo, MatI{{1, 1, -1}}, opts);
+  EXPECT_TRUE(r.found);
+}
+
+TEST(Truncation, MinObjectiveSkipsLevels) {
+  // Starting the sweep above the optimum must find a worse-or-equal
+  // schedule at the next valid level, never a better one.
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  search::SearchOptions opts;
+  opts.min_objective = 25;
+  search::SearchResult r = search::procedure_5_1(algo, MatI{{1, 1, -1}}, opts);
+  ASSERT_TRUE(r.found);
+  EXPECT_GE(r.objective, 25);
+}
+
+}  // namespace
+}  // namespace sysmap

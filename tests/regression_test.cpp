@@ -1,0 +1,123 @@
+// Golden-value regression suite: the certified optima for every gallery
+// workload under its canonical space mapping, pinned exactly.  Any change
+// to the search, the conflict theory, or the substrates that shifts one of
+// these numbers is a correctness event, not noise.
+#include <gtest/gtest.h>
+
+#include "bitlevel/expand.hpp"
+#include "core/mapper.hpp"
+#include "model/gallery.hpp"
+#include "schedule/bounds.hpp"
+#include "search/polyhedral_search.hpp"
+#include "search/space_optimal.hpp"
+
+namespace sysmap {
+namespace {
+
+TEST(Golden, MatmulFamily) {
+  // t = mu(mu+2)+1 for ALL mu >= 2 (sharpens the paper's even-mu claim).
+  for (Int mu : {2, 3, 4, 5, 6}) {
+    core::MappingSolution s = core::Mapper().find_time_optimal(
+        model::matmul(mu), MatI{{1, 1, -1}});
+    ASSERT_TRUE(s.found) << mu;
+    EXPECT_EQ(s.makespan, mu * (mu + 2) + 1) << "mu=" << mu;
+  }
+}
+
+TEST(Golden, TransitiveClosureFamily) {
+  // t = mu(mu+3)+1, Pi = [mu+1, 1, 1] (Example 5.2).
+  for (Int mu : {2, 3, 4, 5, 6}) {
+    core::MappingSolution s = core::Mapper().find_time_optimal(
+        model::transitive_closure(mu), MatI{{0, 0, 1}});
+    ASSERT_TRUE(s.found) << mu;
+    EXPECT_EQ(s.makespan, mu * (mu + 3) + 1) << "mu=" << mu;
+    EXPECT_EQ(s.pi, (VecI{mu + 1, 1, 1})) << "mu=" << mu;
+  }
+}
+
+TEST(Golden, ConvolutionFamily) {
+  // Square T (k = n): only Pi D > 0 binds; optimum Pi = (1,1),
+  // t = mu_i + mu_k + 1.
+  for (Int mu_i : {3, 5}) {
+    for (Int mu_k : {2, 3}) {
+      core::MappingSolution s = core::Mapper().find_time_optimal(
+          model::convolution(mu_i, mu_k), MatI{{1, 0}});
+      ASSERT_TRUE(s.found);
+      EXPECT_EQ(s.makespan, mu_i + mu_k + 1)
+          << mu_i << "x" << mu_k;
+    }
+  }
+}
+
+TEST(Golden, EditDistanceAndMatvec) {
+  core::MappingSolution ed = core::Mapper().find_time_optimal(
+      model::edit_distance(5, 6), MatI{{1, -1}});
+  ASSERT_TRUE(ed.found);
+  EXPECT_EQ(ed.makespan, 5 + 6 + 1);
+  core::MappingSolution mv = core::Mapper().find_time_optimal(
+      model::matvec(4), MatI{{1, 0}});
+  ASSERT_TRUE(mv.found);
+  EXPECT_EQ(mv.makespan, 4 + 4 + 1);
+}
+
+TEST(Golden, BitLevelOptima) {
+  MatI space5{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}};
+  struct Row {
+    Int mu, bits, expected;
+  };
+  // Measured once with the exact machinery, pinned forever:
+  // bench/thm47_bitlevel_5d_to_2d's table.
+  const Row rows[] = {{2, 2, 28}, {2, 3, 58}, {3, 2, 38}, {3, 3, 78}};
+  for (const Row& r : rows) {
+    core::MappingSolution s = core::Mapper().find_time_optimal(
+        bitlevel::bit_matmul(r.mu, r.bits), space5);
+    ASSERT_TRUE(s.found) << r.mu << "," << r.bits;
+    EXPECT_EQ(s.makespan, r.expected)
+        << "mu=" << r.mu << " bits=" << r.bits;
+  }
+  // 4-D bit-level convolution onto a 2-D array.
+  MatI space4{{1, 0, 0, 0}, {0, 0, 1, 0}};
+  core::MappingSolution c = core::Mapper().find_time_optimal(
+      bitlevel::bit_convolution(3, 2, 2), space4);
+  ASSERT_TRUE(c.found);
+  EXPECT_EQ(c.makespan, 15);
+}
+
+TEST(Golden, TriangularLu) {
+  // t = (mu+1)^2 on the true simplex-chain domain (POLY bench).
+  for (Int mu : {2, 3, 4}) {
+    search::PolyhedralSearchResult r = search::polyhedral_optimal_schedule(
+        search::triangular_lu(mu), MatI{{0, 0, 1}});
+    ASSERT_TRUE(r.found) << mu;
+    EXPECT_TRUE(r.certified_optimal) << mu;
+    EXPECT_EQ(r.makespan, (mu + 1) * (mu + 1)) << "mu=" << mu;
+  }
+}
+
+TEST(Golden, JointDesignSpaceFrontier) {
+  // The Problem 6.2 frontier for matmul mu=4 at |s| <= 2 (PROB6 bench):
+  // three points, led by the t=17 design that dominates the paper's.
+  search::SpaceSearchOptions options;
+  options.max_entry = 2;
+  search::DesignSpaceResult r =
+      search::explore_design_space(model::matmul(4), options);
+  ASSERT_EQ(r.pareto.size(), 3u);
+  EXPECT_EQ(r.pareto[0].makespan, 17);
+  EXPECT_EQ(r.pareto[0].cost.total(), 16);
+  EXPECT_EQ(r.pareto[1].makespan, 25);
+  EXPECT_EQ(r.pareto[1].cost.total(), 11);
+  EXPECT_EQ(r.pareto[2].makespan, 29);
+  EXPECT_EQ(r.pareto[2].cost.total(), 6);
+}
+
+TEST(Golden, FreeScheduleBounds) {
+  EXPECT_EQ(schedule::free_schedule_makespan(model::matmul(4)), 13);
+  EXPECT_EQ(schedule::free_schedule_makespan(model::transitive_closure(4)),
+            21);
+  EXPECT_EQ(schedule::free_schedule_makespan(model::convolution(6, 3)), 10);
+  EXPECT_EQ(
+      schedule::free_schedule_makespan(bitlevel::bit_matmul(2, 2)), 14);
+}
+
+}  // namespace
+}  // namespace sysmap

@@ -1,0 +1,178 @@
+// Tests for linear schedules (Equation 2.7, Definition 2.2 condition 1)
+// and interconnect routing / buffer accounting (condition 2).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "model/gallery.hpp"
+#include "schedule/interconnect.hpp"
+#include "schedule/linear_schedule.hpp"
+
+namespace sysmap::schedule {
+namespace {
+
+TEST(LinearSchedule, TimeAndValidity) {
+  LinearSchedule pi(VecI{1, 4, 1});
+  EXPECT_EQ(pi.time(VecI{2, 1, 3}), 9);
+  EXPECT_TRUE(pi.respects_dependences(MatI::identity(3)));
+  // A dependence with nonpositive delay invalidates the schedule.
+  MatI d{{1, -1}, {0, 0}, {0, 0}};
+  EXPECT_FALSE(pi.respects_dependences(d));
+  EXPECT_THROW(pi.respects_dependences(MatI::identity(2)),
+               std::invalid_argument);
+  EXPECT_THROW(LinearSchedule(VecI{}), std::invalid_argument);
+}
+
+TEST(LinearSchedule, TransitiveClosureValidity) {
+  // Example 5.2: Pi = [mu+1, 1, 1] must satisfy Pi D > 0 for mu >= 2.
+  const Int mu = 4;
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+  EXPECT_TRUE(LinearSchedule(VecI{mu + 1, 1, 1})
+                  .respects_dependences(algo.dependence_matrix()));
+  // Pi = [1, 1, 1] fails: Pi d_3 = 1 - 1 - 1 = -1.
+  EXPECT_FALSE(LinearSchedule(VecI{1, 1, 1})
+                   .respects_dependences(algo.dependence_matrix()));
+}
+
+TEST(LinearSchedule, MakespanClosedForm) {
+  // Equation 2.7: t = 1 + sum |pi_i| mu_i.
+  model::IndexSet cube = model::IndexSet::cube(3, 4);
+  EXPECT_EQ(LinearSchedule(VecI{1, 4, 1}).makespan(cube), 25);  // mu(mu+2)+1
+  EXPECT_EQ(LinearSchedule(VecI{2, 1, 4}).makespan(cube), 29);  // [23]'s t'
+  EXPECT_EQ(LinearSchedule(VecI{-1, 4, 1}).objective(cube), 24);
+}
+
+TEST(LinearSchedule, SpanByCornersMatchesClosedForm) {
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<Int> pi_dist(-5, 5);
+  std::uniform_int_distribution<Int> mu_dist(1, 6);
+  for (int iter = 0; iter < 100; ++iter) {
+    VecI pi{pi_dist(rng), pi_dist(rng), pi_dist(rng)};
+    if (pi == VecI{0, 0, 0}) continue;
+    model::IndexSet set({mu_dist(rng), mu_dist(rng), mu_dist(rng)});
+    LinearSchedule s(pi);
+    EXPECT_EQ(s.span_by_corners(set), s.objective(set));
+  }
+}
+
+TEST(Interconnect, Factories) {
+  Interconnect mesh = Interconnect::nearest_neighbor(2);
+  EXPECT_EQ(mesh.dims(), 2u);
+  EXPECT_EQ(mesh.num_primitives(), 4u);
+  Interconnect diag = Interconnect::with_diagonals(2);
+  EXPECT_EQ(diag.num_primitives(), 8u);
+  Interconnect line = Interconnect::nearest_neighbor(1);
+  EXPECT_EQ(line.num_primitives(), 2u);
+  EXPECT_THROW(Interconnect(MatI(0, 0)), std::invalid_argument);
+}
+
+TEST(Routing, MatmulDedicatedStyle) {
+  // Example 5.1: S = [1,1,-1], Pi = [1,4,1], D = I.  On the bidirectional
+  // linear interconnect: S d_1 = 1, S d_2 = 1, S d_3 = -1; delays 1, 4, 1.
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  LinearSchedule pi(VecI{1, 4, 1});
+  std::optional<Routing> r = route(MatI{{1, 1, -1}}, algo.dependence_matrix(),
+                                   Interconnect::nearest_neighbor(1), pi);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->hops, (VecI{1, 1, 1}));
+  EXPECT_EQ(r->delays, (VecI{1, 4, 1}));
+  // Three buffers on the A link (dependence d_2), as in Figure 2.
+  EXPECT_EQ(r->buffers, (VecI{0, 3, 0}));
+  EXPECT_EQ(r->total_buffers(), 3);
+  EXPECT_TRUE(single_hop_columns(r->k));
+  // S D == P K.
+  MatI sd = MatI{{1, 1, -1}} * algo.dependence_matrix();
+  MatI pk = Interconnect::nearest_neighbor(1).p() * r->k;
+  EXPECT_EQ(sd, pk);
+}
+
+TEST(Routing, Ref23ScheduleNeedsFourBuffers) {
+  // [23]'s Pi' = [2,1,mu]: buffers total sum(Pi' d_i - 1) = 4 at mu = 4.
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  LinearSchedule pi(VecI{2, 1, 4});
+  std::optional<Routing> r = route(MatI{{1, 1, -1}}, algo.dependence_matrix(),
+                                   Interconnect::nearest_neighbor(1), pi);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->total_buffers(), 4);
+}
+
+TEST(Routing, MultiHopDisplacement) {
+  // S d = 3 with delay 3: three +1 hops, no buffer.
+  MatI space{{3}};
+  MatI d{{1}};
+  LinearSchedule pi(VecI{3});
+  std::optional<Routing> r =
+      route(space, d, Interconnect::nearest_neighbor(1), pi);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->hops[0], 3);
+  EXPECT_EQ(r->buffers[0], 0);
+  EXPECT_FALSE(single_hop_columns(r->k));  // one column uses a link 3 times
+}
+
+TEST(Routing, UnreachableWithinDelayFails) {
+  // S d = 3 but delay only 2: no valid K (condition 2 violated).
+  MatI space{{3}};
+  MatI d{{1}};
+  LinearSchedule pi(VecI{2});
+  EXPECT_FALSE(route(space, d, Interconnect::nearest_neighbor(1), pi)
+                   .has_value());
+}
+
+TEST(Routing, ZeroDisplacementUsesNoLinks) {
+  MatI space{{0}};
+  MatI d{{1}};
+  LinearSchedule pi(VecI{2});
+  std::optional<Routing> r =
+      route(space, d, Interconnect::nearest_neighbor(1), pi);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->hops[0], 0);
+  EXPECT_EQ(r->buffers[0], 2);
+}
+
+TEST(Routing, InvalidScheduleRejected) {
+  MatI space{{1}};
+  MatI d{{-1}};
+  LinearSchedule pi(VecI{1});  // Pi d = -1 <= 0
+  EXPECT_FALSE(route(space, d, Interconnect::nearest_neighbor(1), pi)
+                   .has_value());
+}
+
+TEST(Routing, DiagonalPrimitiveShortensPath) {
+  MatI space{{1, 0}, {0, 1}};
+  MatI d{{1}, {1}};  // displacement (1,1)
+  LinearSchedule pi(VecI{1, 1});  // delay 2
+  // 4-neighbour mesh: needs 2 hops; delay 2 works.
+  std::optional<Routing> mesh =
+      route(space, d, Interconnect::nearest_neighbor(2), pi);
+  ASSERT_TRUE(mesh.has_value());
+  EXPECT_EQ(mesh->hops[0], 2);
+  // 8-neighbour: 1 hop, 1 buffer.
+  std::optional<Routing> diag =
+      route(space, d, Interconnect::with_diagonals(2), pi);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->hops[0], 1);
+  EXPECT_EQ(diag->buffers[0], 1);
+}
+
+TEST(Routing, SingleHopColumnsDetector) {
+  EXPECT_TRUE(single_hop_columns(MatI::identity(3)));
+  EXPECT_TRUE(single_hop_columns(MatI{{0, 1}, {0, 0}}));
+  EXPECT_FALSE(single_hop_columns(MatI{{2}}));
+  EXPECT_FALSE(single_hop_columns(MatI{{1}, {1}}));
+}
+
+TEST(Routing, TransitiveClosureExample52) {
+  // Example 5.2: S = [0,0,1], Pi = [mu+1,1,1], P = SD = [1,0,-1,0,-1].
+  const Int mu = 4;
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+  LinearSchedule pi(VecI{mu + 1, 1, 1});
+  std::optional<Routing> r = route(MatI{{0, 0, 1}}, algo.dependence_matrix(),
+                                   Interconnect::nearest_neighbor(1), pi);
+  ASSERT_TRUE(r.has_value());
+  // S d_i displacements: 1, 0, -1, 0, -1 -- all within one hop.
+  EXPECT_EQ(r->hops, (VecI{1, 0, 1, 0, 1}));
+  EXPECT_TRUE(single_hop_columns(r->k));
+}
+
+}  // namespace
+}  // namespace sysmap::schedule

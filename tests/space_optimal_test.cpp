@@ -1,0 +1,148 @@
+// Tests for the Problem 6.1 / 6.2 extensions: space-optimal mappings and
+// design-space exploration.
+#include <gtest/gtest.h>
+
+#include "linalg/ops.hpp"
+#include "model/gallery.hpp"
+#include "search/space_optimal.hpp"
+
+namespace sysmap::search {
+namespace {
+
+TEST(CandidateSpaces, RowDedupRules) {
+  SpaceSearchOptions options;
+  options.max_entry = 1;
+  options.array_dims = 1;
+  std::vector<MatI> spaces = candidate_spaces(3, options);
+  // Rows in {-1,0,1}^3, nonzero, first nonzero positive, primitive:
+  // 13 of them ((3^3 - 1) / 2).
+  EXPECT_EQ(spaces.size(), 13u);
+  for (const MatI& s : spaces) {
+    Int first = 0;
+    for (std::size_t c = 0; c < 3 && first == 0; ++c) first = s(0, c);
+    EXPECT_GT(first, 0);
+  }
+}
+
+TEST(CandidateSpaces, TwoDimensionalFullRankOnly) {
+  SpaceSearchOptions options;
+  options.max_entry = 1;
+  options.array_dims = 2;
+  std::vector<MatI> spaces = candidate_spaces(3, options);
+  EXPECT_FALSE(spaces.empty());
+  for (const MatI& s : spaces) {
+    EXPECT_EQ(linalg::rank(to_bigint(s)), 2u);
+  }
+  // Unordered pairs of 13 rows minus rank-deficient (parallel) pairs; all
+  // distinct primitive rows here are non-parallel, so C(13,2) = 78.
+  EXPECT_EQ(spaces.size(), 78u);
+}
+
+TEST(CandidateSpaces, MaxEntryGrowsPool) {
+  SpaceSearchOptions narrow;
+  narrow.max_entry = 1;
+  SpaceSearchOptions wide;
+  wide.max_entry = 2;
+  EXPECT_GT(candidate_spaces(3, wide).size(),
+            candidate_spaces(3, narrow).size());
+}
+
+TEST(ArrayCost, MatmulProjection) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  // S = [1,1,-1]: processors = values of j1+j2-j3 over [0,4]^3 = [-4,8]
+  // -> 13; wire = |S d_1| + |S d_2| + |S d_3| = 1+1+1 = 3.
+  ArrayCost cost = evaluate_array_cost(algo, MatI{{1, 1, -1}});
+  EXPECT_EQ(cost.processors, 13);
+  EXPECT_EQ(cost.wire_length, 3);
+  EXPECT_EQ(cost.total(), 16);
+  // S = [0,0,1]: 5 PEs, wire 1.
+  ArrayCost tc = evaluate_array_cost(algo, MatI{{0, 0, 1}});
+  EXPECT_EQ(tc.processors, 5);
+  EXPECT_EQ(tc.wire_length, 1);
+}
+
+TEST(Problem61, MatmulGivenSchedule) {
+  // Fix the optimal schedule Pi = [1, 4, 1]; which S minimizes the array?
+  const Int mu = 4;
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  SpaceSearchOptions options;
+  options.max_entry = 1;
+  SpaceSearchResult r = space_optimal_mapping(algo, VecI{1, mu, 1}, options);
+  ASSERT_TRUE(r.found);
+  EXPECT_GT(r.candidates_tested, 0u);
+  // The result must be conflict-free and at least as cheap as the paper's
+  // S = [1,1,-1] (cost 16).
+  EXPECT_LE(r.cost.total(), 16);
+  mapping::MappingMatrix t(r.space, VecI{1, mu, 1});
+  EXPECT_TRUE(mapping::decide_conflict_free(t, algo.index_set())
+                  .conflict_free());
+}
+
+TEST(Problem61, RejectsInvalidSchedule) {
+  model::UniformDependenceAlgorithm algo = model::matmul(3);
+  EXPECT_THROW(space_optimal_mapping(algo, VecI{1, -1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(space_optimal_mapping(algo, VecI{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(Problem61, InfeasibleWhenNoSpaceWorks) {
+  // With Pi = [1,1,1] on the matmul cube every 1-D projection of the cube
+  // collides (gamma candidates like (1,-1,0) are never feasible), so no
+  // max_entry=1 space is conflict-free.
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  SpaceSearchOptions options;
+  options.max_entry = 1;
+  SpaceSearchResult r = space_optimal_mapping(algo, VecI{1, 1, 1}, options);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(Problem62, MatmulParetoFrontier) {
+  const Int mu = 3;
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  SpaceSearchOptions options;
+  options.max_entry = 1;
+  DesignSpaceResult r = explore_design_space(algo, options);
+  ASSERT_FALSE(r.pareto.empty());
+  EXPECT_GT(r.feasible_spaces, 0u);
+  EXPECT_LE(r.feasible_spaces, r.spaces_tested);
+  // Frontier is strictly increasing in makespan and strictly decreasing in
+  // cost.
+  for (std::size_t i = 1; i < r.pareto.size(); ++i) {
+    EXPECT_GT(r.pareto[i].makespan, r.pareto[i - 1].makespan);
+    EXPECT_LT(r.pareto[i].cost.total(), r.pareto[i - 1].cost.total());
+  }
+  // Every frontier point is genuinely conflict-free and consistent.
+  for (const auto& p : r.pareto) {
+    mapping::MappingMatrix t(p.space, p.pi);
+    EXPECT_TRUE(mapping::decide_conflict_free(t, algo.index_set())
+                    .conflict_free());
+    schedule::LinearSchedule sched(p.pi);
+    EXPECT_EQ(sched.makespan(algo.index_set()), p.makespan);
+    ArrayCost cost = evaluate_array_cost(algo, p.space);
+    EXPECT_EQ(cost.total(), p.cost.total());
+  }
+}
+
+TEST(Problem62, TransitiveClosureContainsPaperDesign) {
+  const Int mu = 3;
+  model::UniformDependenceAlgorithm algo = model::transitive_closure(mu);
+  SpaceSearchOptions options;
+  options.max_entry = 1;
+  DesignSpaceResult r = explore_design_space(algo, options);
+  ASSERT_FALSE(r.pareto.empty());
+  // The paper's S = [0,0,1] with t = mu(mu+3)+1 must be dominated-or-equal
+  // by the frontier: some point has makespan <= 19 and cost <= cost([0,0,1]).
+  ArrayCost paper_cost = evaluate_array_cost(algo, MatI{{0, 0, 1}});
+  bool dominated_or_present = false;
+  for (const auto& p : r.pareto) {
+    if (p.makespan <= mu * (mu + 3) + 1 &&
+        p.cost.total() <= paper_cost.total()) {
+      dominated_or_present = true;
+    }
+  }
+  EXPECT_TRUE(dominated_or_present);
+}
+
+}  // namespace
+}  // namespace sysmap::search

@@ -1,0 +1,84 @@
+// Tests for the textual problem-spec parsing behind the CLI.
+#include <gtest/gtest.h>
+
+#include "core/spec.hpp"
+
+namespace sysmap::core {
+namespace {
+
+TEST(ParseVector, AcceptsSeparators) {
+  EXPECT_EQ(parse_vector("1 4 1"), (VecI{1, 4, 1}));
+  EXPECT_EQ(parse_vector("1,4,1"), (VecI{1, 4, 1}));
+  EXPECT_EQ(parse_vector("  -2,\t3  "), (VecI{-2, 3}));
+  EXPECT_EQ(parse_vector("7"), (VecI{7}));
+}
+
+TEST(ParseVector, RejectsGarbage) {
+  EXPECT_THROW(parse_vector(""), std::invalid_argument);
+  EXPECT_THROW(parse_vector("   "), std::invalid_argument);
+  EXPECT_THROW(parse_vector("1 x 2"), std::invalid_argument);
+  EXPECT_THROW(parse_vector("1.5"), std::invalid_argument);
+}
+
+TEST(ParseMatrix, RowsBySemicolon) {
+  MatI m = parse_matrix("1 0 0; 0 1 0");
+  EXPECT_EQ(m, (MatI{{1, 0, 0}, {0, 1, 0}}));
+  // Trailing semicolon tolerated.
+  EXPECT_EQ(parse_matrix("1 1 -1;"), (MatI{{1, 1, -1}}));
+}
+
+TEST(ParseMatrix, RejectsRagged) {
+  EXPECT_THROW(parse_matrix("1 2; 3"), std::invalid_argument);
+  EXPECT_THROW(parse_matrix(";"), std::invalid_argument);
+}
+
+TEST(Gallery, ByName) {
+  auto mm = make_gallery_algorithm("matmul", 4);
+  ASSERT_TRUE(mm.has_value());
+  EXPECT_EQ(mm->dimension(), 3u);
+  auto tc = make_gallery_algorithm("transitive_closure", 3);
+  ASSERT_TRUE(tc.has_value());
+  EXPECT_EQ(tc->num_dependences(), 5u);
+  auto conv = make_gallery_algorithm("convolution", 5, 3);
+  ASSERT_TRUE(conv.has_value());
+  EXPECT_EQ(conv->index_set().bounds(), (VecI{5, 3}));
+  auto bm = make_gallery_algorithm("bit_matmul", 2, -1, 3);
+  ASSERT_TRUE(bm.has_value());
+  EXPECT_EQ(bm->dimension(), 5u);
+  EXPECT_EQ(bm->index_set().mu(3), 5);  // 2*bits - 1
+  EXPECT_FALSE(make_gallery_algorithm("nonsense", 4).has_value());
+}
+
+TEST(Gallery, DefaultsSecondParameter) {
+  auto conv = make_gallery_algorithm("convolution", 4);
+  ASSERT_TRUE(conv.has_value());
+  EXPECT_EQ(conv->index_set().bounds(), (VecI{4, 4}));
+}
+
+TEST(Interconnects, ByNameAndMatrix) {
+  auto line = make_interconnect("line", 1);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->num_primitives(), 2u);
+  auto mesh = make_interconnect("mesh", 2);
+  ASSERT_TRUE(mesh.has_value());
+  EXPECT_EQ(mesh->num_primitives(), 4u);
+  auto diag = make_interconnect("diag", 2);
+  ASSERT_TRUE(diag.has_value());
+  EXPECT_EQ(diag->num_primitives(), 8u);
+  auto custom = make_interconnect("1 -1", 1);
+  ASSERT_TRUE(custom.has_value());
+  EXPECT_EQ(custom->p(), (MatI{{1, -1}}));
+  EXPECT_FALSE(make_interconnect("nope x", 1).has_value());
+}
+
+TEST(Custom, BoundsAndDeps) {
+  model::UniformDependenceAlgorithm a =
+      make_custom_algorithm("4 4 4", "1 0 0; 0 1 0; 0 0 1");
+  EXPECT_EQ(a.dimension(), 3u);
+  EXPECT_EQ(a.dependence_matrix(), MatI::identity(3));
+  EXPECT_THROW(make_custom_algorithm("4 4", "1 0 0; 0 1 0; 0 0 1"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sysmap::core

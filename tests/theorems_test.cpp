@@ -1,0 +1,308 @@
+// Tests for the published conditions of Section 4 (Theorems 4.3-4.8) and
+// the library's generalized sign-pattern condition, including adversarial
+// probes of the published theorems' necessity gap.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baseline/brute_force.hpp"
+#include "lattice/hnf.hpp"
+#include "linalg/matrix_io.hpp"
+#include "mapping/theorems.hpp"
+#include "model/index_set.hpp"
+
+namespace sysmap::mapping {
+namespace {
+
+using Status = ConflictVerdict::Status;
+
+MappingMatrix example21_t() {
+  return MappingMatrix(MatI{{1, 7, 1, 1}, {1, 7, 1, 0}});
+}
+
+// --------------------------------------------------------------------------
+// Theorem 4.3 (necessary)
+// --------------------------------------------------------------------------
+
+TEST(Theorem43, RejectsUnitKernelVector) {
+  // T with e_3 in the kernel: gamma = e_3 has a single nonzero entry, so V
+  // must have a zero head column and Theorem 4.3 fires.
+  MappingMatrix t(MatI{{1, 0, 0, 0}, {0, 1, 0, 0}});
+  model::IndexSet set = model::IndexSet::cube(4, 3);
+  ConflictVerdict v = theorem_4_3(t, set);
+  EXPECT_EQ(v.status, Status::kHasConflict);
+  ASSERT_TRUE(v.witness.has_value());
+  // Witness is a unit vector in the kernel.
+  EXPECT_TRUE(linalg::is_zero_vector(to_bigint(t.matrix()) * *v.witness));
+}
+
+TEST(Theorem43, PassesOnExample21) {
+  ConflictVerdict v = theorem_4_3(example21_t(), model::IndexSet::cube(4, 6));
+  EXPECT_EQ(v.status, Status::kUnknown);  // necessary condition holds
+}
+
+// --------------------------------------------------------------------------
+// Theorem 4.4 (necessary)
+// --------------------------------------------------------------------------
+
+TEST(Theorem44, DetectsNonFeasibleKernelColumn) {
+  // Example 2.1's T: the kernel contains (1, 0, -1, 0) whose entries are
+  // all <= mu = 6 -- some basis choice exposes it; Theorem 4.4 checks the
+  // specific HNF basis columns.
+  MappingMatrix t = example21_t();
+  model::IndexSet set = model::IndexSet::cube(4, 6);
+  ConflictVerdict v = theorem_4_4(t, set);
+  // Either the basis column itself is non-feasible (kHasConflict) or the
+  // condition passes; both are consistent with the theorem being only
+  // necessary.  What must NOT happen is kConflictFree.
+  EXPECT_NE(v.status, Status::kConflictFree);
+}
+
+TEST(Theorem44, FiresOnSmallBox) {
+  // Tiny bounds make every kernel column non-feasible quickly.
+  MappingMatrix t(MatI{{1, 1, 0}, {0, 1, 1}});
+  model::IndexSet set = model::IndexSet::cube(3, 9);
+  // kernel of [[1,1,0],[0,1,1]] is span{(1,-1,1)}: all entries 1 <= 9.
+  ConflictVerdict v = theorem_4_4(t, set);
+  EXPECT_EQ(v.status, Status::kHasConflict);
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_FALSE(is_feasible_conflict_vector(*v.witness, set));
+}
+
+// --------------------------------------------------------------------------
+// Theorem 4.5 (sufficient)
+// --------------------------------------------------------------------------
+
+TEST(Theorem45, CertifiesLargeGcdRows) {
+  // Build T whose kernel basis has a row with huge gcd: T = [1, 100] on a
+  // small box; kernel = span{(-100, 1)}... use 2x... craft: T (1 x 3).
+  MappingMatrix t(MatI{{1, 0, 100}});
+  model::IndexSet set({5, 5, 5});
+  // kernel basis columns: (0,1,0) and (-100, 0, 1).  Row gcds:
+  // row0 gcd(0,-100)=100 >= 6; row1 gcd(1,0)=1; row2 gcd(0,1)=1.
+  // Theorem 4.5 needs TWO rows with gcd >= mu+1 -> inconclusive here.
+  ConflictVerdict v = theorem_4_5(t, set);
+  EXPECT_EQ(v.status, Status::kUnknown);
+
+  // Now a mapping where two rows qualify: T = [[1, 0, 100], [0, 1, 100]]:
+  // kernel = span{(-100, -100, 1)}; rows 0 and 1 have gcd 100 but the
+  // 1-dim kernel needs only one row with nonsingular minor.
+  MappingMatrix t2(MatI{{1, 0, 100}, {0, 1, 100}});
+  ConflictVerdict v2 = theorem_4_5(t2, set);
+  EXPECT_EQ(v2.status, Status::kConflictFree);
+  // Cross-check with brute force.
+  EXPECT_EQ(baseline::brute_force_conflicts(t2, set).status,
+            Status::kConflictFree);
+}
+
+TEST(Theorem45, SoundnessAgainstBruteForce) {
+  // Whenever Theorem 4.5 says conflict-free, brute force must agree.
+  std::mt19937_64 rng(5150);
+  std::uniform_int_distribution<Int> entry(-8, 8);
+  int certified = 0;
+  for (int iter = 0; iter < 400 && certified < 10; ++iter) {
+    MatI t(2, 4);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(4, 2);
+    ConflictVerdict v = theorem_4_5(mm, set);
+    if (v.status != Status::kConflictFree) continue;
+    ++certified;
+    EXPECT_EQ(baseline::brute_force_conflicts(mm, set).status,
+              Status::kConflictFree)
+        << linalg::pretty(t);
+  }
+  EXPECT_GT(certified, 0);
+}
+
+// --------------------------------------------------------------------------
+// Theorem 4.6 (sufficient, k = n-2)
+// --------------------------------------------------------------------------
+
+TEST(Theorem46, CertifiesAndAgreesWithBruteForce) {
+  std::mt19937_64 rng(616);
+  std::uniform_int_distribution<Int> entry(-9, 9);
+  int certified = 0;
+  for (int iter = 0; iter < 600 && certified < 10; ++iter) {
+    MatI t(2, 4);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(4, 2);
+    ConflictVerdict v = theorem_4_6(mm, set);
+    if (v.status != Status::kConflictFree) continue;
+    ++certified;
+    EXPECT_EQ(baseline::brute_force_conflicts(mm, set).status,
+              Status::kConflictFree)
+        << linalg::pretty(t);
+  }
+  EXPECT_GT(certified, 0);
+}
+
+TEST(Theorem46, WrongShapeIsUnknown) {
+  MappingMatrix t(MatI{{1, 0, 0}});
+  EXPECT_EQ(theorem_4_6(t, model::IndexSet::cube(3, 2)).status,
+            Status::kUnknown);
+}
+
+// --------------------------------------------------------------------------
+// Theorem 4.7 (published exact for k = n-2)
+// --------------------------------------------------------------------------
+
+TEST(Theorem47, SufficiencyIsSound) {
+  // Published sufficiency: whenever 4.7 certifies, brute force agrees.
+  std::mt19937_64 rng(4747);
+  std::uniform_int_distribution<Int> entry(-6, 6);
+  int certified = 0;
+  for (int iter = 0; iter < 800 && certified < 25; ++iter) {
+    MatI t(2, 4);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(4, 2);
+    ConflictVerdict v = theorem_4_7(mm, set);
+    if (v.status != Status::kConflictFree) continue;
+    ++certified;
+    EXPECT_EQ(baseline::brute_force_conflicts(mm, set).status,
+              Status::kConflictFree)
+        << linalg::pretty(t);
+  }
+  EXPECT_GT(certified, 0);
+}
+
+TEST(Theorem47, RejectionWitnessesAreCheckedDownstream) {
+  // When 4.7 rejects, its witness *candidate* may still be feasible (the
+  // necessity gap).  Count how often the candidate is genuine vs not; the
+  // dispatcher must stay exact either way.
+  std::mt19937_64 rng(4848);
+  std::uniform_int_distribution<Int> entry(-6, 6);
+  int rejected = 0, genuine = 0;
+  for (int iter = 0; iter < 800 && rejected < 40; ++iter) {
+    MatI t(2, 4);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(4, 2);
+    ConflictVerdict v = theorem_4_7(mm, set);
+    if (v.status != Status::kHasConflict) continue;
+    ++rejected;
+    if (v.witness && !is_feasible_conflict_vector(*v.witness, set)) {
+      ++genuine;
+    }
+    // The exact dispatcher never lies.
+    ConflictVerdict truth = baseline::brute_force_conflicts(mm, set);
+    EXPECT_EQ(decide_conflict_free(mm, set).status, truth.status)
+        << linalg::pretty(t);
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(genuine, 0);
+}
+
+TEST(Theorem47, WrongShapeIsUnknown) {
+  // k = 1, n = 4: k != n-2.
+  MappingMatrix t(MatI{{1, 0, 0, 0}});
+  EXPECT_EQ(theorem_4_7(t, model::IndexSet::cube(4, 2)).status,
+            Status::kUnknown);
+}
+
+// --------------------------------------------------------------------------
+// Theorem 4.8 (published exact for k = n-3)
+// --------------------------------------------------------------------------
+
+TEST(Theorem48, SufficiencyCertificatesVerified) {
+  // 4.8's published conditions do not cover beta vectors with zero
+  // components, so a certificate is checked against brute force; the test
+  // RECORDS disagreements rather than asserting none (they are the
+  // documented gap) but requires the exact dispatcher to match brute force.
+  std::mt19937_64 rng(4849);
+  std::uniform_int_distribution<Int> entry(-5, 5);
+  int certified = 0, sound = 0;
+  for (int iter = 0; iter < 1500 && certified < 15; ++iter) {
+    MatI t(2, 5);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(5, 1);
+    ConflictVerdict v48 = theorem_4_8(mm, set);
+    ConflictVerdict truth = baseline::brute_force_conflicts(mm, set);
+    EXPECT_EQ(decide_conflict_free(mm, set).status, truth.status)
+        << linalg::pretty(t);
+    if (v48.status == Status::kConflictFree) {
+      ++certified;
+      if (truth.status == Status::kConflictFree) ++sound;
+    }
+  }
+  // Report: every certificate that was sound.
+  RecordProperty("theorem48_certified", certified);
+  RecordProperty("theorem48_sound", sound);
+  EXPECT_GT(certified, 0);
+}
+
+TEST(Theorem48, WrongShapeIsUnknown) {
+  MappingMatrix t(MatI{{1, 0, 0}});
+  EXPECT_EQ(theorem_4_8(t, model::IndexSet::cube(3, 2)).status,
+            Status::kUnknown);
+}
+
+// --------------------------------------------------------------------------
+// Generalized sign-pattern condition
+// --------------------------------------------------------------------------
+
+TEST(SignPattern, SubsumesTheorem47Certificates) {
+  std::mt19937_64 rng(9090);
+  std::uniform_int_distribution<Int> entry(-6, 6);
+  for (int iter = 0; iter < 400; ++iter) {
+    MatI t(2, 4);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(4, 2);
+    if (theorem_4_7(mm, set).status == Status::kConflictFree) {
+      EXPECT_EQ(sign_pattern_check(mm, set).status, Status::kConflictFree)
+          << linalg::pretty(t);
+    }
+  }
+}
+
+TEST(SignPattern, DefiniteVerdictsAreExact) {
+  std::mt19937_64 rng(9192);
+  std::uniform_int_distribution<Int> entry(-5, 5);
+  int definite = 0;
+  for (int iter = 0; iter < 500 && definite < 60; ++iter) {
+    MatI t(2, 5);
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 5; ++j) t(i, j) = entry(rng);
+    }
+    MappingMatrix mm(t);
+    if (!mm.has_full_rank()) continue;
+    model::IndexSet set = model::IndexSet::cube(5, 1);
+    ConflictVerdict v = sign_pattern_check(mm, set);
+    if (v.status == Status::kUnknown) continue;
+    ++definite;
+    EXPECT_EQ(v.status, baseline::brute_force_conflicts(mm, set).status)
+        << linalg::pretty(t);
+  }
+  EXPECT_GT(definite, 0);
+}
+
+TEST(SignPattern, EmptyKernelConflictFree) {
+  MappingMatrix t(MatI::identity(3));
+  EXPECT_EQ(sign_pattern_check(t, model::IndexSet::cube(3, 4)).status,
+            Status::kConflictFree);
+}
+
+}  // namespace
+}  // namespace sysmap::mapping

@@ -1,0 +1,206 @@
+// sysmap_cli -- command-line front end to the mapping library.
+//
+// Modes:
+//   find the time-optimal conflict-free schedule for a given space mapping:
+//     sysmap_cli --algo matmul --mu 4 --space "1 1 -1" [--simulate]
+//                [--diagram] [--method auto|proc51|ilp]
+//   verify a fully specified mapping:
+//     sysmap_cli --algo matmul --mu 4 --space "1 1 -1" --pi "1 4 1"
+//   custom algorithms:
+//     sysmap_cli --bounds "4 4 4" --deps "1 0 0; 0 1 0; 0 0 1" --space ...
+//   explore the joint (S, Pi) design space (Problem 6.2):
+//     sysmap_cli --algo matmul --mu 4 --explore [--max-entry 1]
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sysmap.hpp"
+
+namespace {
+
+using namespace sysmap;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--algo NAME [--mu N] [--mu2 N] [--bits N] |\n"
+      "           --bounds \"m1 m2 ...\" --deps \"d11 d12; d21 d22; ...\")\n"
+      "          [--space \"s1 s2 ...; ...\"] [--pi \"p1 p2 ...\"]\n"
+      "          [--method auto|proc51|ilp] [--simulate] [--diagram]\n"
+      "          [--report] [--target line|mesh|diag|\"P matrix\"]\n"
+      "          [--explore] [--max-entry N]\n"
+      "algorithms: matmul transitive_closure lu convolution unit_cube\n"
+      "            bit_matmul bit_lu bit_convolution\n",
+      argv0);
+  return 2;
+}
+
+int verify_mode(const model::UniformDependenceAlgorithm& algo,
+                const MatI& space, const VecI& pi, bool simulate,
+                bool diagram) {
+  schedule::LinearSchedule sched(pi);
+  if (!sched.respects_dependences(algo.dependence_matrix())) {
+    std::printf("INVALID: Pi D > 0 violated\n");
+    return 1;
+  }
+  mapping::MappingMatrix t(space, pi);
+  if (!t.has_full_rank()) {
+    std::printf("INVALID: rank(T) < k\n");
+    return 1;
+  }
+  mapping::ConflictVerdict v =
+      mapping::decide_conflict_free(t, algo.index_set());
+  std::printf("T =\n%s\n", linalg::pretty(t.matrix()).c_str());
+  std::printf("makespan t = %lld\n",
+              (long long)sched.makespan(algo.index_set()));
+  std::printf("conflict-freedom: %s [%s]\n",
+              v.conflict_free() ? "conflict-free" : "HAS CONFLICT",
+              v.rule.c_str());
+  if (v.witness) {
+    std::printf("witness conflict vector: %s\n",
+                linalg::pretty(*v.witness).c_str());
+  }
+  if (!v.conflict_free()) return 1;
+  systolic::ArrayDesign design = systolic::design_dedicated_array(algo, t);
+  std::printf("\n%s", systolic::link_diagram(algo, design).c_str());
+  if (simulate) {
+    systolic::SimulationReport r = systolic::simulate(algo, design);
+    std::printf("simulation: %s\n", r.summary().c_str());
+    if (!r.clean()) return 1;
+  }
+  if (diagram && t.k() == 2) {
+    std::printf("\n%s", systolic::space_time_diagram(algo, design).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  std::map<std::string, bool> flags{{"--simulate", false},
+                                    {"--diagram", false},
+                                    {"--explore", false},
+                                    {"--report", false}};
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (flags.count(key)) {
+      flags[key] = true;
+      continue;
+    }
+    if (i + 1 >= argc || key.rfind("--", 0) != 0) return usage(argv[0]);
+    args[key] = argv[++i];
+  }
+
+  try {
+    // -- build the algorithm -------------------------------------------
+    std::optional<model::UniformDependenceAlgorithm> algo;
+    if (args.count("--algo")) {
+      Int mu = args.count("--mu") ? std::stoll(args["--mu"]) : 4;
+      Int mu2 = args.count("--mu2") ? std::stoll(args["--mu2"]) : -1;
+      Int bits = args.count("--bits") ? std::stoll(args["--bits"]) : 2;
+      algo = core::make_gallery_algorithm(args["--algo"], mu, mu2, bits);
+      if (!algo) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n",
+                     args["--algo"].c_str());
+        return usage(argv[0]);
+      }
+    } else if (args.count("--bounds") && args.count("--deps")) {
+      algo = core::make_custom_algorithm(args["--bounds"], args["--deps"]);
+    } else {
+      return usage(argv[0]);
+    }
+    std::printf("algorithm: %s, n = %zu, m = %zu, |J| = %s\n",
+                algo->name().c_str(), algo->dimension(),
+                algo->num_dependences(),
+                algo->index_set().size().to_string().c_str());
+
+    // -- explore mode ----------------------------------------------------
+    if (flags["--explore"]) {
+      search::SpaceSearchOptions options;
+      options.max_entry =
+          args.count("--max-entry") ? std::stoll(args["--max-entry"]) : 1;
+      search::DesignSpaceResult r =
+          search::explore_design_space(*algo, options);
+      std::printf("design space: %llu spaces tested, %llu feasible\n",
+                  (unsigned long long)r.spaces_tested,
+                  (unsigned long long)r.feasible_spaces);
+      std::printf("%-16s | %-16s | t    | PEs + wire\n", "S", "Pi");
+      for (const auto& p : r.pareto) {
+        std::printf("%-16s | %-16s | %4lld | %lld + %lld\n",
+                    linalg::pretty(p.space.row_vector(0)).c_str(),
+                    linalg::pretty(p.pi).c_str(), (long long)p.makespan,
+                    (long long)p.cost.processors,
+                    (long long)p.cost.wire_length);
+      }
+      return r.pareto.empty() ? 1 : 0;
+    }
+
+    if (!args.count("--space")) return usage(argv[0]);
+    MatI space = core::parse_matrix(args["--space"]);
+
+    // -- verify mode -----------------------------------------------------
+    if (args.count("--pi")) {
+      return verify_mode(*algo, space, core::parse_vector(args["--pi"]),
+                         flags["--simulate"], flags["--diagram"]);
+    }
+
+    // -- optimize mode ----------------------------------------------------
+    core::MapperOptions options;
+    options.simulate = flags["--simulate"];
+    if (args.count("--target")) {
+      options.target =
+          core::make_interconnect(args["--target"], space.rows());
+      if (!options.target) {
+        std::fprintf(stderr, "unknown interconnect '%s'\n",
+                     args["--target"].c_str());
+        return usage(argv[0]);
+      }
+    }
+    if (args.count("--method")) {
+      const std::string& m = args["--method"];
+      if (m == "proc51") {
+        options.method = core::Method::kProcedure51;
+      } else if (m == "ilp") {
+        options.method = core::Method::kIlpCertified;
+      } else if (m != "auto") {
+        return usage(argv[0]);
+      }
+    }
+    if (flags["--report"]) options.simulate = true;
+    core::MappingSolution s =
+        core::Mapper(options).find_time_optimal(*algo, space);
+    if (!s.found) {
+      std::printf("no conflict-free schedule found\n");
+      return 1;
+    }
+    if (flags["--report"]) {
+      core::ReportOptions ropt;
+      ropt.include_frames = true;
+      std::printf("%s", core::render_report(*algo, s, ropt).c_str());
+      return 0;
+    }
+    std::printf("optimal Pi = %s  (t = %lld, %s)\n",
+                linalg::pretty(s.pi).c_str(), (long long)s.makespan,
+                s.method_used.c_str());
+    std::printf("certified: %s\n", s.verdict.rule.c_str());
+    if (s.array) {
+      std::printf("%s", systolic::link_diagram(*algo, *s.array).c_str());
+    }
+    if (s.simulation) {
+      std::printf("simulation: %s\n", s.simulation->summary().c_str());
+      if (!s.simulation->clean()) return 1;
+    }
+    if (flags["--diagram"] && s.array && s.array->t.k() == 2) {
+      std::printf("\n%s",
+                  systolic::space_time_diagram(*algo, *s.array).c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
