@@ -1,0 +1,236 @@
+// FASTPATH -- ablation of the machine-word (CheckedInt) fast path of the
+// exact kernel.
+//
+// For each gallery workload, materializes the candidate schedules Pi that
+// Procedure 5.1 actually visits (in objective order, dependence-feasible),
+// then times the per-candidate verdict work of Step 5 -- the rank test
+// plus one conflict oracle (kPaperTheorems, kExact, kBruteForce) -- with
+// the fast path enabled (default: CheckedInt first, transparent BigInt
+// restart on overflow) and forced onto the BigInt-only baseline.  Both
+// modes produce bit-identical verdicts (asserted here and in
+// tests/fastpath_test.cpp); the difference is wall-clock only.  Timing the
+// oracle in isolation keeps the shared search overhead (candidate
+// enumeration, dependence screening) from diluting the comparison.
+//
+// Output: a human-readable table on stdout and one JSON object per
+// (case, oracle, mode) plus one speedup summary line per (case, oracle),
+// written to $SYSMAP_BENCH_JSON or BENCH_fastpath.json in the working
+// directory.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+struct Case {
+  std::string name;
+  model::UniformDependenceAlgorithm algo;
+  MatI space;
+  bool brute_force_ok;  // brute force rescans J per candidate: small J only
+};
+
+std::string oracle_name(search::ConflictOracle oracle) {
+  switch (oracle) {
+    case search::ConflictOracle::kPaperTheorems:
+      return "kPaperTheorems";
+    case search::ConflictOracle::kExact:
+      return "kExact";
+    case search::ConflictOracle::kBruteForce:
+      return "kBruteForce";
+  }
+  return "?";
+}
+
+// Step 5(3) of Procedure 5.1, same ladder as the search drivers.
+mapping::ConflictVerdict run_oracle(search::ConflictOracle oracle,
+                                    const mapping::MappingMatrix& t,
+                                    const model::IndexSet& set) {
+  switch (oracle) {
+    case search::ConflictOracle::kPaperTheorems: {
+      const std::size_t n = t.n();
+      const std::size_t k = t.k();
+      if (k == n) {
+        mapping::ConflictVerdict out;
+        out.status = t.has_full_rank()
+                         ? mapping::ConflictVerdict::Status::kConflictFree
+                         : mapping::ConflictVerdict::Status::kHasConflict;
+        out.rule = "square T: rank test";
+        return out;
+      }
+      if (k + 1 == n) return mapping::theorem_3_1(t, set);
+      if (k + 2 == n) return mapping::theorem_4_7(t, set);
+      if (k + 3 == n) return mapping::theorem_4_8(t, set);
+      return mapping::theorem_4_5(t, set);
+    }
+    case search::ConflictOracle::kBruteForce:
+      return baseline::brute_force_conflicts(t, set);
+    case search::ConflictOracle::kExact:
+    default:
+      return mapping::decide_conflict_free(t, set);
+  }
+}
+
+// The dependence-feasible candidates of the first objective levels, in
+// the exact order the serial search visits them.
+std::vector<mapping::MappingMatrix> materialize_candidates(
+    const Case& c, std::size_t target) {
+  const model::IndexSet& set = c.algo.index_set();
+  const MatI& d = c.algo.dependence_matrix();
+  std::vector<mapping::MappingMatrix> out;
+  for (Int f = 1; out.size() < target && f < 10000; ++f) {
+    search::enumerate_schedules_at(set, f, [&](const VecI& pi) {
+      if (schedule::LinearSchedule(pi).respects_dependences(d)) {
+        out.emplace_back(c.space, pi);
+      }
+      return out.size() < target;
+    });
+  }
+  return out;
+}
+
+// One timed pass: the Step-5 verdict work for every candidate.
+std::uint64_t verdict_pass(const std::vector<mapping::MappingMatrix>& cands,
+                           search::ConflictOracle oracle,
+                           const model::IndexSet& set) {
+  std::uint64_t accepted = 0;
+  for (const mapping::MappingMatrix& t : cands) {
+    if (!t.has_full_rank()) continue;
+    mapping::ConflictVerdict v = run_oracle(oracle, t, set);
+    if (v.status == mapping::ConflictVerdict::Status::kConflictFree) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+struct Timing {
+  double ms_per_pass = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t fallbacks = 0;
+};
+
+Timing run_mode(const std::vector<mapping::MappingMatrix>& cands,
+                search::ConflictOracle oracle, const model::IndexSet& set,
+                bool fast, int reps) {
+  exact::FastpathGuard guard(fast);
+  Timing best;
+  for (int rep = 0; rep < reps; ++rep) {
+    exact::reset_fastpath_stats();
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t accepted = verdict_pass(cands, oracle, set);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best.ms_per_pass) {
+      exact::FastpathStats stats = exact::fastpath_stats();
+      best.ms_per_pass = ms;
+      best.accepted = accepted;
+      best.attempts = stats.attempts;
+      best.fallbacks = stats.fallbacks;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const char* path = std::getenv("SYSMAP_BENCH_JSON");
+  std::ofstream json(path ? path : "BENCH_fastpath.json");
+
+  std::vector<Case> cases;
+  cases.push_back({"matmul_mu4", model::matmul(4), MatI{{1, 1, -1}}, true});
+  cases.push_back({"matmul_mu6", model::matmul(6), MatI{{1, 1, -1}}, false});
+  cases.push_back({"transitive_closure_mu4", model::transitive_closure(4),
+                   MatI{{0, 0, 1}}, true});
+  cases.push_back({"lu_decomposition_mu4", model::lu_decomposition(4),
+                   MatI{{1, 1, -1}}, true});
+  cases.push_back({"convolution_2d_mu2", model::convolution_2d(2, 2, 2, 2),
+                   MatI{{1, 0, 0, 0}, {0, 1, 0, 0}}, false});
+  cases.push_back({"unit_cube_4d_mu3", model::unit_cube_algorithm(4, 3),
+                   MatI{{1, 0, 0, 0}, {0, 1, 0, 0}}, false});
+  cases.push_back({"unit_cube_5d_mu2", model::unit_cube_algorithm(5, 2),
+                   MatI{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}, {0, 0, 1, 0, 0}},
+                   false});
+
+  const std::vector<search::ConflictOracle> oracles = {
+      search::ConflictOracle::kPaperTheorems,
+      search::ConflictOracle::kExact,
+      search::ConflictOracle::kBruteForce,
+  };
+
+  std::cout << "FASTPATH ablation: Step-5 verdicts (rank test + oracle) "
+               "per candidate batch, fast path vs BigInt-only\n";
+  std::cout << "case                      oracle          cands  bigint_ms  "
+               "fast_ms  speedup  fallbacks/attempts\n";
+
+  for (const Case& c : cases) {
+    std::vector<mapping::MappingMatrix> cands =
+        materialize_candidates(c, 200);
+    const model::IndexSet& set = c.algo.index_set();
+    for (search::ConflictOracle oracle : oracles) {
+      if (oracle == search::ConflictOracle::kBruteForce && !c.brute_force_ok) {
+        continue;
+      }
+      // Calibrate rep count on one BigInt pass so each mode runs long
+      // enough to time stably, then keep it identical across modes.
+      int reps;
+      {
+        exact::FastpathGuard guard(false);
+        auto t0 = std::chrono::steady_clock::now();
+        verdict_pass(cands, oracle, set);
+        auto t1 = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        reps = ms >= 50 ? 3 : static_cast<int>(50 / (ms + 0.01)) + 3;
+      }
+      Timing slow = run_mode(cands, oracle, set, /*fast=*/false, reps);
+      Timing fast = run_mode(cands, oracle, set, /*fast=*/true, reps);
+      if (fast.accepted != slow.accepted) {
+        std::cerr << "PARITY VIOLATION in " << c.name << "/"
+                  << oracle_name(oracle) << "\n";
+        return 1;
+      }
+      double speedup =
+          fast.ms_per_pass > 0 ? slow.ms_per_pass / fast.ms_per_pass : 0;
+
+      std::ostringstream row;
+      row.setf(std::ios::fixed);
+      row.precision(3);
+      row << c.name;
+      for (std::size_t p = c.name.size(); p < 26; ++p) row << ' ';
+      row << oracle_name(oracle);
+      for (std::size_t p = oracle_name(oracle).size(); p < 16; ++p) row << ' ';
+      row << cands.size() << "  " << slow.ms_per_pass << "  "
+          << fast.ms_per_pass << "  ";
+      row.precision(2);
+      row << speedup << "x  " << fast.fallbacks << "/" << fast.attempts;
+      std::cout << row.str() << "\n";
+
+      for (bool mode_fast : {false, true}) {
+        const Timing& t = mode_fast ? fast : slow;
+        json << "{\"case\":\"" << c.name << "\""
+             << ",\"n\":" << set.dimension() << ",\"oracle\":\""
+             << oracle_name(oracle) << "\""
+             << ",\"fastpath\":" << (mode_fast ? "true" : "false")
+             << ",\"candidates\":" << cands.size()
+             << ",\"ms_per_pass\":" << t.ms_per_pass
+             << ",\"accepted\":" << t.accepted
+             << ",\"fastpath_attempts\":" << t.attempts
+             << ",\"fastpath_fallbacks\":" << t.fallbacks << "}\n";
+      }
+      json << "{\"case\":\"" << c.name << "\",\"oracle\":\""
+           << oracle_name(oracle) << "\",\"speedup\":" << speedup << "}\n";
+      json.flush();
+    }
+  }
+  return 0;
+}

@@ -8,7 +8,11 @@
 //     as a counter rather than a crash).
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "sysmap.hpp"
 
@@ -137,6 +141,43 @@ void BM_BigInt_Gcd(benchmark::State& state) {
 }
 BENCHMARK(BM_BigInt_Gcd)->Arg(9)->Arg(18)->Arg(36)->Arg(72)->Arg(144);
 
+// Console output for humans plus one JSON object per benchmark case
+// appended to a .jsonl file, so downstream tooling (plots, regression
+// gates) can diff runs without parsing the console table.  Target file:
+// $SYSMAP_BENCH_JSON, defaulting to BENCH_hnf_performance.jsonl in the
+// working directory.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(const std::string& path) : out_(path) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      out_ << "{\"name\":\"" << run.benchmark_name() << "\""
+           << ",\"iterations\":" << run.iterations
+           << ",\"real_time_ns\":" << run.GetAdjustedRealTime()
+           << ",\"cpu_time_ns\":" << run.GetAdjustedCPUTime();
+      for (const auto& [counter_name, counter] : run.counters) {
+        out_ << ",\"" << counter_name << "\":" << counter.value;
+      }
+      out_ << "}\n";
+    }
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const char* path = std::getenv("SYSMAP_BENCH_JSON");
+  JsonLinesReporter reporter(path ? path : "BENCH_hnf_performance.jsonl");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

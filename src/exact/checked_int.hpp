@@ -1,0 +1,137 @@
+// Overflow-trapping int64 scalar with the BigInt API surface.
+//
+// The machine-word fast path of the exact kernel (Hermite normal form,
+// Bareiss determinants, LLL, lattice-box enumeration) runs every templated
+// routine over CheckedInt instead of BigInt.  CheckedInt mirrors exactly the
+// observer/arithmetic interface those templates use, so one template body
+// serves both scalars; every operation traps via __builtin_*_overflow
+// (throwing OverflowError) so the dispatcher can restart the computation in
+// BigInt when entry growth exceeds 64 bits.  This is the standard
+// small-word/bignum split used by NTL and FLINT.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "exact/checked.hpp"
+
+namespace sysmap::exact {
+
+class CheckedInt {
+ public:
+  /// Zero.
+  constexpr CheckedInt() = default;
+
+  /// From a machine integer (implicit: drop-in exact scalar).
+  constexpr CheckedInt(std::int64_t value)  // NOLINT(google-explicit-constructor)
+      : value_(value) {}
+
+  // -- observers --------------------------------------------------------
+
+  constexpr std::int64_t value() const noexcept { return value_; }
+  constexpr int signum() const noexcept { return (value_ > 0) - (value_ < 0); }
+  constexpr bool is_zero() const noexcept { return value_ == 0; }
+  constexpr bool is_negative() const noexcept { return value_ < 0; }
+  constexpr bool is_one() const noexcept { return value_ == 1; }
+
+  /// Always true: the value is an int64 by construction.
+  constexpr bool fits_int64() const noexcept { return true; }
+  constexpr std::int64_t to_int64() const noexcept { return value_; }
+
+  std::string to_string() const { return std::to_string(value_); }
+
+  /// Number of bits in the magnitude (0 for zero); matches
+  /// BigInt::bit_length for in-range values.
+  std::size_t bit_length() const noexcept {
+    std::uint64_t m = value_ < 0
+                          ? ~static_cast<std::uint64_t>(value_) + 1
+                          : static_cast<std::uint64_t>(value_);
+    std::size_t bits = 0;
+    while (m != 0) {
+      ++bits;
+      m >>= 1;
+    }
+    return bits;
+  }
+
+  // -- arithmetic (all trapping) ---------------------------------------
+
+  CheckedInt operator-() const { return CheckedInt(neg_checked(value_)); }
+  CheckedInt abs() const { return CheckedInt(abs_checked(value_)); }
+
+  CheckedInt& operator+=(const CheckedInt& rhs) {
+    value_ = add_checked(value_, rhs.value_);
+    return *this;
+  }
+  CheckedInt& operator-=(const CheckedInt& rhs) {
+    value_ = sub_checked(value_, rhs.value_);
+    return *this;
+  }
+  CheckedInt& operator*=(const CheckedInt& rhs) {
+    value_ = mul_checked(value_, rhs.value_);
+    return *this;
+  }
+  CheckedInt& operator/=(const CheckedInt& rhs) {  ///< truncated quotient
+    value_ = div_checked(value_, rhs.value_);
+    return *this;
+  }
+  CheckedInt& operator%=(const CheckedInt& rhs) {  ///< truncated remainder
+    value_ = rem_checked(value_, rhs.value_);
+    return *this;
+  }
+
+  friend CheckedInt operator+(CheckedInt a, const CheckedInt& b) {
+    return a += b;
+  }
+  friend CheckedInt operator-(CheckedInt a, const CheckedInt& b) {
+    return a -= b;
+  }
+  friend CheckedInt operator*(CheckedInt a, const CheckedInt& b) {
+    return a *= b;
+  }
+  friend CheckedInt operator/(CheckedInt a, const CheckedInt& b) {
+    return a /= b;
+  }
+  friend CheckedInt operator%(CheckedInt a, const CheckedInt& b) {
+    return a %= b;
+  }
+
+  /// Truncated quotient and remainder (remainder has the dividend's sign).
+  static void div_mod(const CheckedInt& num, const CheckedInt& den,
+                      CheckedInt& quot, CheckedInt& rem) {
+    quot = CheckedInt(div_checked(num.value_, den.value_));
+    rem = CheckedInt(rem_checked(num.value_, den.value_));
+  }
+
+  /// Floor division: largest q with q*den <= num.
+  static CheckedInt floor_div(const CheckedInt& num, const CheckedInt& den) {
+    return CheckedInt(floor_div_checked(num.value_, den.value_));
+  }
+
+  /// Non-negative gcd; gcd(0, 0) == 0.
+  static CheckedInt gcd(const CheckedInt& a, const CheckedInt& b) {
+    return CheckedInt(gcd_i64(a.value_, b.value_));
+  }
+
+  // -- comparison -------------------------------------------------------
+
+  friend constexpr bool operator==(const CheckedInt& a,
+                                   const CheckedInt& b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr std::strong_ordering operator<=>(
+      const CheckedInt& a, const CheckedInt& b) noexcept {
+    return a.value_ <=> b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const CheckedInt& v);
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const CheckedInt& v);
+
+}  // namespace sysmap::exact

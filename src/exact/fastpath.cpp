@@ -1,0 +1,50 @@
+#include "exact/fastpath.hpp"
+
+#include <atomic>
+#include <ostream>
+
+#include "exact/checked_int.hpp"
+
+namespace sysmap::exact {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint64_t> g_attempts{0};
+std::atomic<std::uint64_t> g_fallbacks{0};
+}  // namespace
+
+bool fastpath_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_fastpath_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+FastpathStats fastpath_stats() noexcept {
+  return {g_attempts.load(std::memory_order_relaxed),
+          g_fallbacks.load(std::memory_order_relaxed)};
+}
+
+void reset_fastpath_stats() noexcept {
+  g_attempts.store(0, std::memory_order_relaxed);
+  g_fallbacks.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void record_attempt() noexcept {
+  g_attempts.fetch_add(1, std::memory_order_relaxed);
+}
+
+void record_fallback() noexcept {
+  g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::ostream& operator<<(std::ostream& os, const CheckedInt& v) {
+  return os << v.value();
+}
+
+}  // namespace sysmap::exact

@@ -1,0 +1,72 @@
+// Runtime control of the machine-word fast path.
+//
+// The exact kernel dispatches every verdict-producing computation to the
+// CheckedInt instantiation first and restarts it over BigInt when an
+// operation traps (see checked_int.hpp).  Both instantiations share one
+// template body, so the results are bit-identical by construction; the
+// toggle below exists for the ablation benchmark (bench/fastpath_ablation)
+// and for tests that want to force the BigInt-only baseline.  Counters
+// record how often the fast path was attempted and how often it had to
+// fall back, for observability in benches and parity tests.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "exact/checked.hpp"
+
+namespace sysmap::exact {
+
+/// True when dispatchers should try the CheckedInt instantiation first
+/// (the default).  Thread-safe; read with relaxed ordering on hot paths.
+bool fastpath_enabled() noexcept;
+
+/// Globally enables/disables the fast path (benchmarks and tests only).
+void set_fastpath_enabled(bool enabled) noexcept;
+
+/// Snapshot of the dispatch counters since the last reset.
+struct FastpathStats {
+  std::uint64_t attempts = 0;   ///< fast-path tries
+  std::uint64_t fallbacks = 0;  ///< tries that overflowed into BigInt
+};
+
+FastpathStats fastpath_stats() noexcept;
+void reset_fastpath_stats() noexcept;
+
+namespace detail {
+void record_attempt() noexcept;
+void record_fallback() noexcept;
+}  // namespace detail
+
+/// RAII toggle: forces the fast path on/off for a scope.
+class FastpathGuard {
+ public:
+  explicit FastpathGuard(bool enabled) : previous_(fastpath_enabled()) {
+    set_fastpath_enabled(enabled);
+  }
+  ~FastpathGuard() { set_fastpath_enabled(previous_); }
+  FastpathGuard(const FastpathGuard&) = delete;
+  FastpathGuard& operator=(const FastpathGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Runs `fast` when the fast path is enabled, restarting with `slow` if the
+/// fast computation traps on int64 overflow.  The two callables must be
+/// instantiations of the same exact algorithm so the result is identical
+/// whichever one completes.
+template <typename FastFn, typename SlowFn>
+auto with_fallback(FastFn&& fast, SlowFn&& slow) -> decltype(slow()) {
+  if (fastpath_enabled()) {
+    detail::record_attempt();
+    try {
+      return std::forward<FastFn>(fast)();
+    } catch (const OverflowError&) {
+      detail::record_fallback();
+    }
+  }
+  return std::forward<SlowFn>(slow)();
+}
+
+}  // namespace sysmap::exact

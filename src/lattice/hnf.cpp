@@ -1,196 +1,29 @@
 #include "lattice/hnf.hpp"
 
 #include <cstddef>
-#include <stdexcept>
-#include <utility>
 
 #include "exact/bigint.hpp"
+#include "exact/fastpath.hpp"
+#include "lattice/hnf_impl.hpp"
 #include "linalg/ops.hpp"
 
 namespace sysmap::lattice {
 
 using exact::BigInt;
-
-namespace {
-
-// Tracks the triple (H, U, V) under elementary unimodular column operations
-// on H and U; V = U^{-1} is maintained by the corresponding inverse row
-// operations.
-class ColumnOps {
- public:
-  ColumnOps(MatZ h, std::size_t n)
-      : h_(std::move(h)), u_(MatZ::identity(n)), v_(MatZ::identity(n)) {}
-
-  MatZ& h() { return h_; }
-  const MatZ& h() const { return h_; }
-
-  // col_a <-> col_b
-  void swap(std::size_t a, std::size_t b) {
-    if (a == b) return;
-    h_.swap_columns(a, b);
-    u_.swap_columns(a, b);
-    v_.swap_rows(a, b);
-  }
-
-  // col_j += q * col_i  (inverse on V: row_i -= q * row_j)
-  void add_multiple(std::size_t j, const BigInt& q, std::size_t i) {
-    if (q.is_zero()) return;
-    for (std::size_t r = 0; r < h_.rows(); ++r) {
-      h_(r, j) += q * h_(r, i);
-    }
-    for (std::size_t r = 0; r < u_.rows(); ++r) {
-      u_(r, j) += q * u_(r, i);
-    }
-    for (std::size_t c = 0; c < v_.cols(); ++c) {
-      v_(i, c) -= q * v_(j, c);
-    }
-  }
-
-  // col_a = -col_a  (inverse on V: row_a = -row_a)
-  void negate(std::size_t a) {
-    for (std::size_t r = 0; r < h_.rows(); ++r) h_(r, a) = -h_(r, a);
-    for (std::size_t r = 0; r < u_.rows(); ++r) u_(r, a) = -u_(r, a);
-    for (std::size_t c = 0; c < v_.cols(); ++c) v_(a, c) = -v_(a, c);
-  }
-
-  // General 2x2 unimodular transform on columns (a, b):
-  //   [col_a, col_b] <- [col_a, col_b] * [[x, p], [y, q]]
-  // with determinant x*q - y*p required to be +-1 by the caller.
-  // Inverse on V rows (for det = +1):
-  //   [row_a; row_b] <- [[q, -p], [-y, x]] * [row_a; row_b]
-  void transform2(std::size_t a, std::size_t b, const BigInt& x,
-                  const BigInt& y, const BigInt& p, const BigInt& q) {
-    for (std::size_t r = 0; r < h_.rows(); ++r) {
-      BigInt ha = h_(r, a), hb = h_(r, b);
-      h_(r, a) = ha * x + hb * y;
-      h_(r, b) = ha * p + hb * q;
-    }
-    for (std::size_t r = 0; r < u_.rows(); ++r) {
-      BigInt ua = u_(r, a), ub = u_(r, b);
-      u_(r, a) = ua * x + ub * y;
-      u_(r, b) = ua * p + ub * q;
-    }
-    for (std::size_t c = 0; c < v_.cols(); ++c) {
-      BigInt va = v_(a, c), vb = v_(b, c);
-      v_(a, c) = q * va - p * vb;
-      v_(b, c) = x * vb - y * va;
-    }
-  }
-
-  HnfResult take() && { return {std::move(h_), std::move(u_), std::move(v_)}; }
-
- private:
-  MatZ h_;
-  MatZ u_;
-  MatZ v_;
-};
-
-// Extended gcd over BigInt: g = x*a + y*b, g >= 0.
-struct XGcd {
-  BigInt g, x, y;
-};
-
-XGcd xgcd(const BigInt& a, const BigInt& b) {
-  BigInt r0 = a, r1 = b;
-  BigInt x0(1), x1(0), y0(0), y1(1);
-  while (!r1.is_zero()) {
-    BigInt q, r2;
-    BigInt::div_mod(r0, r1, q, r2);
-    BigInt x2 = x0 - q * x1;
-    BigInt y2 = y0 - q * y1;
-    r0 = std::move(r1);
-    r1 = std::move(r2);
-    x0 = std::move(x1);
-    x1 = std::move(x2);
-    y0 = std::move(y1);
-    y1 = std::move(y2);
-  }
-  if (r0.is_negative()) {
-    r0 = -r0;
-    x0 = -x0;
-    y0 = -y0;
-  }
-  return {std::move(r0), std::move(x0), std::move(y0)};
-}
-
-void eliminate_row_xgcd(ColumnOps& ops, std::size_t row, std::size_t pivot,
-                        std::size_t n) {
-  for (std::size_t j = pivot + 1; j < n; ++j) {
-    const BigInt& a = ops.h()(row, pivot);
-    const BigInt& b = ops.h()(row, j);
-    if (b.is_zero()) continue;
-    if (a.is_zero()) {
-      ops.swap(pivot, j);
-      continue;
-    }
-    XGcd e = xgcd(a, b);
-    // [col_pivot, col_j] * [[x, -b/g], [y, a/g]]; det = (x*a + y*b)/g = 1.
-    ops.transform2(pivot, j, e.x, e.y, -(b / e.g), a / e.g);
-  }
-}
-
-void eliminate_row_euclid(ColumnOps& ops, std::size_t row, std::size_t pivot,
-                          std::size_t n) {
-  // Repeatedly subtract quotient multiples of the smallest nonzero entry
-  // from the others until only the pivot position is nonzero.
-  for (;;) {
-    // Find column with smallest nonzero |entry| in this row, at >= pivot.
-    std::size_t best = n;
-    for (std::size_t j = pivot; j < n; ++j) {
-      const BigInt& x = ops.h()(row, j);
-      if (x.is_zero()) continue;
-      if (best == n ||
-          x.abs() < ops.h()(row, best).abs()) {
-        best = j;
-      }
-    }
-    if (best == n) return;  // all zero; caller handles rank failure
-    ops.swap(pivot, best);
-    bool any = false;
-    for (std::size_t j = pivot + 1; j < n; ++j) {
-      const BigInt& b = ops.h()(row, j);
-      if (b.is_zero()) continue;
-      BigInt q = BigInt::floor_div(b, ops.h()(row, pivot));
-      ops.add_multiple(j, -q, pivot);
-      if (!ops.h()(row, j).is_zero()) any = true;
-    }
-    if (!any) return;
-  }
-}
-
-}  // namespace
+using exact::CheckedInt;
 
 HnfResult hermite_normal_form(const MatZ& t, const HnfOptions& options) {
-  const std::size_t k = t.rows();
-  const std::size_t n = t.cols();
-  if (k > n) {
-    throw std::domain_error("hnf: more rows than columns cannot be full row rank [L, 0]");
-  }
-  ColumnOps ops(t, n);
-  for (std::size_t i = 0; i < k; ++i) {
-    if (options.strategy == HnfStrategy::kExtendedGcd) {
-      eliminate_row_xgcd(ops, i, i, n);
-    } else {
-      eliminate_row_euclid(ops, i, i, n);
-    }
-    if (ops.h()(i, i).is_zero()) {
-      throw std::domain_error("hnf: matrix does not have full row rank");
-    }
-    if (ops.h()(i, i).is_negative()) ops.negate(i);
-    if (options.reduce_off_diagonal) {
-      // Reduce columns left of the pivot modulo the pivot column.  Column i
-      // is zero above row i, so this cannot disturb already-triangular rows.
-      for (std::size_t j = 0; j < i; ++j) {
-        BigInt q = BigInt::floor_div(ops.h()(i, j), ops.h()(i, i));
-        ops.add_multiple(j, -q, i);
-      }
-    }
-  }
-  return std::move(ops).take();
+  return detail::hermite_normal_form_t<BigInt>(t, options);
 }
 
 HnfResult hermite_normal_form(const MatI& t, const HnfOptions& options) {
-  return hermite_normal_form(to_bigint(t), options);
+  return exact::with_fallback(
+      [&]() -> HnfResult {
+        BasicHnfResult<CheckedInt> fast =
+            detail::hermite_normal_form_t<CheckedInt>(to_checked(t), options);
+        return {to_bigint(fast.h), to_bigint(fast.u), to_bigint(fast.v)};
+      },
+      [&] { return hermite_normal_form(to_bigint(t), options); });
 }
 
 bool is_unimodular(const MatZ& m) {

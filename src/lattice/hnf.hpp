@@ -21,12 +21,16 @@ enum class HnfStrategy {
   kEuclidean,    ///< repeated quotient-subtract sweeps (textbook Euclid)
 };
 
-/// Result of the decomposition T * U = H, with V = U^{-1}.
-struct HnfResult {
-  MatZ h;  ///< k x n, [L, 0] with L lower triangular, positive diagonal
-  MatZ u;  ///< n x n unimodular multiplier
-  MatZ v;  ///< n x n, inverse of u (also unimodular)
+/// Result of the decomposition T * U = H, with V = U^{-1}, over any exact
+/// scalar (BigInt, or CheckedInt on the machine-word fast path).
+template <typename T>
+struct BasicHnfResult {
+  linalg::Matrix<T> h;  ///< k x n, [L, 0], L lower triangular, pos. diagonal
+  linalg::Matrix<T> u;  ///< n x n unimodular multiplier
+  linalg::Matrix<T> v;  ///< n x n, inverse of u (also unimodular)
 };
+
+using HnfResult = BasicHnfResult<exact::BigInt>;
 
 /// Options controlling the reduction.
 struct HnfOptions {
@@ -40,7 +44,10 @@ struct HnfOptions {
 /// Throws std::domain_error when rank(T) < rows(T).
 HnfResult hermite_normal_form(const MatZ& t, const HnfOptions& options = {});
 
-/// Convenience overload for machine-integer matrices.
+/// Convenience overload for machine-integer matrices.  This entry point
+/// carries the machine-word fast path: the reduction first runs over
+/// CheckedInt and transparently restarts over BigInt if any intermediate
+/// overflows int64 (see exact/fastpath.hpp).
 HnfResult hermite_normal_form(const MatI& t, const HnfOptions& options = {});
 
 /// True when m is square, integral and |det m| == 1.

@@ -1,0 +1,206 @@
+// Templated column-HNF implementation shared by the BigInt substrate and
+// the CheckedInt machine-word fast path.
+//
+// Both scalars expose the same observer/arithmetic interface (is_zero, abs,
+// static gcd/div_mod/floor_div, trapping or exact operators), so a single
+// template body guarantees the two instantiations perform bit-identical
+// elimination sequences -- the fast path can never change a verdict, only
+// the wall-clock.  CheckedInt overflow surfaces as exact::OverflowError and
+// is handled by the dispatchers in hnf.cpp / the verdict pipeline.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+
+#include "lattice/hnf.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sysmap::lattice::detail {
+
+// Tracks the triple (H, U, V) under elementary unimodular column operations
+// on H and U; V = U^{-1} is maintained by the corresponding inverse row
+// operations.
+template <typename T>
+class ColumnOps {
+ public:
+  using Mat = linalg::Matrix<T>;
+
+  ColumnOps(Mat h, std::size_t n)
+      : h_(std::move(h)), u_(Mat::identity(n)), v_(Mat::identity(n)) {}
+
+  Mat& h() { return h_; }
+  const Mat& h() const { return h_; }
+
+  // col_a <-> col_b
+  void swap(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    h_.swap_columns(a, b);
+    u_.swap_columns(a, b);
+    v_.swap_rows(a, b);
+  }
+
+  // col_j += q * col_i  (inverse on V: row_i -= q * row_j)
+  void add_multiple(std::size_t j, const T& q, std::size_t i) {
+    if (q.is_zero()) return;
+    for (std::size_t r = 0; r < h_.rows(); ++r) {
+      h_(r, j) += q * h_(r, i);
+    }
+    for (std::size_t r = 0; r < u_.rows(); ++r) {
+      u_(r, j) += q * u_(r, i);
+    }
+    for (std::size_t c = 0; c < v_.cols(); ++c) {
+      v_(i, c) -= q * v_(j, c);
+    }
+  }
+
+  // col_a = -col_a  (inverse on V: row_a = -row_a)
+  void negate(std::size_t a) {
+    for (std::size_t r = 0; r < h_.rows(); ++r) h_(r, a) = -h_(r, a);
+    for (std::size_t r = 0; r < u_.rows(); ++r) u_(r, a) = -u_(r, a);
+    for (std::size_t c = 0; c < v_.cols(); ++c) v_(a, c) = -v_(a, c);
+  }
+
+  // General 2x2 unimodular transform on columns (a, b):
+  //   [col_a, col_b] <- [col_a, col_b] * [[x, p], [y, q]]
+  // with determinant x*q - y*p required to be +-1 by the caller.
+  // Inverse on V rows (for det = +1):
+  //   [row_a; row_b] <- [[q, -p], [-y, x]] * [row_a; row_b]
+  void transform2(std::size_t a, std::size_t b, const T& x, const T& y,
+                  const T& p, const T& q) {
+    for (std::size_t r = 0; r < h_.rows(); ++r) {
+      T ha = h_(r, a), hb = h_(r, b);
+      h_(r, a) = ha * x + hb * y;
+      h_(r, b) = ha * p + hb * q;
+    }
+    for (std::size_t r = 0; r < u_.rows(); ++r) {
+      T ua = u_(r, a), ub = u_(r, b);
+      u_(r, a) = ua * x + ub * y;
+      u_(r, b) = ua * p + ub * q;
+    }
+    for (std::size_t c = 0; c < v_.cols(); ++c) {
+      T va = v_(a, c), vb = v_(b, c);
+      v_(a, c) = q * va - p * vb;
+      v_(b, c) = x * vb - y * va;
+    }
+  }
+
+  BasicHnfResult<T> take() && {
+    return {std::move(h_), std::move(u_), std::move(v_)};
+  }
+
+ private:
+  Mat h_;
+  Mat u_;
+  Mat v_;
+};
+
+// Extended gcd: g = x*a + y*b, g >= 0.
+template <typename T>
+struct XGcdT {
+  T g, x, y;
+};
+
+template <typename T>
+XGcdT<T> xgcd(const T& a, const T& b) {
+  T r0 = a, r1 = b;
+  T x0(1), x1(0), y0(0), y1(1);
+  while (!r1.is_zero()) {
+    T q, r2;
+    T::div_mod(r0, r1, q, r2);
+    T x2 = x0 - q * x1;
+    T y2 = y0 - q * y1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    x0 = std::move(x1);
+    x1 = std::move(x2);
+    y0 = std::move(y1);
+    y1 = std::move(y2);
+  }
+  if (r0.is_negative()) {
+    r0 = -r0;
+    x0 = -x0;
+    y0 = -y0;
+  }
+  return {std::move(r0), std::move(x0), std::move(y0)};
+}
+
+template <typename T>
+void eliminate_row_xgcd(ColumnOps<T>& ops, std::size_t row, std::size_t pivot,
+                        std::size_t n) {
+  for (std::size_t j = pivot + 1; j < n; ++j) {
+    const T& a = ops.h()(row, pivot);
+    const T& b = ops.h()(row, j);
+    if (b.is_zero()) continue;
+    if (a.is_zero()) {
+      ops.swap(pivot, j);
+      continue;
+    }
+    XGcdT<T> e = xgcd(a, b);
+    // [col_pivot, col_j] * [[x, -b/g], [y, a/g]]; det = (x*a + y*b)/g = 1.
+    ops.transform2(pivot, j, e.x, e.y, -(b / e.g), a / e.g);
+  }
+}
+
+template <typename T>
+void eliminate_row_euclid(ColumnOps<T>& ops, std::size_t row,
+                          std::size_t pivot, std::size_t n) {
+  // Repeatedly subtract quotient multiples of the smallest nonzero entry
+  // from the others until only the pivot position is nonzero.
+  for (;;) {
+    // Find column with smallest nonzero |entry| in this row, at >= pivot.
+    std::size_t best = n;
+    for (std::size_t j = pivot; j < n; ++j) {
+      const T& x = ops.h()(row, j);
+      if (x.is_zero()) continue;
+      if (best == n || x.abs() < ops.h()(row, best).abs()) {
+        best = j;
+      }
+    }
+    if (best == n) return;  // all zero; caller handles rank failure
+    ops.swap(pivot, best);
+    bool any = false;
+    for (std::size_t j = pivot + 1; j < n; ++j) {
+      const T& b = ops.h()(row, j);
+      if (b.is_zero()) continue;
+      T q = T::floor_div(b, ops.h()(row, pivot));
+      ops.add_multiple(j, -q, pivot);
+      if (!ops.h()(row, j).is_zero()) any = true;
+    }
+    if (!any) return;
+  }
+}
+
+template <typename T>
+BasicHnfResult<T> hermite_normal_form_t(const linalg::Matrix<T>& t,
+                                        const HnfOptions& options = {}) {
+  const std::size_t k = t.rows();
+  const std::size_t n = t.cols();
+  if (k > n) {
+    throw std::domain_error(
+        "hnf: more rows than columns cannot be full row rank [L, 0]");
+  }
+  ColumnOps<T> ops(t, n);
+  for (std::size_t i = 0; i < k; ++i) {
+    if (options.strategy == HnfStrategy::kExtendedGcd) {
+      eliminate_row_xgcd(ops, i, i, n);
+    } else {
+      eliminate_row_euclid(ops, i, i, n);
+    }
+    if (ops.h()(i, i).is_zero()) {
+      throw std::domain_error("hnf: matrix does not have full row rank");
+    }
+    if (ops.h()(i, i).is_negative()) ops.negate(i);
+    if (options.reduce_off_diagonal) {
+      // Reduce columns left of the pivot modulo the pivot column.  Column i
+      // is zero above row i, so this cannot disturb already-triangular rows.
+      for (std::size_t j = 0; j < i; ++j) {
+        T q = T::floor_div(ops.h()(i, j), ops.h()(i, i));
+        ops.add_multiple(j, -q, i);
+      }
+    }
+  }
+  return std::move(ops).take();
+}
+
+}  // namespace sysmap::lattice::detail

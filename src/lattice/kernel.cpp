@@ -12,11 +12,7 @@ namespace sysmap::lattice {
 
 using exact::BigInt;
 
-BigInt gcd_of(const VecZ& v) {
-  BigInt g(0);
-  for (const auto& x : v) g = BigInt::gcd(g, x);
-  return g;
-}
+BigInt gcd_of(const VecZ& v) { return gcd_of_t(v); }
 
 Int gcd_of(const VecI& v) {
   Int g = 0;
@@ -27,21 +23,7 @@ Int gcd_of(const VecI& v) {
 bool is_primitive(const VecZ& v) { return gcd_of(v).is_one(); }
 bool is_primitive(const VecI& v) { return gcd_of(v) == 1; }
 
-VecZ make_primitive(VecZ v) {
-  BigInt g = gcd_of(v);
-  if (g.is_zero()) return v;
-  if (!g.is_one()) {
-    for (auto& x : v) x /= g;
-  }
-  for (const auto& x : v) {
-    if (x.is_zero()) continue;
-    if (x.is_negative()) {
-      for (auto& y : v) y = -y;
-    }
-    break;
-  }
-  return v;
-}
+VecZ make_primitive(VecZ v) { return make_primitive_t(std::move(v)); }
 
 VecI make_primitive(VecI v) {
   Int g = gcd_of(v);
@@ -66,7 +48,13 @@ MatZ kernel_basis(const MatZ& t) {
   return hnf.u.block(0, n, k, n);
 }
 
-MatZ kernel_basis(const MatI& t) { return kernel_basis(to_bigint(t)); }
+MatZ kernel_basis(const MatI& t) {
+  // The MatI HNF overload carries the machine-word fast path.
+  const std::size_t k = t.rows();
+  const std::size_t n = t.cols();
+  HnfResult hnf = hermite_normal_form(t);  // throws if rank < k
+  return hnf.u.block(0, n, k, n);
+}
 
 bool lattice_contains(const MatZ& basis, const VecZ& x) {
   const std::size_t n = basis.rows();

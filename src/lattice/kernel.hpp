@@ -11,6 +11,35 @@
 
 namespace sysmap::lattice {
 
+/// gcd of all entries (non-negative; 0 for the zero vector), over any exact
+/// scalar exposing a static gcd (BigInt, CheckedInt).
+template <typename T>
+T gcd_of_t(const linalg::Vector<T>& v) {
+  T g{};
+  for (const auto& x : v) g = T::gcd(g, x);
+  return g;
+}
+
+/// Templated canonicalization shared by the BigInt substrate and the
+/// CheckedInt fast path: divides by the entry gcd and flips signs so the
+/// first nonzero entry is positive.  The zero vector is returned unchanged.
+template <typename T>
+linalg::Vector<T> make_primitive_t(linalg::Vector<T> v) {
+  T g = gcd_of_t(v);
+  if (g.is_zero()) return v;
+  if (!g.is_one()) {
+    for (auto& x : v) x /= g;
+  }
+  for (const auto& x : v) {
+    if (x.is_zero()) continue;
+    if (x.is_negative()) {
+      for (auto& y : v) y = -y;
+    }
+    break;
+  }
+  return v;
+}
+
 /// gcd of all entries (non-negative; 0 for the zero vector).
 exact::BigInt gcd_of(const VecZ& v);
 Int gcd_of(const VecI& v);

@@ -1,69 +1,14 @@
 #include "lattice/lll.hpp"
 
 #include <cstddef>
-#include <stdexcept>
-#include <utility>
-#include <vector>
 
-#include "exact/rational.hpp"
+#include "exact/fastpath.hpp"
+#include "lattice/lll_impl.hpp"
 
 namespace sysmap::lattice {
 
 using exact::BigInt;
-using exact::Rational;
-
-namespace {
-
-// Exact Gram-Schmidt state over the current basis columns.
-struct GramSchmidt {
-  std::vector<VecQ> b_star;             // orthogonalized columns
-  std::vector<std::vector<Rational>> mu;  // mu[i][j], j < i
-  std::vector<Rational> norm_sq;        // |b*_i|^2
-
-  void compute(const MatZ& basis) {
-    const std::size_t n = basis.rows();
-    const std::size_t r = basis.cols();
-    b_star.assign(r, VecQ(n, Rational(0)));
-    mu.assign(r, std::vector<Rational>(r, Rational(0)));
-    norm_sq.assign(r, Rational(0));
-    for (std::size_t i = 0; i < r; ++i) {
-      VecQ v(n);
-      for (std::size_t row = 0; row < n; ++row) {
-        v[row] = Rational(basis(row, i));
-      }
-      for (std::size_t j = 0; j < i; ++j) {
-        // mu_ij = <b_i, b*_j> / |b*_j|^2
-        Rational dot(0);
-        for (std::size_t row = 0; row < n; ++row) {
-          dot += Rational(basis(row, i)) * b_star[j][row];
-        }
-        if (norm_sq[j].is_zero()) {
-          throw std::invalid_argument("lll_reduce: dependent columns");
-        }
-        mu[i][j] = dot / norm_sq[j];
-        for (std::size_t row = 0; row < n; ++row) {
-          v[row] -= mu[i][j] * b_star[j][row];
-        }
-      }
-      b_star[i] = std::move(v);
-      Rational ns(0);
-      for (std::size_t row = 0; row < n; ++row) {
-        ns += b_star[i][row] * b_star[i][row];
-      }
-      if (ns.is_zero()) {
-        throw std::invalid_argument("lll_reduce: dependent columns");
-      }
-      norm_sq[i] = std::move(ns);
-    }
-  }
-};
-
-// Rounds to the nearest integer (ties toward even via floor(x + 1/2)).
-BigInt round_nearest(const Rational& x) {
-  return (x + Rational(BigInt(1), BigInt(2))).floor();
-}
-
-}  // namespace
+using exact::CheckedInt;
 
 exact::BigInt column_norm_sq(const MatZ& m, std::size_t col) {
   BigInt out(0);
@@ -74,59 +19,13 @@ exact::BigInt column_norm_sq(const MatZ& m, std::size_t col) {
 }
 
 LllResult lll_reduce(const MatZ& input) {
-  const std::size_t n = input.rows();
-  const std::size_t r = input.cols();
-  LllResult result{input, MatZ::identity(r)};
-  if (r <= 1) return result;
-
-  MatZ& b = result.basis;
-  MatZ& w = result.transform;
-  const Rational delta(BigInt(3), BigInt(4));
-
-  GramSchmidt gs;
-  gs.compute(b);
-
-  auto size_reduce = [&](std::size_t i, std::size_t j) {
-    BigInt q = round_nearest(gs.mu[i][j]);
-    if (q.is_zero()) return;
-    for (std::size_t row = 0; row < n; ++row) {
-      b(row, i) -= q * b(row, j);
-    }
-    for (std::size_t row = 0; row < r; ++row) {
-      w(row, i) -= q * w(row, j);
-    }
-    Rational qr{q};
-    for (std::size_t l = 0; l < j; ++l) {
-      gs.mu[i][l] -= qr * gs.mu[j][l];
-    }
-    gs.mu[i][j] -= qr;
-  };
-
-  std::size_t k = 1;
-  // Classic LLL loop; exact rationals so the Lovasz test never misfires.
-  std::size_t guard = 0;
-  const std::size_t guard_limit = 100000;  // termination is guaranteed;
-                                           // this guards against bugs only
-  while (k < r) {
-    if (++guard > guard_limit) {
-      throw std::logic_error("lll_reduce: iteration guard tripped");
-    }
-    size_reduce(k, k - 1);
-    // Lovasz condition: |b*_k|^2 >= (delta - mu_{k,k-1}^2) |b*_{k-1}|^2.
-    Rational mu2 = gs.mu[k][k - 1] * gs.mu[k][k - 1];
-    if (gs.norm_sq[k] >= (delta - mu2) * gs.norm_sq[k - 1]) {
-      for (std::size_t j = k - 1; j-- > 0;) {
-        size_reduce(k, j);
-      }
-      ++k;
-    } else {
-      b.swap_columns(k, k - 1);
-      w.swap_columns(k, k - 1);
-      gs.compute(b);  // small r: recomputing is simplest and exact
-      k = k > 1 ? k - 1 : 1;
-    }
-  }
-  return result;
+  return exact::with_fallback(
+      [&]() -> LllResult {
+        BasicLllResult<CheckedInt> fast =
+            detail::lll_reduce_t<CheckedInt>(to_checked(input));
+        return {to_bigint(fast.basis), to_bigint(fast.transform)};
+      },
+      [&] { return detail::lll_reduce_t<BigInt>(input); });
 }
 
 }  // namespace sysmap::lattice

@@ -17,14 +17,21 @@
 
 namespace sysmap::lattice {
 
-/// Result of reducing the columns of `basis`.
-struct LllResult {
-  MatZ basis;      ///< n x r, LLL-reduced columns spanning the same lattice
-  MatZ transform;  ///< r x r unimodular with basis_out = basis_in * transform
+/// Result of reducing the columns of `basis`, over any exact scalar
+/// (BigInt, or CheckedInt on the machine-word fast path).
+template <typename Z>
+struct BasicLllResult {
+  linalg::Matrix<Z> basis;      ///< n x r, LLL-reduced columns, same lattice
+  linalg::Matrix<Z> transform;  ///< r x r unimodular,
+                                ///< basis_out = basis_in * transform
 };
 
+using LllResult = BasicLllResult<exact::BigInt>;
+
 /// LLL-reduces the columns (must be linearly independent).
-/// Throws std::invalid_argument on dependent columns.
+/// Throws std::invalid_argument on dependent columns.  When the input fits
+/// in machine words the reduction runs over CheckedInt/CheckedRational and
+/// transparently restarts over BigInt on overflow.
 LllResult lll_reduce(const MatZ& basis);
 
 /// Squared Euclidean length of a column, exact.

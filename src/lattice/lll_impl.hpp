@@ -1,0 +1,133 @@
+// Templated exact LLL (delta = 3/4) shared by the BigInt/Rational substrate
+// and the CheckedInt/CheckedRational machine-word fast path.
+//
+// The rational companion of the integer scalar Z is selected through
+// exact::RationalOf, so the Gram-Schmidt state and the Lovasz test run in
+// whichever field matches the substrate.  One template body means the two
+// instantiations perform the identical swap/size-reduction sequence; the
+// fast path only changes wall-clock, never the reduced basis.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "exact/checked_rational.hpp"
+#include "lattice/lll.hpp"
+#include "linalg/matrix.hpp"
+
+namespace sysmap::lattice::detail {
+
+// Exact Gram-Schmidt state over the current basis columns.
+template <typename Z>
+struct GramSchmidtT {
+  using Q = typename exact::RationalOf<Z>::type;
+
+  std::vector<linalg::Vector<Q>> b_star;  // orthogonalized columns
+  std::vector<std::vector<Q>> mu;         // mu[i][j], j < i
+  std::vector<Q> norm_sq;                 // |b*_i|^2
+
+  void compute(const linalg::Matrix<Z>& basis) {
+    const std::size_t n = basis.rows();
+    const std::size_t r = basis.cols();
+    b_star.assign(r, linalg::Vector<Q>(n, Q(0)));
+    mu.assign(r, std::vector<Q>(r, Q(0)));
+    norm_sq.assign(r, Q(0));
+    for (std::size_t i = 0; i < r; ++i) {
+      linalg::Vector<Q> v(n);
+      for (std::size_t row = 0; row < n; ++row) {
+        v[row] = Q(basis(row, i));
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        // mu_ij = <b_i, b*_j> / |b*_j|^2
+        Q dot(0);
+        for (std::size_t row = 0; row < n; ++row) {
+          dot += Q(basis(row, i)) * b_star[j][row];
+        }
+        if (norm_sq[j].is_zero()) {
+          throw std::invalid_argument("lll_reduce: dependent columns");
+        }
+        mu[i][j] = dot / norm_sq[j];
+        for (std::size_t row = 0; row < n; ++row) {
+          v[row] -= mu[i][j] * b_star[j][row];
+        }
+      }
+      b_star[i] = std::move(v);
+      Q ns(0);
+      for (std::size_t row = 0; row < n; ++row) {
+        ns += b_star[i][row] * b_star[i][row];
+      }
+      if (ns.is_zero()) {
+        throw std::invalid_argument("lll_reduce: dependent columns");
+      }
+      norm_sq[i] = std::move(ns);
+    }
+  }
+};
+
+// Rounds to the nearest integer (ties toward even via floor(x + 1/2)).
+template <typename Z, typename Q>
+Z round_nearest(const Q& x) {
+  return (x + Q(Z(1), Z(2))).floor();
+}
+
+template <typename Z>
+BasicLllResult<Z> lll_reduce_t(const linalg::Matrix<Z>& input) {
+  using Q = typename exact::RationalOf<Z>::type;
+  const std::size_t n = input.rows();
+  const std::size_t r = input.cols();
+  BasicLllResult<Z> result{input, linalg::Matrix<Z>::identity(r)};
+  if (r <= 1) return result;
+
+  linalg::Matrix<Z>& b = result.basis;
+  linalg::Matrix<Z>& w = result.transform;
+  const Q delta(Z(3), Z(4));
+
+  GramSchmidtT<Z> gs;
+  gs.compute(b);
+
+  auto size_reduce = [&](std::size_t i, std::size_t j) {
+    Z q = round_nearest<Z, Q>(gs.mu[i][j]);
+    if (q.is_zero()) return;
+    for (std::size_t row = 0; row < n; ++row) {
+      b(row, i) -= q * b(row, j);
+    }
+    for (std::size_t row = 0; row < r; ++row) {
+      w(row, i) -= q * w(row, j);
+    }
+    Q qr{q};
+    for (std::size_t l = 0; l < j; ++l) {
+      gs.mu[i][l] -= qr * gs.mu[j][l];
+    }
+    gs.mu[i][j] -= qr;
+  };
+
+  std::size_t k = 1;
+  // Classic LLL loop; exact rationals so the Lovasz test never misfires.
+  std::size_t guard = 0;
+  const std::size_t guard_limit = 100000;  // termination is guaranteed;
+                                           // this guards against bugs only
+  while (k < r) {
+    if (++guard > guard_limit) {
+      throw std::logic_error("lll_reduce: iteration guard tripped");
+    }
+    size_reduce(k, k - 1);
+    // Lovasz condition: |b*_k|^2 >= (delta - mu_{k,k-1}^2) |b*_{k-1}|^2.
+    Q mu2 = gs.mu[k][k - 1] * gs.mu[k][k - 1];
+    if (gs.norm_sq[k] >= (delta - mu2) * gs.norm_sq[k - 1]) {
+      for (std::size_t j = k - 1; j-- > 0;) {
+        size_reduce(k, j);
+      }
+      ++k;
+    } else {
+      b.swap_columns(k, k - 1);
+      w.swap_columns(k, k - 1);
+      gs.compute(b);  // small r: recomputing is simplest and exact
+      k = k > 1 ? k - 1 : 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace sysmap::lattice::detail

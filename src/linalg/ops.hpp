@@ -103,16 +103,17 @@ Matrix<T> adjugate(const Matrix<T>& a) {
   return out;
 }
 
-/// Gauss-Jordan inverse over rationals; throws std::domain_error when
-/// singular.
-inline Matrix<exact::Rational> inverse(const Matrix<exact::Rational>& input) {
-  using exact::Rational;
+/// Gauss-Jordan inverse over an exact field scalar (Rational on the BigInt
+/// substrate, CheckedRational on the machine-word fast path); throws
+/// std::domain_error when singular.
+template <typename Q>
+Matrix<Q> inverse(const Matrix<Q>& input) {
   if (!input.is_square()) {
     throw std::invalid_argument("inverse: matrix not square");
   }
   const std::size_t n = input.rows();
-  Matrix<Rational> a = input;
-  Matrix<Rational> inv = Matrix<Rational>::identity(n);
+  Matrix<Q> a = input;
+  Matrix<Q> inv = Matrix<Q>::identity(n);
   for (std::size_t c = 0; c < n; ++c) {
     std::size_t pivot = c;
     while (pivot < n && a(pivot, c).is_zero()) ++pivot;
@@ -121,14 +122,14 @@ inline Matrix<exact::Rational> inverse(const Matrix<exact::Rational>& input) {
       a.swap_rows(pivot, c);
       inv.swap_rows(pivot, c);
     }
-    Rational p = a(c, c);
+    Q p = a(c, c);
     for (std::size_t j = 0; j < n; ++j) {
       a(c, j) /= p;
       inv(c, j) /= p;
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (i == c || a(i, c).is_zero()) continue;
-      Rational f = a(i, c);
+      Q f = a(i, c);
       for (std::size_t j = 0; j < n; ++j) {
         a(i, j) -= f * a(c, j);
         inv(i, j) -= f * inv(c, j);
@@ -138,9 +139,9 @@ inline Matrix<exact::Rational> inverse(const Matrix<exact::Rational>& input) {
   return inv;
 }
 
-/// Solves A x = b over rationals (A square, nonsingular).
-inline Vector<exact::Rational> solve(const Matrix<exact::Rational>& a,
-                                     const Vector<exact::Rational>& b) {
+/// Solves A x = b over an exact field (A square, nonsingular).
+template <typename Q>
+Vector<Q> solve(const Matrix<Q>& a, const Vector<Q>& b) {
   if (a.rows() != b.size()) {
     throw std::invalid_argument("solve: dimension mismatch");
   }

@@ -1,13 +1,15 @@
 // Canonical scalar and matrix aliases used across the library.
 //
-// Int     -- machine integers for index points and small mapping entries.
-// BigInt  -- exact wide integers for HNF/determinant internals.
-// Rational-- exact rationals for LP pivoting and inverses.
+// Int        -- machine integers for index points and small mapping entries.
+// BigInt     -- exact wide integers for HNF/determinant internals.
+// CheckedInt -- overflow-trapping int64, the fast-path twin of BigInt.
+// Rational   -- exact rationals for LP pivoting and inverses.
 #pragma once
 
 #include <cstdint>
 
 #include "exact/bigint.hpp"
+#include "exact/checked_int.hpp"
 #include "exact/rational.hpp"
 #include "linalg/matrix.hpp"
 
@@ -20,6 +22,9 @@ using VecI = linalg::Vector<Int>;
 
 using MatZ = linalg::Matrix<exact::BigInt>;
 using VecZ = linalg::Vector<exact::BigInt>;
+
+using MatC = linalg::Matrix<exact::CheckedInt>;
+using VecC = linalg::Vector<exact::CheckedInt>;
 
 using MatQ = linalg::Matrix<exact::Rational>;
 using VecQ = linalg::Vector<exact::Rational>;
@@ -53,6 +58,42 @@ inline VecI to_int(const VecZ& v) {
   VecI out;
   out.reserve(v.size());
   for (const auto& x : v) out.push_back(x.to_int64());
+  return out;
+}
+
+/// Widens a machine-integer matrix to checked fast-path entries.
+inline MatC to_checked(const MatI& m) {
+  return m.cast<exact::CheckedInt>();
+}
+
+/// Narrows a BigInt matrix to checked int64 entries; throws OverflowError
+/// (the fast-path fallback trigger) when an entry does not fit.
+inline MatC to_checked(const MatZ& m) {
+  MatC out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      out(i, j) = exact::CheckedInt(m(i, j).to_int64());
+    }
+  }
+  return out;
+}
+
+/// Widens a checked fast-path matrix back to BigInt entries (always exact).
+inline MatZ to_bigint(const MatC& m) {
+  MatZ out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      out(i, j) = exact::BigInt(m(i, j).value());
+    }
+  }
+  return out;
+}
+
+/// Widens a checked fast-path vector back to BigInt entries.
+inline VecZ to_bigint(const VecC& v) {
+  VecZ out;
+  out.reserve(v.size());
+  for (const auto& x : v) out.emplace_back(x.value());
   return out;
 }
 

@@ -6,15 +6,18 @@
 #include <utility>
 
 #include "exact/bigint.hpp"
+#include "exact/fastpath.hpp"
 #include "lattice/hnf.hpp"
 #include "lattice/kernel.hpp"
 #include "lattice/lll.hpp"
 #include "linalg/ops.hpp"
 #include "mapping/theorems.hpp"
+#include "mapping/verdicts_impl.hpp"
 
 namespace sysmap::mapping {
 
 using exact::BigInt;
+using exact::CheckedInt;
 
 bool is_feasible_conflict_vector(const VecZ& gamma,
                                  const model::IndexSet& set) {
@@ -34,176 +37,40 @@ bool is_feasible_conflict_vector(const VecI& gamma,
 }
 
 VecZ unique_conflict_vector(const MappingMatrix& t) {
-  const std::size_t n = t.n();
-  if (t.k() + 1 != n) {
-    throw std::domain_error(
-        "unique_conflict_vector: requires T in Z^{(n-1) x n}");
-  }
-  MatZ tz = to_bigint(t.matrix());
-  // Generalized cross product: gamma_i = (-1)^i det(T minus column i).
-  VecZ gamma(n);
-  bool all_zero = true;
-  for (std::size_t i = 0; i < n; ++i) {
-    MatZ sub(n - 1, n - 1);
-    for (std::size_t r = 0; r < n - 1; ++r) {
-      std::size_t cc = 0;
-      for (std::size_t c = 0; c < n; ++c) {
-        if (c == i) continue;
-        sub(r, cc++) = tz(r, c);
-      }
-    }
-    BigInt d = linalg::determinant(sub);
-    gamma[i] = (i % 2 == 0) ? d : -d;
-    if (!gamma[i].is_zero()) all_zero = false;
-  }
-  if (all_zero) {
-    throw std::domain_error("unique_conflict_vector: rank(T) < n-1");
-  }
-  return lattice::make_primitive(std::move(gamma));
+  return exact::with_fallback(
+      [&] {
+        return to_bigint(detail::unique_conflict_vector_t<CheckedInt>(t));
+      },
+      [&] { return detail::unique_conflict_vector_t<BigInt>(t); });
 }
-
-namespace {
-
-// Enumerates beta in the product of [-bound_j, bound_j], testing whether
-// gamma = kernel * beta lands inside the box; shared by the HNF-bounded
-// and pseudo-inverse-bounded exact decisions.
-ConflictVerdict enumerate_lattice_box(const MatZ& kernel, const VecZ& bound,
-                                      const model::IndexSet& set,
-                                      std::uint64_t budget,
-                                      const char* rule) {
-  const std::size_t n = kernel.rows();
-  const std::size_t free_dims = kernel.cols();
-  ConflictVerdict out;
-  out.rule = rule;
-
-  std::uint64_t volume = 1;
-  bool overflow = false;
-  for (std::size_t j = 0; j < free_dims; ++j) {
-    BigInt width = BigInt(2) * bound[j] + BigInt(1);
-    if (!width.fits_int64() || overflow) {
-      overflow = true;
-      continue;
-    }
-    std::uint64_t w = static_cast<std::uint64_t>(width.to_int64());
-    if (volume > budget / w) {
-      overflow = true;
-    } else {
-      volume *= w;
-    }
-  }
-  if (overflow || volume > budget) {
-    out.status = ConflictVerdict::Status::kUnknown;
-    out.rule = "exact enumeration: budget exceeded";
-    return out;
-  }
-
-  VecZ beta(free_dims);
-  for (std::size_t j = 0; j < free_dims; ++j) beta[j] = -bound[j];
-  VecZ gamma(n);
-  for (;;) {
-    bool nonzero = false;
-    for (const auto& b : beta) {
-      if (!b.is_zero()) {
-        nonzero = true;
-        break;
-      }
-    }
-    if (nonzero) {
-      bool inside_box = true;
-      for (std::size_t r = 0; r < n && inside_box; ++r) {
-        BigInt g(0);
-        for (std::size_t j = 0; j < free_dims; ++j) {
-          g += kernel(r, j) * beta[j];
-        }
-        gamma[r] = g;
-        if (g.abs() > BigInt(set.mu(r))) inside_box = false;
-      }
-      if (inside_box) {
-        out.status = ConflictVerdict::Status::kHasConflict;
-        out.witness = lattice::make_primitive(gamma);
-        return out;
-      }
-    }
-    std::size_t j = 0;
-    for (; j < free_dims; ++j) {
-      if (beta[j] < bound[j]) {
-        beta[j] += BigInt(1);
-        break;
-      }
-      beta[j] = -bound[j];
-    }
-    if (j == free_dims) break;
-  }
-  out.status = ConflictVerdict::Status::kConflictFree;
-  return out;
-}
-
-}  // namespace
 
 ConflictVerdict decide_conflict_free_exact(const MappingMatrix& t,
                                            const model::IndexSet& set,
                                            std::uint64_t budget) {
-  const std::size_t n = t.n();
-  const std::size_t k = t.k();
-
-  if (k == n) {
-    // Square T: conflict-free iff nonsingular (no nonzero kernel at all).
-    ConflictVerdict out;
-    out.status = t.has_full_rank() ? ConflictVerdict::Status::kConflictFree
-                                   : ConflictVerdict::Status::kHasConflict;
-    out.rule = "square T: rank test";
-    return out;
-  }
-
-  lattice::HnfResult hnf =
-      lattice::hermite_normal_form(to_bigint(t.matrix()));
-  // Free coefficients beta_{k..n-1} weight the last n-k columns of U.
-  // beta = V gamma and any non-feasible gamma lies in the box |gamma_i| <=
-  // mu_i, so |beta_j| <= sum_c |v_jc| * mu_c bounds the search exactly.
-  const std::size_t free_dims = n - k;
-  VecZ bound(free_dims);
-  for (std::size_t j = 0; j < free_dims; ++j) {
-    BigInt b(0);
-    for (std::size_t c = 0; c < n; ++c) {
-      b += hnf.v(k + j, c).abs() * BigInt(set.mu(c));
-    }
-    bound[j] = b;
-  }
-  return enumerate_lattice_box(hnf.u.block(0, n, k, n), bound, set, budget,
-                               "exact lattice-box enumeration");
+  return exact::with_fallback(
+      [&] {
+        return detail::decide_conflict_free_exact_t<CheckedInt>(t, set,
+                                                                budget);
+      },
+      [&] {
+        return detail::decide_conflict_free_exact_t<BigInt>(t, set, budget);
+      });
 }
 
 ConflictVerdict decide_conflict_free_over_basis(const MatZ& kernel,
                                                 const model::IndexSet& set,
                                                 std::uint64_t budget) {
-  using exact::Rational;
-  const std::size_t n = kernel.rows();
-  const std::size_t r = kernel.cols();
-  if (n != set.dimension()) {
-    throw std::invalid_argument(
-        "decide_conflict_free_over_basis: dimension mismatch");
-  }
-  if (r == 0) {
-    ConflictVerdict out;
-    out.status = ConflictVerdict::Status::kConflictFree;
-    out.rule = "empty kernel";
-    return out;
-  }
-  // beta = (B^T B)^{-1} B^T gamma; bound |beta_j| by the weighted row
-  // L1-norm of the pseudo-inverse over the gamma box.
-  MatQ bq = kernel.cast<Rational>();
-  MatQ bt = bq.transpose();
-  MatQ pinv = linalg::inverse(bt * bq) * bt;  // r x n, exact
-  VecZ bound(r);
-  for (std::size_t j = 0; j < r; ++j) {
-    Rational b(0);
-    for (std::size_t c = 0; c < n; ++c) {
-      b += pinv(j, c).abs() * Rational(BigInt(set.mu(c)));
-    }
-    bound[j] = b.floor();  // beta is integral
-  }
-  return enumerate_lattice_box(kernel, bound, set, budget,
-                               "exact enumeration over reduced basis");
+  return exact::with_fallback(
+      [&] {
+        // to_checked throws OverflowError on entries outside int64, which
+        // lands in the BigInt restart below.
+        return detail::decide_conflict_free_over_basis_t(to_checked(kernel),
+                                                         set, budget);
+      },
+      [&] {
+        return detail::decide_conflict_free_over_basis_t(kernel, set,
+                                                         budget);
+      });
 }
 
 std::vector<VecZ> enumerate_nonfeasible_conflict_vectors(
@@ -214,8 +81,7 @@ std::vector<VecZ> enumerate_nonfeasible_conflict_vectors(
   std::vector<VecZ> out;
   if (k >= n) return out;  // square full-rank T has no conflict vectors
 
-  lattice::HnfResult hnf =
-      lattice::hermite_normal_form(to_bigint(t.matrix()));
+  lattice::HnfResult hnf = lattice::hermite_normal_form(t.matrix());
   const std::size_t free_dims = n - k;
   VecZ bound(free_dims);
   std::uint64_t volume = 1;
@@ -307,8 +173,7 @@ ConflictVerdict decide_conflict_free_polyhedral(
   VecI width(n);
   for (std::size_t c = 0; c < n; ++c) width[c] = hi[c] - lo[c];
 
-  lattice::HnfResult hnf =
-      lattice::hermite_normal_form(to_bigint(t.matrix()));
+  lattice::HnfResult hnf = lattice::hermite_normal_form(t.matrix());
   MatZ kernel = hnf.u.block(0, n, k, n);
   try {
     kernel = lattice::lll_reduce(kernel).basis;
@@ -391,61 +256,9 @@ ConflictVerdict decide_conflict_free_polyhedral(
 
 ConflictVerdict decide_conflict_free(const MappingMatrix& t,
                                      const model::IndexSet& set) {
-  const std::size_t n = t.n();
-  const std::size_t k = t.k();
-
-  if (k == n) {
-    ConflictVerdict out;
-    out.status = t.has_full_rank() ? ConflictVerdict::Status::kConflictFree
-                                   : ConflictVerdict::Status::kHasConflict;
-    out.rule = "square T: rank test";
-    return out;
-  }
-  if (k + 1 == n) return theorem_3_1(t, set);  // exact: unique gamma
-
-  // k <= n-2: single HNF, then a ladder of exact-when-they-fire rules.
-  lattice::HnfResult hnf =
-      lattice::hermite_normal_form(to_bigint(t.matrix()));
-
-  // Necessary conditions reject with genuine witnesses.
-  ConflictVerdict necessary = theorem_4_3(hnf, k, set);
-  if (necessary.status == ConflictVerdict::Status::kHasConflict) {
-    return necessary;
-  }
-  necessary = theorem_4_4(hnf, k, set);
-  if (necessary.status == ConflictVerdict::Status::kHasConflict) {
-    return necessary;
-  }
-
-  // The generalized sign-pattern condition subsumes Theorems 4.7/4.8 and is
-  // sound in both directions when it returns a definite verdict.
-  ConflictVerdict sign = sign_pattern_check(hnf, k, set);
-  if (sign.status != ConflictVerdict::Status::kUnknown) return sign;
-
-  // Retry on the LLL-reduced kernel basis: the condition is basis-
-  // dependent and shorter vectors certify more sign classes.
-  MatZ kernel = hnf.u.block(0, n, k, n);
-  MatZ reduced = kernel;
-  try {
-    reduced = lattice::lll_reduce(kernel).basis;
-    ConflictVerdict reduced_sign = sign_pattern_check_basis(reduced, set);
-    if (reduced_sign.status != ConflictVerdict::Status::kUnknown) {
-      reduced_sign.rule += " (LLL-reduced basis)";
-      return reduced_sign;
-    }
-  } catch (const std::invalid_argument&) {
-    // Dependent columns cannot happen for an HNF kernel block; keep the
-    // unreduced basis defensively.
-  }
-
-  ConflictVerdict sufficient = theorem_4_5(hnf, k, set);
-  if (sufficient.status == ConflictVerdict::Status::kConflictFree) {
-    return sufficient;
-  }
-  // Exact enumeration, preferring the reduced basis' tighter bounds.
-  ConflictVerdict exact = decide_conflict_free_over_basis(reduced, set);
-  if (exact.status != ConflictVerdict::Status::kUnknown) return exact;
-  return decide_conflict_free_exact(t, set);
+  return exact::with_fallback(
+      [&] { return detail::decide_conflict_free_t<CheckedInt>(t, set); },
+      [&] { return detail::decide_conflict_free_t<BigInt>(t, set); });
 }
 
 }  // namespace sysmap::mapping

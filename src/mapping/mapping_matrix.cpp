@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "exact/fastpath.hpp"
 #include "linalg/ops.hpp"
 
 namespace sysmap::mapping {
@@ -39,7 +40,11 @@ Int MappingMatrix::time(const VecI& j) const {
 }
 
 bool MappingMatrix::has_full_rank() const {
-  return linalg::rank(to_bigint(t_)) == t_.rows();
+  // Bareiss rank on machine words; restarts over BigInt when the
+  // fraction-free intermediates overflow int64.
+  return exact::with_fallback(
+             [&] { return linalg::rank(to_checked(t_)); },
+             [&] { return linalg::rank(to_bigint(t_)); }) == t_.rows();
 }
 
 }  // namespace sysmap::mapping

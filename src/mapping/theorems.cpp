@@ -1,93 +1,20 @@
+// Thin dispatch layer over the templated checkers in verdicts_impl.hpp.
+//
+// HnfResult overloads run on the BigInt substrate the caller already built.
+// MappingMatrix overloads start from machine integers, so they try the
+// CheckedInt instantiation first and restart over BigInt when the checked
+// arithmetic overflows (exact::with_fallback).
 #include "mapping/theorems.hpp"
 
 #include <cstddef>
-#include <utility>
-#include <vector>
 
-#include "exact/bigint.hpp"
-#include "lattice/kernel.hpp"
-#include "linalg/ops.hpp"
+#include "exact/fastpath.hpp"
+#include "mapping/verdicts_impl.hpp"
 
 namespace sysmap::mapping {
 
 using exact::BigInt;
-
-namespace {
-
-ConflictVerdict verdict(ConflictVerdict::Status status, std::string rule,
-                        std::optional<VecZ> witness = std::nullopt) {
-  ConflictVerdict out;
-  out.status = status;
-  out.rule = std::move(rule);
-  out.witness = std::move(witness);
-  return out;
-}
-
-// The kernel column u_{k+j} of the HNF multiplier (0-based column k+j).
-VecZ kernel_column(const lattice::HnfResult& hnf, std::size_t k,
-                   std::size_t j) {
-  return hnf.u.column_vector(k + j);
-}
-
-// gamma = sum_j pattern[j] * kernel_col_j.
-VecZ combine(const MatZ& kernel, const std::vector<int>& pattern) {
-  const std::size_t n = kernel.rows();
-  VecZ gamma(n, BigInt(0));
-  for (std::size_t j = 0; j < pattern.size(); ++j) {
-    if (pattern[j] == 0) continue;
-    for (std::size_t r = 0; r < n; ++r) {
-      if (pattern[j] > 0) {
-        gamma[r] += kernel(r, j);
-      } else {
-        gamma[r] -= kernel(r, j);
-      }
-    }
-  }
-  return gamma;
-}
-
-// Row r of the kernel basis is sign-compatible with `pattern` when the
-// selected entries pattern[j] * kernel(r, j) are all >= 0 or all <= 0
-// (zero entries are wildcards -- "the sign of the number zero is defined
-// as either positive or negative", Theorem 4.8).
-bool row_compatible(const MatZ& kernel, std::size_t r,
-                    const std::vector<int>& pattern) {
-  bool has_pos = false;
-  bool has_neg = false;
-  for (std::size_t j = 0; j < pattern.size(); ++j) {
-    if (pattern[j] == 0) continue;
-    int s = kernel(r, j).signum() * pattern[j];
-    if (s > 0) has_pos = true;
-    if (s < 0) has_neg = true;
-  }
-  return !(has_pos && has_neg);
-}
-
-// |sum_j pattern[j] * kernel(r, j)| > mu_r ?
-bool row_certifies(const MatZ& kernel, std::size_t r,
-                   const std::vector<int>& pattern,
-                   const model::IndexSet& set) {
-  BigInt sum(0);
-  for (std::size_t j = 0; j < pattern.size(); ++j) {
-    if (pattern[j] > 0) {
-      sum += kernel(r, j);
-    } else if (pattern[j] < 0) {
-      sum -= kernel(r, j);
-    }
-  }
-  return sum.abs() > BigInt(set.mu(r));
-}
-
-// The kernel block u_{k+1} .. u_n of the HNF multiplier.
-MatZ kernel_block(const lattice::HnfResult& hnf, std::size_t k) {
-  return hnf.u.block(0, hnf.u.rows(), k, hnf.u.cols());
-}
-
-lattice::HnfResult decompose(const MappingMatrix& t) {
-  return lattice::hermite_normal_form(to_bigint(t.matrix()));
-}
-
-}  // namespace
+using exact::CheckedInt;
 
 // ---------------------------------------------------------------------------
 // Theorem 3.1
@@ -95,14 +22,9 @@ lattice::HnfResult decompose(const MappingMatrix& t) {
 
 ConflictVerdict theorem_3_1(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  VecZ gamma = unique_conflict_vector(t);
-  if (is_feasible_conflict_vector(gamma, set)) {
-    return verdict(ConflictVerdict::Status::kConflictFree,
-                   "Theorem 3.1: unique conflict vector feasible");
-  }
-  return verdict(ConflictVerdict::Status::kHasConflict,
-                 "Theorem 3.1: unique conflict vector non-feasible",
-                 std::move(gamma));
+  return exact::with_fallback(
+      [&] { return detail::theorem_3_1_t<CheckedInt>(t, set); },
+      [&] { return detail::theorem_3_1_t<BigInt>(t, set); });
 }
 
 // ---------------------------------------------------------------------------
@@ -111,32 +33,20 @@ ConflictVerdict theorem_3_1(const MappingMatrix& t,
 
 ConflictVerdict theorem_4_3(const lattice::HnfResult& hnf, std::size_t k,
                             const model::IndexSet& set) {
-  const std::size_t n = hnf.v.cols();
-  for (std::size_t col = 0; col < n; ++col) {
-    bool nonzero_found = false;
-    for (std::size_t row = 0; row < k; ++row) {
-      if (!hnf.v(row, col).is_zero()) {
-        nonzero_found = true;
-        break;
-      }
-    }
-    if (!nonzero_found) {
-      // Unit vector e_col is then a conflict vector; |e_col| = 1 <= mu_col.
-      VecZ e(n, BigInt(0));
-      e[col] = BigInt(1);
-      (void)set;
-      return verdict(ConflictVerdict::Status::kHasConflict,
-                     "Theorem 4.3 violated: column of V has zero head",
-                     std::move(e));
-    }
-  }
-  return verdict(ConflictVerdict::Status::kUnknown,
-                 "Theorem 4.3 holds (necessary only)");
+  return detail::theorem_4_3_t(hnf, k, set);
 }
 
 ConflictVerdict theorem_4_3(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return theorem_4_3(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::theorem_4_3_t(detail::decompose<CheckedInt>(t), t.k(),
+                                     set);
+      },
+      [&] {
+        return detail::theorem_4_3_t(detail::decompose<BigInt>(t), t.k(),
+                                     set);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -145,22 +55,20 @@ ConflictVerdict theorem_4_3(const MappingMatrix& t,
 
 ConflictVerdict theorem_4_4(const lattice::HnfResult& hnf, std::size_t k,
                             const model::IndexSet& set) {
-  const std::size_t n = hnf.u.rows();
-  for (std::size_t j = 0; j + k < n; ++j) {
-    VecZ u = kernel_column(hnf, k, j);
-    if (!is_feasible_conflict_vector(u, set)) {
-      return verdict(ConflictVerdict::Status::kHasConflict,
-                     "Theorem 4.4 violated: kernel column non-feasible",
-                     std::move(u));
-    }
-  }
-  return verdict(ConflictVerdict::Status::kUnknown,
-                 "Theorem 4.4 holds (necessary only)");
+  return detail::theorem_4_4_t(hnf, k, set);
 }
 
 ConflictVerdict theorem_4_4(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return theorem_4_4(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::theorem_4_4_t(detail::decompose<CheckedInt>(t), t.k(),
+                                     set);
+      },
+      [&] {
+        return detail::theorem_4_4_t(detail::decompose<BigInt>(t), t.k(),
+                                     set);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -169,58 +77,20 @@ ConflictVerdict theorem_4_4(const MappingMatrix& t,
 
 ConflictVerdict theorem_4_5(const lattice::HnfResult& hnf, std::size_t k,
                             const model::IndexSet& set) {
-  const std::size_t n = hnf.u.rows();
-  const std::size_t free_dims = n - k;
-  // Candidate rows: gcd(u_{i,k+1..n}) >= mu_i + 1.
-  std::vector<std::size_t> candidates;
-  for (std::size_t i = 0; i < n; ++i) {
-    BigInt g(0);
-    for (std::size_t j = 0; j < free_dims; ++j) {
-      g = BigInt::gcd(g, hnf.u(i, k + j));
-    }
-    if (g >= BigInt(set.mu(i)) + BigInt(1)) candidates.push_back(i);
-  }
-  if (candidates.size() < free_dims) {
-    return verdict(ConflictVerdict::Status::kUnknown,
-                   "Theorem 4.5 inconclusive: too few gcd rows");
-  }
-  // Search for a subset of `free_dims` candidate rows with nonsingular
-  // trailing minor.  Candidate counts are tiny (<= n <= 8), so iterate
-  // over combinations directly.
-  std::vector<std::size_t> pick(free_dims);
-  // Generate combinations via an index odometer.
-  std::vector<std::size_t> idx(free_dims);
-  for (std::size_t i = 0; i < free_dims; ++i) idx[i] = i;
-  for (;;) {
-    MatZ minor(free_dims, free_dims);
-    for (std::size_t a = 0; a < free_dims; ++a) {
-      for (std::size_t b = 0; b < free_dims; ++b) {
-        minor(a, b) = hnf.u(candidates[idx[a]], k + b);
-      }
-    }
-    if (!linalg::determinant(minor).is_zero()) {
-      return verdict(ConflictVerdict::Status::kConflictFree,
-                     "Theorem 4.5: gcd rows with nonsingular minor");
-    }
-    // Next combination.
-    std::size_t i = free_dims;
-    while (i-- > 0) {
-      if (idx[i] + (free_dims - i) < candidates.size()) {
-        ++idx[i];
-        for (std::size_t j = i + 1; j < free_dims; ++j) idx[j] = idx[j - 1] + 1;
-        break;
-      }
-      if (i == 0) {
-        return verdict(ConflictVerdict::Status::kUnknown,
-                       "Theorem 4.5 inconclusive: all gcd minors singular");
-      }
-    }
-  }
+  return detail::theorem_4_5_t(hnf, k, set);
 }
 
 ConflictVerdict theorem_4_5(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return theorem_4_5(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::theorem_4_5_t(detail::decompose<CheckedInt>(t), t.k(),
+                                     set);
+      },
+      [&] {
+        return detail::theorem_4_5_t(detail::decompose<BigInt>(t), t.k(),
+                                     set);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -229,39 +99,20 @@ ConflictVerdict theorem_4_5(const MappingMatrix& t,
 
 ConflictVerdict theorem_4_6(const lattice::HnfResult& hnf, std::size_t k,
                             const model::IndexSet& set) {
-  const std::size_t n = hnf.u.rows();
-  if (k + 2 != n) {
-    return verdict(ConflictVerdict::Status::kUnknown,
-                   "Theorem 4.6 requires k = n-2");
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    const BigInt& a = hnf.u(i, n - 2);
-    const BigInt& b = hnf.u(i, n - 1);
-    BigInt g = BigInt::gcd(a, b);
-    if (!(g >= BigInt(set.mu(i)) + BigInt(1))) continue;
-    // Condition 2: betas annihilating row i form the primitive family
-    // t * (b, -a)/g; check some row j != i exceeds its bound on it.
-    BigInt beta1 = b / g;
-    BigInt beta2 = -(a / g);
-    if (beta1.is_zero() && beta2.is_zero()) continue;  // a = b = 0 row
-    bool covered = false;
-    for (std::size_t j = 0; j < n && !covered; ++j) {
-      if (j == i) continue;
-      BigInt val = beta1 * hnf.u(j, n - 2) + beta2 * hnf.u(j, n - 1);
-      if (val.abs() > BigInt(set.mu(j))) covered = true;
-    }
-    if (covered) {
-      return verdict(ConflictVerdict::Status::kConflictFree,
-                     "Theorem 4.6: gcd row + annihilator row");
-    }
-  }
-  return verdict(ConflictVerdict::Status::kUnknown,
-                 "Theorem 4.6 inconclusive");
+  return detail::theorem_4_6_t(hnf, k, set);
 }
 
 ConflictVerdict theorem_4_6(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return theorem_4_6(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::theorem_4_6_t(detail::decompose<CheckedInt>(t), t.k(),
+                                     set);
+      },
+      [&] {
+        return detail::theorem_4_6_t(detail::decompose<BigInt>(t), t.k(),
+                                     set);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -270,51 +121,20 @@ ConflictVerdict theorem_4_6(const MappingMatrix& t,
 
 ConflictVerdict theorem_4_7(const lattice::HnfResult& hnf, std::size_t k,
                             const model::IndexSet& set) {
-  const std::size_t n = hnf.u.rows();
-  if (k + 2 != n) {
-    return verdict(ConflictVerdict::Status::kUnknown,
-                   "Theorem 4.7 requires k = n-2");
-  }
-  // Condition 3 first: both kernel columns feasible (Theorem 4.4).
-  for (std::size_t j = 0; j < 2; ++j) {
-    VecZ u = kernel_column(hnf, k, j);
-    if (!is_feasible_conflict_vector(u, set)) {
-      return verdict(ConflictVerdict::Status::kHasConflict,
-                     "Theorem 4.7 condition 3 violated", std::move(u));
-    }
-  }
-  const MatZ kernel = kernel_block(hnf, k);
-  const std::vector<int> same{1, 1};
-  const std::vector<int> opposite{1, -1};
-  bool cond1 = false;
-  bool cond2 = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!cond1 && row_compatible(kernel, i, same) &&
-        row_certifies(kernel, i, same, set)) {
-      cond1 = true;
-    }
-    if (!cond2 && row_compatible(kernel, i, opposite) &&
-        row_certifies(kernel, i, opposite, set)) {
-      cond2 = true;
-    }
-  }
-  if (cond1 && cond2) {
-    return verdict(ConflictVerdict::Status::kConflictFree,
-                   "Theorem 4.7: sign-split conditions hold");
-  }
-  // Published necessity: a failing condition names a candidate witness
-  // (u_{n-1} + u_n or u_{n-1} - u_n).  The candidate is not always
-  // non-feasible (see theorems.hpp); decide_conflict_free() validates it.
-  VecZ witness = combine(kernel, cond1 ? opposite : same);
-  return verdict(ConflictVerdict::Status::kHasConflict,
-                 cond1 ? "Theorem 4.7 condition 2 violated"
-                       : "Theorem 4.7 condition 1 violated",
-                 lattice::make_primitive(std::move(witness)));
+  return detail::theorem_4_7_t(hnf, k, set);
 }
 
 ConflictVerdict theorem_4_7(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return theorem_4_7(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::theorem_4_7_t(detail::decompose<CheckedInt>(t), t.k(),
+                                     set);
+      },
+      [&] {
+        return detail::theorem_4_7_t(detail::decompose<BigInt>(t), t.k(),
+                                     set);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -323,49 +143,20 @@ ConflictVerdict theorem_4_7(const MappingMatrix& t,
 
 ConflictVerdict theorem_4_8(const lattice::HnfResult& hnf, std::size_t k,
                             const model::IndexSet& set) {
-  const std::size_t n = hnf.u.rows();
-  if (k + 3 != n) {
-    return verdict(ConflictVerdict::Status::kUnknown,
-                   "Theorem 4.8 requires k = n-3");
-  }
-  // Condition 5: all three kernel columns feasible.
-  for (std::size_t j = 0; j < 3; ++j) {
-    VecZ u = kernel_column(hnf, k, j);
-    if (!is_feasible_conflict_vector(u, set)) {
-      return verdict(ConflictVerdict::Status::kHasConflict,
-                     "Theorem 4.8 condition 5 violated", std::move(u));
-    }
-  }
-  const std::vector<std::vector<int>> patterns{
-      {1, 1, 1},    // condition 1
-      {1, 1, -1},   // condition 2
-      {1, -1, 1},   // condition 3
-      {-1, 1, 1},   // condition 4
-  };
-  const MatZ kernel = kernel_block(hnf, k);
-  for (std::size_t p = 0; p < patterns.size(); ++p) {
-    bool found = false;
-    for (std::size_t i = 0; i < n && !found; ++i) {
-      if (row_compatible(kernel, i, patterns[p]) &&
-          row_certifies(kernel, i, patterns[p], set)) {
-        found = true;
-      }
-    }
-    if (!found) {
-      VecZ witness = combine(kernel, patterns[p]);
-      return verdict(ConflictVerdict::Status::kHasConflict,
-                     "Theorem 4.8 condition " + std::to_string(p + 1) +
-                         " violated",
-                     lattice::make_primitive(std::move(witness)));
-    }
-  }
-  return verdict(ConflictVerdict::Status::kConflictFree,
-                 "Theorem 4.8: all sign-split conditions hold");
+  return detail::theorem_4_8_t(hnf, k, set);
 }
 
 ConflictVerdict theorem_4_8(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return theorem_4_8(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::theorem_4_8_t(detail::decompose<CheckedInt>(t), t.k(),
+                                     set);
+      },
+      [&] {
+        return detail::theorem_4_8_t(detail::decompose<BigInt>(t), t.k(),
+                                     set);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -374,86 +165,33 @@ ConflictVerdict theorem_4_8(const MappingMatrix& t,
 
 ConflictVerdict sign_pattern_check_basis(const MatZ& kernel,
                                          const model::IndexSet& set) {
-  const std::size_t n = kernel.rows();
-  const std::size_t free_dims = kernel.cols();
-  if (free_dims == 0) {
-    return verdict(ConflictVerdict::Status::kConflictFree,
-                   "sign-pattern: empty kernel");
-  }
-  if (free_dims > 6) {
-    return verdict(ConflictVerdict::Status::kUnknown,
-                   "sign-pattern: too many kernel dimensions");
-  }
-  if (n != set.dimension()) {
-    throw std::invalid_argument("sign_pattern_check_basis: dimension");
-  }
-  // Enumerate sign classes p in {-1,0,1}^(n-k), first nonzero entry +1.
-  // Ternary odometer starting at all -1; every state is processed exactly
-  // once before the odometer wraps.
-  std::vector<int> pattern(free_dims, -1);
-  std::optional<VecZ> feasible_unknown_witness;
-  std::string failing_rule;
-  bool exhausted = false;
-  auto advance = [&] {
-    std::size_t i = 0;
-    for (; i < free_dims; ++i) {
-      if (pattern[i] < 1) {
-        ++pattern[i];
-        return;
-      }
-      pattern[i] = -1;
-    }
-    exhausted = true;
-  };
-  for (; !exhausted; advance()) {
-    // Canonical representative: first nonzero must be +1.
-    int first = 0;
-    for (int v : pattern) {
-      if (v != 0) {
-        first = v;
-        break;
-      }
-    }
-    if (first <= 0) continue;  // skip zero pattern and negated duplicates
-
-    bool certified = false;
-    for (std::size_t r = 0; r < n && !certified; ++r) {
-      if (row_compatible(kernel, r, pattern) &&
-          row_certifies(kernel, r, pattern, set)) {
-        certified = true;
-      }
-    }
-    if (certified) continue;
-
-    // No certifying row: test the class representative as a witness.
-    VecZ gamma = lattice::make_primitive(combine(kernel, pattern));
-    if (!is_feasible_conflict_vector(gamma, set)) {
-      return verdict(ConflictVerdict::Status::kHasConflict,
-                     "sign-pattern: class representative non-feasible",
-                     std::move(gamma));
-    }
-    if (!feasible_unknown_witness) {
-      feasible_unknown_witness = std::move(gamma);
-      failing_rule = "sign-pattern: uncertified class with feasible "
-                     "representative (inconclusive)";
-    }
-  }
-  if (feasible_unknown_witness) {
-    return verdict(ConflictVerdict::Status::kUnknown, failing_rule);
-  }
-  return verdict(ConflictVerdict::Status::kConflictFree,
-                 "sign-pattern: every beta sign class certified");
+  return exact::with_fallback(
+      [&] {
+        // to_checked throws OverflowError on entries outside int64, which
+        // lands in the BigInt restart below.
+        return detail::sign_pattern_check_basis_t(to_checked(kernel), set);
+      },
+      [&] { return detail::sign_pattern_check_basis_t(kernel, set); });
 }
 
 ConflictVerdict sign_pattern_check(const lattice::HnfResult& hnf,
                                    std::size_t k,
                                    const model::IndexSet& set) {
-  return sign_pattern_check_basis(kernel_block(hnf, k), set);
+  return sign_pattern_check_basis(detail::kernel_block(hnf, k), set);
 }
 
 ConflictVerdict sign_pattern_check(const MappingMatrix& t,
                                    const model::IndexSet& set) {
-  return sign_pattern_check(decompose(t), t.k(), set);
+  return exact::with_fallback(
+      [&] {
+        return detail::sign_pattern_check_basis_t(
+            detail::kernel_block(detail::decompose<CheckedInt>(t), t.k()),
+            set);
+      },
+      [&] {
+        return detail::sign_pattern_check_basis_t(
+            detail::kernel_block(detail::decompose<BigInt>(t), t.k()), set);
+      });
 }
 
 }  // namespace sysmap::mapping

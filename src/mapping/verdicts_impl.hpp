@@ -1,0 +1,705 @@
+// Templated conflict-freedom pipeline shared by the BigInt substrate and
+// the CheckedInt machine-word fast path.
+//
+// Every verdict-producing computation of Sections 3-4 (unique conflict
+// vector, theorem checkers, sign-pattern generalization, LLL-reduced
+// bases, lattice-box enumeration) lives here as ONE template body over the
+// exact scalar T.  The public entry points in theorems.cpp / conflict.cpp
+// instantiate it twice:
+//   - T = exact::CheckedInt : machine words, trapping on int64 overflow;
+//   - T = exact::BigInt     : arbitrary precision, never traps.
+// The dispatchers run the CheckedInt instantiation first and restart over
+// BigInt when exact::OverflowError escapes, so verdicts (status, rule
+// string AND witness) are bit-identical by construction -- the fast path is
+// purely a wall-clock optimization.  tests/fastpath_test.cpp asserts the
+// parity on random and adversarial inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exact/checked_rational.hpp"
+#include "lattice/hnf_impl.hpp"
+#include "lattice/kernel.hpp"
+#include "lattice/lll_impl.hpp"
+#include "linalg/ops.hpp"
+#include "mapping/conflict.hpp"
+#include "mapping/mapping_matrix.hpp"
+#include "model/index_set.hpp"
+
+namespace sysmap::mapping::detail {
+
+inline constexpr std::uint64_t kDefaultEnumerationBudget = 50'000'000;
+
+// -- scalar lifting / widening ---------------------------------------------
+
+/// Lifts a machine-integer matrix into the pipeline scalar.
+template <typename T>
+linalg::Matrix<T> lift(const MatI& m) {
+  linalg::Matrix<T> out(m.rows(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) out(i, j) = T(m(i, j));
+  }
+  return out;
+}
+
+/// Widens a pipeline vector to the public BigInt witness type.
+inline VecZ widen(VecZ v) { return v; }
+inline VecZ widen(const VecC& v) { return to_bigint(v); }
+
+// -- shared predicates ------------------------------------------------------
+
+/// Theorem 2.2 over the pipeline scalar: feasible iff some |gamma_i| > mu_i.
+template <typename T>
+bool feasible(const linalg::Vector<T>& gamma, const model::IndexSet& set) {
+  for (std::size_t i = 0; i < gamma.size(); ++i) {
+    if (gamma[i].abs() > T(set.mu(i))) return true;
+  }
+  return false;
+}
+
+inline ConflictVerdict verdict(ConflictVerdict::Status status,
+                               std::string rule,
+                               std::optional<VecZ> witness = std::nullopt) {
+  ConflictVerdict out;
+  out.status = status;
+  out.rule = std::move(rule);
+  out.witness = std::move(witness);
+  return out;
+}
+
+// The kernel column u_{k+j} of the HNF multiplier (0-based column k+j).
+template <typename T>
+linalg::Vector<T> kernel_column(const lattice::BasicHnfResult<T>& hnf,
+                                std::size_t k, std::size_t j) {
+  return hnf.u.column_vector(k + j);
+}
+
+// The kernel block u_{k+1} .. u_n of the HNF multiplier.
+template <typename T>
+linalg::Matrix<T> kernel_block(const lattice::BasicHnfResult<T>& hnf,
+                               std::size_t k) {
+  return hnf.u.block(0, hnf.u.rows(), k, hnf.u.cols());
+}
+
+template <typename T>
+lattice::BasicHnfResult<T> decompose(const MappingMatrix& t) {
+  return lattice::detail::hermite_normal_form_t<T>(lift<T>(t.matrix()));
+}
+
+// gamma = sum_j pattern[j] * kernel_col_j.
+template <typename T>
+linalg::Vector<T> combine(const linalg::Matrix<T>& kernel,
+                          const std::vector<int>& pattern) {
+  const std::size_t n = kernel.rows();
+  linalg::Vector<T> gamma(n, T(0));
+  for (std::size_t j = 0; j < pattern.size(); ++j) {
+    if (pattern[j] == 0) continue;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (pattern[j] > 0) {
+        gamma[r] += kernel(r, j);
+      } else {
+        gamma[r] -= kernel(r, j);
+      }
+    }
+  }
+  return gamma;
+}
+
+// Row r of the kernel basis is sign-compatible with `pattern` when the
+// selected entries pattern[j] * kernel(r, j) are all >= 0 or all <= 0
+// (zero entries are wildcards -- "the sign of the number zero is defined
+// as either positive or negative", Theorem 4.8).
+template <typename T>
+bool row_compatible(const linalg::Matrix<T>& kernel, std::size_t r,
+                    const std::vector<int>& pattern) {
+  bool has_pos = false;
+  bool has_neg = false;
+  for (std::size_t j = 0; j < pattern.size(); ++j) {
+    if (pattern[j] == 0) continue;
+    int s = kernel(r, j).signum() * pattern[j];
+    if (s > 0) has_pos = true;
+    if (s < 0) has_neg = true;
+  }
+  return !(has_pos && has_neg);
+}
+
+// |sum_j pattern[j] * kernel(r, j)| > mu_r ?
+template <typename T>
+bool row_certifies(const linalg::Matrix<T>& kernel, std::size_t r,
+                   const std::vector<int>& pattern,
+                   const model::IndexSet& set) {
+  T sum(0);
+  for (std::size_t j = 0; j < pattern.size(); ++j) {
+    if (pattern[j] > 0) {
+      sum += kernel(r, j);
+    } else if (pattern[j] < 0) {
+      sum -= kernel(r, j);
+    }
+  }
+  return sum.abs() > T(set.mu(r));
+}
+
+// -- Equation 3.2 / Theorem 3.1 --------------------------------------------
+
+/// The unique (primitive, canonical-sign) conflict vector of an (n-1) x n
+/// mapping; throws std::domain_error when rank(T) < n-1.
+template <typename T>
+linalg::Vector<T> unique_conflict_vector_t(const MappingMatrix& t) {
+  const std::size_t n = t.n();
+  if (t.k() + 1 != n) {
+    throw std::domain_error(
+        "unique_conflict_vector: requires T in Z^{(n-1) x n}");
+  }
+  linalg::Matrix<T> tz = lift<T>(t.matrix());
+  // Generalized cross product: gamma_i = (-1)^i det(T minus column i).
+  linalg::Vector<T> gamma(n);
+  bool all_zero = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Matrix<T> sub(n - 1, n - 1);
+    for (std::size_t r = 0; r < n - 1; ++r) {
+      std::size_t cc = 0;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (c == i) continue;
+        sub(r, cc++) = tz(r, c);
+      }
+    }
+    T d = linalg::determinant(sub);
+    gamma[i] = (i % 2 == 0) ? d : -d;
+    if (!gamma[i].is_zero()) all_zero = false;
+  }
+  if (all_zero) {
+    throw std::domain_error("unique_conflict_vector: rank(T) < n-1");
+  }
+  return lattice::make_primitive_t(std::move(gamma));
+}
+
+template <typename T>
+ConflictVerdict theorem_3_1_t(const MappingMatrix& t,
+                              const model::IndexSet& set) {
+  linalg::Vector<T> gamma = unique_conflict_vector_t<T>(t);
+  if (feasible(gamma, set)) {
+    return verdict(ConflictVerdict::Status::kConflictFree,
+                   "Theorem 3.1: unique conflict vector feasible");
+  }
+  return verdict(ConflictVerdict::Status::kHasConflict,
+                 "Theorem 3.1: unique conflict vector non-feasible",
+                 widen(std::move(gamma)));
+}
+
+// -- Theorem 4.3 (necessary) ------------------------------------------------
+
+template <typename T>
+ConflictVerdict theorem_4_3_t(const lattice::BasicHnfResult<T>& hnf,
+                              std::size_t k, const model::IndexSet& set) {
+  const std::size_t n = hnf.v.cols();
+  for (std::size_t col = 0; col < n; ++col) {
+    bool nonzero_found = false;
+    for (std::size_t row = 0; row < k; ++row) {
+      if (!hnf.v(row, col).is_zero()) {
+        nonzero_found = true;
+        break;
+      }
+    }
+    if (!nonzero_found) {
+      // Unit vector e_col is then a conflict vector; |e_col| = 1 <= mu_col.
+      VecZ e(n, exact::BigInt(0));
+      e[col] = exact::BigInt(1);
+      (void)set;
+      return verdict(ConflictVerdict::Status::kHasConflict,
+                     "Theorem 4.3 violated: column of V has zero head",
+                     std::move(e));
+    }
+  }
+  return verdict(ConflictVerdict::Status::kUnknown,
+                 "Theorem 4.3 holds (necessary only)");
+}
+
+// -- Theorem 4.4 (necessary) ------------------------------------------------
+
+template <typename T>
+ConflictVerdict theorem_4_4_t(const lattice::BasicHnfResult<T>& hnf,
+                              std::size_t k, const model::IndexSet& set) {
+  const std::size_t n = hnf.u.rows();
+  for (std::size_t j = 0; j + k < n; ++j) {
+    linalg::Vector<T> u = kernel_column(hnf, k, j);
+    if (!feasible(u, set)) {
+      return verdict(ConflictVerdict::Status::kHasConflict,
+                     "Theorem 4.4 violated: kernel column non-feasible",
+                     widen(std::move(u)));
+    }
+  }
+  return verdict(ConflictVerdict::Status::kUnknown,
+                 "Theorem 4.4 holds (necessary only)");
+}
+
+// -- Theorem 4.5 (sufficient) -----------------------------------------------
+
+template <typename T>
+ConflictVerdict theorem_4_5_t(const lattice::BasicHnfResult<T>& hnf,
+                              std::size_t k, const model::IndexSet& set) {
+  const std::size_t n = hnf.u.rows();
+  const std::size_t free_dims = n - k;
+  // Candidate rows: gcd(u_{i,k+1..n}) >= mu_i + 1.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < n; ++i) {
+    T g(0);
+    for (std::size_t j = 0; j < free_dims; ++j) {
+      g = T::gcd(g, hnf.u(i, k + j));
+    }
+    if (g >= T(set.mu(i)) + T(1)) candidates.push_back(i);
+  }
+  if (candidates.size() < free_dims) {
+    return verdict(ConflictVerdict::Status::kUnknown,
+                   "Theorem 4.5 inconclusive: too few gcd rows");
+  }
+  // Search for a subset of `free_dims` candidate rows with nonsingular
+  // trailing minor.  Candidate counts are tiny (<= n <= 8), so iterate
+  // over combinations directly.
+  std::vector<std::size_t> idx(free_dims);
+  for (std::size_t i = 0; i < free_dims; ++i) idx[i] = i;
+  for (;;) {
+    linalg::Matrix<T> minor(free_dims, free_dims);
+    for (std::size_t a = 0; a < free_dims; ++a) {
+      for (std::size_t b = 0; b < free_dims; ++b) {
+        minor(a, b) = hnf.u(candidates[idx[a]], k + b);
+      }
+    }
+    if (!linalg::determinant(minor).is_zero()) {
+      return verdict(ConflictVerdict::Status::kConflictFree,
+                     "Theorem 4.5: gcd rows with nonsingular minor");
+    }
+    // Next combination.
+    std::size_t i = free_dims;
+    while (i-- > 0) {
+      if (idx[i] + (free_dims - i) < candidates.size()) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < free_dims; ++j) {
+          idx[j] = idx[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) {
+        return verdict(ConflictVerdict::Status::kUnknown,
+                       "Theorem 4.5 inconclusive: all gcd minors singular");
+      }
+    }
+  }
+}
+
+// -- Theorem 4.6 (sufficient, k = n-2) ---------------------------------------
+
+template <typename T>
+ConflictVerdict theorem_4_6_t(const lattice::BasicHnfResult<T>& hnf,
+                              std::size_t k, const model::IndexSet& set) {
+  const std::size_t n = hnf.u.rows();
+  if (k + 2 != n) {
+    return verdict(ConflictVerdict::Status::kUnknown,
+                   "Theorem 4.6 requires k = n-2");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const T& a = hnf.u(i, n - 2);
+    const T& b = hnf.u(i, n - 1);
+    T g = T::gcd(a, b);
+    if (!(g >= T(set.mu(i)) + T(1))) continue;
+    // Condition 2: betas annihilating row i form the primitive family
+    // t * (b, -a)/g; check some row j != i exceeds its bound on it.
+    T beta1 = b / g;
+    T beta2 = -(a / g);
+    if (beta1.is_zero() && beta2.is_zero()) continue;  // a = b = 0 row
+    bool covered = false;
+    for (std::size_t j = 0; j < n && !covered; ++j) {
+      if (j == i) continue;
+      T val = beta1 * hnf.u(j, n - 2) + beta2 * hnf.u(j, n - 1);
+      if (val.abs() > T(set.mu(j))) covered = true;
+    }
+    if (covered) {
+      return verdict(ConflictVerdict::Status::kConflictFree,
+                     "Theorem 4.6: gcd row + annihilator row");
+    }
+  }
+  return verdict(ConflictVerdict::Status::kUnknown,
+                 "Theorem 4.6 inconclusive");
+}
+
+// -- Theorem 4.7 (published exact, k = n-2) ----------------------------------
+
+template <typename T>
+ConflictVerdict theorem_4_7_t(const lattice::BasicHnfResult<T>& hnf,
+                              std::size_t k, const model::IndexSet& set) {
+  const std::size_t n = hnf.u.rows();
+  if (k + 2 != n) {
+    return verdict(ConflictVerdict::Status::kUnknown,
+                   "Theorem 4.7 requires k = n-2");
+  }
+  // Condition 3 first: both kernel columns feasible (Theorem 4.4).
+  for (std::size_t j = 0; j < 2; ++j) {
+    linalg::Vector<T> u = kernel_column(hnf, k, j);
+    if (!feasible(u, set)) {
+      return verdict(ConflictVerdict::Status::kHasConflict,
+                     "Theorem 4.7 condition 3 violated", widen(std::move(u)));
+    }
+  }
+  const linalg::Matrix<T> kernel = kernel_block(hnf, k);
+  const std::vector<int> same{1, 1};
+  const std::vector<int> opposite{1, -1};
+  bool cond1 = false;
+  bool cond2 = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!cond1 && row_compatible(kernel, i, same) &&
+        row_certifies(kernel, i, same, set)) {
+      cond1 = true;
+    }
+    if (!cond2 && row_compatible(kernel, i, opposite) &&
+        row_certifies(kernel, i, opposite, set)) {
+      cond2 = true;
+    }
+  }
+  if (cond1 && cond2) {
+    return verdict(ConflictVerdict::Status::kConflictFree,
+                   "Theorem 4.7: sign-split conditions hold");
+  }
+  // Published necessity: a failing condition names a candidate witness
+  // (u_{n-1} + u_n or u_{n-1} - u_n).  The candidate is not always
+  // non-feasible (see theorems.hpp); decide_conflict_free() validates it.
+  linalg::Vector<T> witness = combine(kernel, cond1 ? opposite : same);
+  return verdict(ConflictVerdict::Status::kHasConflict,
+                 cond1 ? "Theorem 4.7 condition 2 violated"
+                       : "Theorem 4.7 condition 1 violated",
+                 widen(lattice::make_primitive_t(std::move(witness))));
+}
+
+// -- Theorem 4.8 (published exact, k = n-3) ----------------------------------
+
+template <typename T>
+ConflictVerdict theorem_4_8_t(const lattice::BasicHnfResult<T>& hnf,
+                              std::size_t k, const model::IndexSet& set) {
+  const std::size_t n = hnf.u.rows();
+  if (k + 3 != n) {
+    return verdict(ConflictVerdict::Status::kUnknown,
+                   "Theorem 4.8 requires k = n-3");
+  }
+  // Condition 5: all three kernel columns feasible.
+  for (std::size_t j = 0; j < 3; ++j) {
+    linalg::Vector<T> u = kernel_column(hnf, k, j);
+    if (!feasible(u, set)) {
+      return verdict(ConflictVerdict::Status::kHasConflict,
+                     "Theorem 4.8 condition 5 violated", widen(std::move(u)));
+    }
+  }
+  const std::vector<std::vector<int>> patterns{
+      {1, 1, 1},   // condition 1
+      {1, 1, -1},  // condition 2
+      {1, -1, 1},  // condition 3
+      {-1, 1, 1},  // condition 4
+  };
+  const linalg::Matrix<T> kernel = kernel_block(hnf, k);
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    bool found = false;
+    for (std::size_t i = 0; i < n && !found; ++i) {
+      if (row_compatible(kernel, i, patterns[p]) &&
+          row_certifies(kernel, i, patterns[p], set)) {
+        found = true;
+      }
+    }
+    if (!found) {
+      linalg::Vector<T> witness = combine(kernel, patterns[p]);
+      return verdict(ConflictVerdict::Status::kHasConflict,
+                     "Theorem 4.8 condition " + std::to_string(p + 1) +
+                         " violated",
+                     widen(lattice::make_primitive_t(std::move(witness))));
+    }
+  }
+  return verdict(ConflictVerdict::Status::kConflictFree,
+                 "Theorem 4.8: all sign-split conditions hold");
+}
+
+// -- Generalized sign-pattern check (library extension) ----------------------
+
+template <typename T>
+ConflictVerdict sign_pattern_check_basis_t(const linalg::Matrix<T>& kernel,
+                                           const model::IndexSet& set) {
+  const std::size_t n = kernel.rows();
+  const std::size_t free_dims = kernel.cols();
+  if (free_dims == 0) {
+    return verdict(ConflictVerdict::Status::kConflictFree,
+                   "sign-pattern: empty kernel");
+  }
+  if (free_dims > 6) {
+    return verdict(ConflictVerdict::Status::kUnknown,
+                   "sign-pattern: too many kernel dimensions");
+  }
+  if (n != set.dimension()) {
+    throw std::invalid_argument("sign_pattern_check_basis: dimension");
+  }
+  // Enumerate sign classes p in {-1,0,1}^(n-k), first nonzero entry +1.
+  // Ternary odometer starting at all -1; every state is processed exactly
+  // once before the odometer wraps.
+  std::vector<int> pattern(free_dims, -1);
+  std::optional<VecZ> feasible_unknown_witness;
+  std::string failing_rule;
+  bool exhausted = false;
+  auto advance = [&] {
+    std::size_t i = 0;
+    for (; i < free_dims; ++i) {
+      if (pattern[i] < 1) {
+        ++pattern[i];
+        return;
+      }
+      pattern[i] = -1;
+    }
+    exhausted = true;
+  };
+  for (; !exhausted; advance()) {
+    // Canonical representative: first nonzero must be +1.
+    int first = 0;
+    for (int v : pattern) {
+      if (v != 0) {
+        first = v;
+        break;
+      }
+    }
+    if (first <= 0) continue;  // skip zero pattern and negated duplicates
+
+    bool certified = false;
+    for (std::size_t r = 0; r < n && !certified; ++r) {
+      if (row_compatible(kernel, r, pattern) &&
+          row_certifies(kernel, r, pattern, set)) {
+        certified = true;
+      }
+    }
+    if (certified) continue;
+
+    // No certifying row: test the class representative as a witness.
+    linalg::Vector<T> gamma =
+        lattice::make_primitive_t(combine(kernel, pattern));
+    if (!feasible(gamma, set)) {
+      return verdict(ConflictVerdict::Status::kHasConflict,
+                     "sign-pattern: class representative non-feasible",
+                     widen(std::move(gamma)));
+    }
+    if (!feasible_unknown_witness) {
+      feasible_unknown_witness = widen(std::move(gamma));
+      failing_rule = "sign-pattern: uncertified class with feasible "
+                     "representative (inconclusive)";
+    }
+  }
+  if (feasible_unknown_witness) {
+    return verdict(ConflictVerdict::Status::kUnknown, failing_rule);
+  }
+  return verdict(ConflictVerdict::Status::kConflictFree,
+                 "sign-pattern: every beta sign class certified");
+}
+
+// -- exact lattice-box enumeration -------------------------------------------
+
+// Enumerates beta in the product of [-bound_j, bound_j], testing whether
+// gamma = kernel * beta lands inside the box; shared by the HNF-bounded
+// and pseudo-inverse-bounded exact decisions.
+template <typename T>
+ConflictVerdict enumerate_lattice_box(const linalg::Matrix<T>& kernel,
+                                      const linalg::Vector<T>& bound,
+                                      const model::IndexSet& set,
+                                      std::uint64_t budget, const char* rule) {
+  const std::size_t n = kernel.rows();
+  const std::size_t free_dims = kernel.cols();
+  ConflictVerdict out;
+  out.rule = rule;
+
+  std::uint64_t volume = 1;
+  bool overflow = false;
+  for (std::size_t j = 0; j < free_dims; ++j) {
+    T width = T(2) * bound[j] + T(1);
+    if (!width.fits_int64() || overflow) {
+      overflow = true;
+      continue;
+    }
+    std::uint64_t w = static_cast<std::uint64_t>(width.to_int64());
+    if (volume > budget / w) {
+      overflow = true;
+    } else {
+      volume *= w;
+    }
+  }
+  if (overflow || volume > budget) {
+    out.status = ConflictVerdict::Status::kUnknown;
+    out.rule = "exact enumeration: budget exceeded";
+    return out;
+  }
+
+  linalg::Vector<T> beta(free_dims);
+  for (std::size_t j = 0; j < free_dims; ++j) beta[j] = -bound[j];
+  linalg::Vector<T> gamma(n);
+  for (;;) {
+    bool nonzero = false;
+    for (const auto& b : beta) {
+      if (!b.is_zero()) {
+        nonzero = true;
+        break;
+      }
+    }
+    if (nonzero) {
+      bool inside_box = true;
+      for (std::size_t r = 0; r < n && inside_box; ++r) {
+        T g(0);
+        for (std::size_t j = 0; j < free_dims; ++j) {
+          g += kernel(r, j) * beta[j];
+        }
+        gamma[r] = g;
+        if (g.abs() > T(set.mu(r))) inside_box = false;
+      }
+      if (inside_box) {
+        out.status = ConflictVerdict::Status::kHasConflict;
+        out.witness = widen(lattice::make_primitive_t(std::move(gamma)));
+        return out;
+      }
+    }
+    std::size_t j = 0;
+    for (; j < free_dims; ++j) {
+      if (beta[j] < bound[j]) {
+        beta[j] += T(1);
+        break;
+      }
+      beta[j] = -bound[j];
+    }
+    if (j == free_dims) break;
+  }
+  out.status = ConflictVerdict::Status::kConflictFree;
+  return out;
+}
+
+template <typename T>
+ConflictVerdict decide_conflict_free_exact_t(const MappingMatrix& t,
+                                             const model::IndexSet& set,
+                                             std::uint64_t budget) {
+  const std::size_t n = t.n();
+  const std::size_t k = t.k();
+
+  if (k == n) {
+    // Square T: conflict-free iff nonsingular (no nonzero kernel at all).
+    ConflictVerdict out;
+    out.status = t.has_full_rank() ? ConflictVerdict::Status::kConflictFree
+                                   : ConflictVerdict::Status::kHasConflict;
+    out.rule = "square T: rank test";
+    return out;
+  }
+
+  lattice::BasicHnfResult<T> hnf = decompose<T>(t);
+  // Free coefficients beta_{k..n-1} weight the last n-k columns of U.
+  // beta = V gamma and any non-feasible gamma lies in the box |gamma_i| <=
+  // mu_i, so |beta_j| <= sum_c |v_jc| * mu_c bounds the search exactly.
+  const std::size_t free_dims = n - k;
+  linalg::Vector<T> bound(free_dims);
+  for (std::size_t j = 0; j < free_dims; ++j) {
+    T b(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      b += hnf.v(k + j, c).abs() * T(set.mu(c));
+    }
+    bound[j] = b;
+  }
+  return enumerate_lattice_box(hnf.u.block(0, n, k, n), bound, set, budget,
+                               "exact lattice-box enumeration");
+}
+
+template <typename T>
+ConflictVerdict decide_conflict_free_over_basis_t(
+    const linalg::Matrix<T>& kernel, const model::IndexSet& set,
+    std::uint64_t budget) {
+  using Q = typename exact::RationalOf<T>::type;
+  const std::size_t n = kernel.rows();
+  const std::size_t r = kernel.cols();
+  if (n != set.dimension()) {
+    throw std::invalid_argument(
+        "decide_conflict_free_over_basis: dimension mismatch");
+  }
+  if (r == 0) {
+    ConflictVerdict out;
+    out.status = ConflictVerdict::Status::kConflictFree;
+    out.rule = "empty kernel";
+    return out;
+  }
+  // beta = (B^T B)^{-1} B^T gamma; bound |beta_j| by the weighted row
+  // L1-norm of the pseudo-inverse over the gamma box.
+  linalg::Matrix<Q> bq = kernel.template cast<Q>();
+  linalg::Matrix<Q> bt = bq.transpose();
+  linalg::Matrix<Q> pinv = linalg::inverse(bt * bq) * bt;  // r x n, exact
+  linalg::Vector<T> bound(r);
+  for (std::size_t j = 0; j < r; ++j) {
+    Q b(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      b += pinv(j, c).abs() * Q(T(set.mu(c)));
+    }
+    bound[j] = b.floor();  // beta is integral
+  }
+  return enumerate_lattice_box(kernel, bound, set, budget,
+                               "exact enumeration over reduced basis");
+}
+
+// -- the exact dispatcher (decide_conflict_free ladder) ----------------------
+
+template <typename T>
+ConflictVerdict decide_conflict_free_t(const MappingMatrix& t,
+                                       const model::IndexSet& set) {
+  const std::size_t n = t.n();
+  const std::size_t k = t.k();
+
+  if (k == n) {
+    ConflictVerdict out;
+    out.status = t.has_full_rank() ? ConflictVerdict::Status::kConflictFree
+                                   : ConflictVerdict::Status::kHasConflict;
+    out.rule = "square T: rank test";
+    return out;
+  }
+  if (k + 1 == n) return theorem_3_1_t<T>(t, set);  // exact: unique gamma
+
+  // k <= n-2: single HNF, then a ladder of exact-when-they-fire rules.
+  lattice::BasicHnfResult<T> hnf = decompose<T>(t);
+
+  // Necessary conditions reject with genuine witnesses.
+  ConflictVerdict necessary = theorem_4_3_t(hnf, k, set);
+  if (necessary.status == ConflictVerdict::Status::kHasConflict) {
+    return necessary;
+  }
+  necessary = theorem_4_4_t(hnf, k, set);
+  if (necessary.status == ConflictVerdict::Status::kHasConflict) {
+    return necessary;
+  }
+
+  // The generalized sign-pattern condition subsumes Theorems 4.7/4.8 and is
+  // sound in both directions when it returns a definite verdict.
+  ConflictVerdict sign = sign_pattern_check_basis_t(kernel_block(hnf, k), set);
+  if (sign.status != ConflictVerdict::Status::kUnknown) return sign;
+
+  // Retry on the LLL-reduced kernel basis: the condition is basis-
+  // dependent and shorter vectors certify more sign classes.
+  linalg::Matrix<T> kernel = kernel_block(hnf, k);
+  linalg::Matrix<T> reduced = kernel;
+  try {
+    reduced = lattice::detail::lll_reduce_t(kernel).basis;
+    ConflictVerdict reduced_sign = sign_pattern_check_basis_t(reduced, set);
+    if (reduced_sign.status != ConflictVerdict::Status::kUnknown) {
+      reduced_sign.rule += " (LLL-reduced basis)";
+      return reduced_sign;
+    }
+  } catch (const std::invalid_argument&) {
+    // Dependent columns cannot happen for an HNF kernel block; keep the
+    // unreduced basis defensively.
+  }
+
+  ConflictVerdict sufficient = theorem_4_5_t(hnf, k, set);
+  if (sufficient.status == ConflictVerdict::Status::kConflictFree) {
+    return sufficient;
+  }
+  // Exact enumeration, preferring the reduced basis' tighter bounds.
+  ConflictVerdict exact = decide_conflict_free_over_basis_t(
+      reduced, set, kDefaultEnumerationBudget);
+  if (exact.status != ConflictVerdict::Status::kUnknown) return exact;
+  return decide_conflict_free_exact_t<T>(t, set, kDefaultEnumerationBudget);
+}
+
+}  // namespace sysmap::mapping::detail

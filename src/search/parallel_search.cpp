@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "baseline/brute_force.hpp"
 #include "exact/checked.hpp"
 #include "mapping/theorems.hpp"
+#include "search/thread_pool.hpp"
 
 namespace sysmap::search {
 
@@ -17,10 +19,9 @@ namespace {
 // One worker's best find within its slice of a level.
 struct WorkerBest {
   bool found = false;
-  VecI pi;
+  std::size_t level_index = 0;  // position of the hit within the level
   mapping::ConflictVerdict verdict;
   std::optional<schedule::Routing> routing;
-  std::uint64_t passed_dependence = 0;
 };
 
 mapping::ConflictVerdict run_oracle(ConflictOracle oracle,
@@ -51,6 +52,15 @@ mapping::ConflictVerdict run_oracle(ConflictOracle oracle,
   }
 }
 
+// Lowers `bound` to at most `candidate` (atomic fetch-min).
+void atomic_min(std::atomic<std::size_t>& bound, std::size_t candidate) {
+  std::size_t cur = bound.load(std::memory_order_relaxed);
+  while (candidate < cur &&
+         !bound.compare_exchange_weak(cur, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 SearchResult procedure_5_1_parallel(
@@ -78,84 +88,100 @@ SearchResult procedure_5_1_parallel(
         exact::mul_checked(4, exact::mul_checked(mu_max + 1, mu_sum));
   }
 
+  // One pool for the whole search: levels reuse the same OS threads
+  // instead of paying spawn/join per objective value.
+  ThreadPool pool(num_threads);
+
   SearchResult result;
+  std::vector<VecI> level;
   for (Int f = std::max<Int>(options.min_objective, 1); f <= max_objective;
        ++f) {
     // Materialize this level (serial; enumeration is cheap relative to
     // the per-candidate verdicts).
-    std::vector<VecI> level;
+    level.clear();
     enumerate_schedules_at(set, f, [&](const VecI& pi) {
       level.push_back(pi);
       return true;
     });
-    result.candidates_tested += level.size();
     if (level.empty()) continue;
 
-    const std::size_t workers = std::min(num_threads, level.size());
+    const std::size_t workers = std::min(pool.size(), level.size());
     std::vector<WorkerBest> best(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&, w] {
-        WorkerBest& mine = best[w];
-        for (std::size_t idx = w; idx < level.size(); idx += workers) {
-          const VecI& pi = level[idx];
-          schedule::LinearSchedule sched(pi);
-          if (!sched.respects_dependences(d)) continue;
-          ++mine.passed_dependence;
-          mapping::MappingMatrix t(space, pi);
-          if (!t.has_full_rank()) continue;
-          mapping::ConflictVerdict verdict =
-              run_oracle(options.oracle, t, set);
-          if (verdict.status !=
-              mapping::ConflictVerdict::Status::kConflictFree) {
-            continue;
-          }
-          std::optional<schedule::Routing> routing;
-          if (options.target) {
-            routing = schedule::route(space, d, *options.target, sched);
-            if (!routing) continue;
-          }
-          // Keep the candidate that the SERIAL scan would meet first: the
-          // smallest level index, i.e. the first hit in this stride --
-          // but strides interleave, so compare by enumeration position
-          // via lexicographic-in-level-order, which equals index order.
-          if (!mine.found) {
-            mine.found = true;
-            mine.pi = pi;
-            mine.verdict = std::move(verdict);
-            mine.routing = std::move(routing);
-          }
-          break;  // later indices in this stride cannot beat an earlier one
+    std::vector<std::uint64_t> passed(workers, 0);
+    // Shared pruning bound: no candidate at or past the best found
+    // position can win, so workers skip them.
+    std::atomic<std::size_t> best_found(
+        std::numeric_limits<std::size_t>::max());
+    pool.run([&](std::size_t w) {
+      if (w >= workers) return;
+      WorkerBest& mine = best[w];
+      for (std::size_t idx = w; idx < level.size(); idx += workers) {
+        if (idx >= best_found.load(std::memory_order_relaxed)) break;
+        const VecI& pi = level[idx];
+        schedule::LinearSchedule sched(pi);
+        if (!sched.respects_dependences(d)) continue;
+        ++passed[w];
+        mapping::MappingMatrix t(space, pi);
+        if (!t.has_full_rank()) continue;
+        mapping::ConflictVerdict verdict = run_oracle(options.oracle, t, set);
+        if (verdict.status !=
+            mapping::ConflictVerdict::Status::kConflictFree) {
+          continue;
         }
-      });
-    }
-    for (auto& t : pool) t.join();
+        std::optional<schedule::Routing> routing;
+        if (options.target) {
+          routing = schedule::route(space, d, *options.target, sched);
+          if (!routing) continue;
+        }
+        // Keep the candidate that the SERIAL scan would meet first: the
+        // smallest position in `level`.  Within one stride positions are
+        // increasing, so the first hit is this worker's best.
+        mine.found = true;
+        mine.level_index = idx;
+        mine.verdict = std::move(verdict);
+        mine.routing = std::move(routing);
+        atomic_min(best_found, idx);
+        break;
+      }
+    });
 
     // Reduce: the serial scan's winner is the valid candidate with the
-    // smallest position in `level`; reconstruct it from per-worker firsts.
-    std::size_t best_pos = level.size();
+    // smallest position in `level`; each worker already recorded its
+    // position, so the reduction is a plain min over worker indices.
     std::size_t best_worker = workers;
+    std::size_t best_pos = level.size();
     for (std::size_t w = 0; w < workers; ++w) {
-      result.candidates_passed_dependence += best[w].passed_dependence;
-      if (!best[w].found) continue;
-      // Position of this worker's pi in the level.
-      auto it = std::find(level.begin(), level.end(), best[w].pi);
-      std::size_t pos = static_cast<std::size_t>(it - level.begin());
-      if (pos < best_pos) {
-        best_pos = pos;
+      if (best[w].found && best[w].level_index < best_pos) {
+        best_pos = best[w].level_index;
         best_worker = w;
       }
     }
-    if (best_worker < workers) {
-      result.found = true;
-      result.pi = best[best_worker].pi;
-      result.objective = f;
-      result.makespan = exact::add_checked(f, 1);
-      result.verdict = std::move(best[best_worker].verdict);
-      result.routing = std::move(best[best_worker].routing);
-      return result;
+    if (best_worker == workers) {
+      // No hit: every worker scanned its whole stride, so the per-worker
+      // tallies sum to exactly what the serial scan counts for the level.
+      result.candidates_tested += level.size();
+      for (std::size_t w = 0; w < workers; ++w) {
+        result.candidates_passed_dependence += passed[w];
+      }
+      continue;
     }
+    // Hit: the serial scan stops at the winner, seeing positions
+    // [0, best_pos].  Worker tallies over-count past the winner (and the
+    // pruning bound truncates them nondeterministically), so recount the
+    // cheap dependence screen over exactly the serial prefix.
+    result.candidates_tested += best_pos + 1;
+    for (std::size_t idx = 0; idx <= best_pos; ++idx) {
+      if (schedule::LinearSchedule(level[idx]).respects_dependences(d)) {
+        ++result.candidates_passed_dependence;
+      }
+    }
+    result.found = true;
+    result.pi = level[best_pos];
+    result.objective = f;
+    result.makespan = exact::add_checked(f, 1);
+    result.verdict = std::move(best[best_worker].verdict);
+    result.routing = std::move(best[best_worker].routing);
+    return result;
   }
   return result;
 }

@@ -3,14 +3,19 @@
 // Each objective level f is embarrassingly parallel: candidates at the
 // level are independent, and optimality only needs the best candidate of
 // the first non-empty level.  The parallel driver materializes each
-// level's candidate list, partitions it across worker threads, and
-// reduces to the (objective, lexicographically-smallest-Pi) winner, so
-// the result is IDENTICAL to the serial scan regardless of thread count
-// or interleaving -- determinism is part of the contract and is tested.
+// level's candidate list, partitions it across the workers of ONE
+// persistent thread pool (search/thread_pool.hpp, constructed once per
+// search and reused by every level), and reduces to the winner with the
+// smallest level position -- each worker records the position of its first
+// hit, so the reduction is a plain min.  The result, including the
+// candidates_tested / candidates_passed_dependence statistics, is
+// IDENTICAL to the serial scan regardless of thread count or interleaving
+// -- determinism is part of the contract and is tested.
 //
-// Thread safety: workers share only immutable inputs (algorithm, space
-// matrix, options); each builds its own HNFs and verdicts.  No locks --
-// per-thread results are reduced after join.
+// Thread safety: workers share the immutable inputs (algorithm, space
+// matrix, options) plus one atomic pruning bound; each builds its own
+// HNFs and verdicts.  No locks -- per-thread results are reduced after
+// the pool's fork-join barrier.
 #pragma once
 
 #include <cstddef>
@@ -20,9 +25,8 @@
 namespace sysmap::search {
 
 /// Procedure 5.1 with `num_threads` workers (0 = hardware concurrency).
-/// Returns exactly what procedure_5_1 returns for the same inputs, except
-/// that candidates_tested counts all candidates of every scanned level
-/// (the parallel scan cannot stop mid-level).
+/// Returns exactly what procedure_5_1 returns for the same inputs,
+/// statistics included.
 SearchResult procedure_5_1_parallel(
     const model::UniformDependenceAlgorithm& algo, const MatI& space,
     const SearchOptions& options = {}, std::size_t num_threads = 0);

@@ -20,6 +20,13 @@ bool enumerate_rec(const model::IndexSet& set, Int remaining, std::size_t i,
     return visit(pi);
   }
   const Int mu = set.mu(i);
+  if (mu <= 0) {
+    // IndexSet enforces mu_i >= 1, so this is unreachable through the
+    // public API; guard the division anyway and pin the weightless
+    // coordinate to 0 (any other value would enumerate forever).
+    pi[i] = 0;
+    return enumerate_rec(set, remaining, i + 1, pi, visit);
+  }
   const Int max_abs = remaining / mu;
   // Tail feasibility: the remaining weight must be expressible by later
   // coordinates; with arbitrary magnitudes any nonnegative remainder works

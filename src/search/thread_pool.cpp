@@ -1,0 +1,63 @@
+#include "search/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sysmap::search {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (std::size_t w = 0; w < num_threads; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::function<void(std::size_t)> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      job(index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (err && !error_) error_ = err;
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = job;
+  error_ = nullptr;
+  active_ = threads_.size();
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return active_ == 0; });
+  std::exception_ptr err = error_;
+  error_ = nullptr;
+  job_ = nullptr;
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace sysmap::search

@@ -1,0 +1,58 @@
+// Persistent fork-join worker pool for the parallel search driver.
+//
+// The parallel Procedure 5.1 runs one fork-join job per objective level,
+// and real searches scan hundreds of levels before the first hit.
+// Spawning std::thread per level puts thread creation and teardown on the
+// critical path of every level; this pool pays that cost once per search
+// and reuses the same OS threads for every level's job.
+//
+// Synchronization is a generation counter: run() publishes the job under
+// the mutex, bumps the generation, and wakes the workers; each worker runs
+// the job once per generation and the last finisher wakes run().  The
+// first exception thrown by any worker is captured and rethrown from
+// run() after the join, so failures behave like the per-level-thread code
+// they replace.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sysmap::search {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Runs job(worker_index) on every worker, worker_index in [0, size()),
+  /// and blocks until all workers finish.  Rethrows the first exception a
+  /// worker threw.  Not reentrant: one job at a time.
+  void run(const std::function<void(std::size_t)>& job);
+
+ private:
+  void worker_loop(std::size_t index);
+
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::function<void(std::size_t)> job_;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sysmap::search

@@ -1,0 +1,264 @@
+// Parity tests for the machine-word fast path: with the CheckedInt
+// instantiation enabled (default) and disabled (BigInt-only baseline),
+// every public exact-kernel result must be bit-identical -- same HNF
+// triples, determinants, LLL bases and ConflictVerdicts (status, rule and
+// witness) -- including on inputs engineered to overflow int64 mid-way
+// and trigger the transparent BigInt restart.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+
+#include "exact/fastpath.hpp"
+#include "lattice/hnf.hpp"
+#include "lattice/lll.hpp"
+#include "linalg/ops.hpp"
+#include "mapping/conflict.hpp"
+#include "mapping/mapping_matrix.hpp"
+#include "mapping/theorems.hpp"
+#include "model/index_set.hpp"
+
+namespace sysmap {
+namespace {
+
+using exact::BigInt;
+using exact::FastpathGuard;
+
+// Entries this large make Bareiss / HNF intermediates overflow int64
+// almost immediately (products of two such entries exceed 2^63).
+constexpr Int kHuge = 2'000'000'000'000'000'000;  // 2e18
+
+MatI random_matrix(std::mt19937& rng, std::size_t rows, std::size_t cols,
+                   bool huge_entry) {
+  std::uniform_int_distribution<Int> small(-9, 9);
+  MatI m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = small(rng);
+  }
+  if (huge_entry) {
+    std::uniform_int_distribution<Int> jitter(0, 1'000'000);
+    std::uniform_int_distribution<std::size_t> ri(0, rows - 1);
+    std::uniform_int_distribution<std::size_t> ci(0, cols - 1);
+    Int v = kHuge + jitter(rng);
+    m(ri(rng), ci(rng)) = (jitter(rng) % 2 == 0) ? v : -v;
+  }
+  return m;
+}
+
+void expect_same_verdict(const mapping::ConflictVerdict& fast,
+                         const mapping::ConflictVerdict& slow) {
+  EXPECT_EQ(fast.status, slow.status);
+  EXPECT_EQ(fast.rule, slow.rule);
+  ASSERT_EQ(fast.witness.has_value(), slow.witness.has_value());
+  if (fast.witness) {
+    EXPECT_EQ(*fast.witness, *slow.witness);
+  }
+}
+
+TEST(Fastpath, HnfParityOn500RandomMatrices) {
+  std::mt19937 rng(20260806);
+  exact::reset_fastpath_stats();
+  for (int iter = 0; iter < 500; ++iter) {
+    std::uniform_int_distribution<std::size_t> rd(1, 5);
+    std::size_t rows = rd(rng);
+    // hermite_normal_form requires rows <= cols (full row rank shape).
+    std::size_t cols = std::uniform_int_distribution<std::size_t>(rows, 6)(rng);
+    // Every 5th matrix gets an entry near 2e18 so the checked elimination
+    // traps mid-computation and restarts over BigInt.
+    MatI m = random_matrix(rng, rows, cols, iter % 5 == 0);
+
+    lattice::HnfResult fast, slow;
+    bool fast_threw = false;
+    bool slow_threw = false;
+    try {
+      FastpathGuard guard(true);
+      fast = lattice::hermite_normal_form(m);
+    } catch (const std::domain_error&) {
+      fast_threw = true;  // rank-deficient input
+    }
+    try {
+      FastpathGuard guard(false);
+      slow = lattice::hermite_normal_form(m);
+    } catch (const std::domain_error&) {
+      slow_threw = true;
+    }
+    ASSERT_EQ(fast_threw, slow_threw);
+    if (fast_threw) continue;
+    EXPECT_EQ(fast.h, slow.h);
+    EXPECT_EQ(fast.u, slow.u);
+    EXPECT_EQ(fast.v, slow.v);
+  }
+  exact::FastpathStats stats = exact::fastpath_stats();
+  EXPECT_EQ(stats.attempts, 500u);
+  EXPECT_GT(stats.fallbacks, 0u);   // the huge entries really did trap
+  EXPECT_LT(stats.fallbacks, 500u); // and the small ones really did not
+}
+
+TEST(Fastpath, DeterminantParityIncludingOverflow) {
+  std::mt19937 rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::uniform_int_distribution<std::size_t> nd(1, 5);
+    std::size_t n = nd(rng);
+    MatI m = random_matrix(rng, n, n, iter % 4 == 0);
+    BigInt reference = linalg::determinant(to_bigint(m));
+    BigInt dispatched = exact::with_fallback(
+        [&] {
+          return BigInt(linalg::determinant(to_checked(m)).to_int64());
+        },
+        [&] { return linalg::determinant(to_bigint(m)); });
+    EXPECT_EQ(dispatched, reference);
+  }
+}
+
+TEST(Fastpath, LllParityOnRandomBases) {
+  std::mt19937 rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::uniform_int_distribution<std::size_t> nd(2, 5);
+    std::size_t n = nd(rng);
+    std::uniform_int_distribution<std::size_t> rdim(1, n);
+    std::size_t r = rdim(rng);
+    MatI m = random_matrix(rng, n, r, iter % 7 == 0);
+    MatZ basis = to_bigint(m);
+    lattice::LllResult fast, slow;
+    bool fast_threw = false;
+    bool slow_threw = false;
+    try {
+      FastpathGuard guard(true);
+      fast = lattice::lll_reduce(basis);
+    } catch (const std::invalid_argument&) {
+      fast_threw = true;
+    }
+    try {
+      FastpathGuard guard(false);
+      slow = lattice::lll_reduce(basis);
+    } catch (const std::invalid_argument&) {
+      slow_threw = true;
+    }
+    ASSERT_EQ(fast_threw, slow_threw);  // dependent columns on both or none
+    if (fast_threw) continue;
+    EXPECT_EQ(fast.basis, slow.basis);
+    EXPECT_EQ(fast.transform, slow.transform);
+  }
+}
+
+TEST(Fastpath, ConflictVerdictParityOn500RandomMappings) {
+  std::mt19937 rng(4242);
+  int decided = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::uniform_int_distribution<std::size_t> nd(2, 5);
+    std::size_t n = nd(rng);
+    std::uniform_int_distribution<std::size_t> kd(1, n);
+    std::size_t k = kd(rng);
+    MatI m = random_matrix(rng, k, n, iter % 6 == 0);
+    std::uniform_int_distribution<Int> mu(1, 4);
+    VecI mus(n);
+    for (auto& v : mus) v = mu(rng);
+    model::IndexSet set(mus);
+    mapping::MappingMatrix t(m);
+
+    auto run = [&](bool enabled) {
+      FastpathGuard guard(enabled);
+      try {
+        return std::make_pair(true, mapping::decide_conflict_free(t, set));
+      } catch (const std::domain_error&) {
+        // rank-deficient (n-1) x n mapping: no unique conflict vector
+        return std::make_pair(false, mapping::ConflictVerdict{});
+      }
+    };
+    auto [fast_ok, fast] = run(true);
+    auto [slow_ok, slow] = run(false);
+    ASSERT_EQ(fast_ok, slow_ok);
+    if (!fast_ok) continue;
+    expect_same_verdict(fast, slow);
+    ++decided;
+
+    // The enumeration core must agree as well (not just the ladder).
+    FastpathGuard on(true);
+    mapping::ConflictVerdict exact_fast =
+        mapping::decide_conflict_free_exact(t, set);
+    FastpathGuard off(false);
+    mapping::ConflictVerdict exact_slow =
+        mapping::decide_conflict_free_exact(t, set);
+    expect_same_verdict(exact_fast, exact_slow);
+  }
+  EXPECT_GT(decided, 100);  // the generator produces mostly usable cases
+}
+
+TEST(Fastpath, TheoremCheckerParity) {
+  std::mt19937 rng(1717);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::uniform_int_distribution<std::size_t> nd(3, 5);
+    std::size_t n = nd(rng);
+    std::uniform_int_distribution<std::size_t> kd(1, n - 1);
+    std::size_t k = kd(rng);
+    MatI m = random_matrix(rng, k, n, iter % 5 == 0);
+    std::uniform_int_distribution<Int> mu(1, 4);
+    VecI mus(n);
+    for (auto& v : mus) v = mu(rng);
+    model::IndexSet set(mus);
+    mapping::MappingMatrix t(m);
+
+    auto check = [&](auto&& fn) {
+      mapping::ConflictVerdict fast, slow;
+      {
+        FastpathGuard guard(true);
+        fast = fn();
+      }
+      {
+        FastpathGuard guard(false);
+        slow = fn();
+      }
+      expect_same_verdict(fast, slow);
+    };
+    check([&] { return mapping::theorem_4_3(t, set); });
+    check([&] { return mapping::theorem_4_4(t, set); });
+    check([&] { return mapping::theorem_4_5(t, set); });
+    check([&] { return mapping::sign_pattern_check(t, set); });
+    if (k + 2 == n) {
+      check([&] { return mapping::theorem_4_6(t, set); });
+      check([&] { return mapping::theorem_4_7(t, set); });
+    }
+    if (k + 3 == n) check([&] { return mapping::theorem_4_8(t, set); });
+  }
+}
+
+TEST(Fastpath, OverflowFallbackKeepsResultsAndCounts) {
+  // A 2x3 mapping whose cross-product determinants multiply two ~2e18
+  // entries: the checked path must trap, fall back, and still match.
+  MatI m{{kHuge, 1, 0}, {1, kHuge, 1}};
+  mapping::MappingMatrix t(m);
+  model::IndexSet set(VecI{3, 3, 3});
+
+  exact::reset_fastpath_stats();
+  mapping::ConflictVerdict fast = [&] {
+    FastpathGuard guard(true);
+    return mapping::decide_conflict_free(t, set);
+  }();
+  exact::FastpathStats stats = exact::fastpath_stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.fallbacks, 1u);
+
+  mapping::ConflictVerdict slow = [&] {
+    FastpathGuard guard(false);
+    return mapping::decide_conflict_free(t, set);
+  }();
+  expect_same_verdict(fast, slow);
+}
+
+TEST(Fastpath, ToggleRoundTrips) {
+  ASSERT_TRUE(exact::fastpath_enabled());  // default on
+  {
+    FastpathGuard guard(false);
+    EXPECT_FALSE(exact::fastpath_enabled());
+    {
+      FastpathGuard inner(true);
+      EXPECT_TRUE(exact::fastpath_enabled());
+    }
+    EXPECT_FALSE(exact::fastpath_enabled());
+  }
+  EXPECT_TRUE(exact::fastpath_enabled());
+}
+
+}  // namespace
+}  // namespace sysmap

@@ -17,6 +17,14 @@ void expect_same(const SearchResult& serial, const SearchResult& parallel) {
   EXPECT_EQ(serial.verdict.status, parallel.verdict.status);
 }
 
+void expect_same_with_stats(const SearchResult& serial,
+                            const SearchResult& parallel) {
+  expect_same(serial, parallel);
+  EXPECT_EQ(serial.candidates_tested, parallel.candidates_tested);
+  EXPECT_EQ(serial.candidates_passed_dependence,
+            parallel.candidates_passed_dependence);
+}
+
 class ThreadCounts : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThreadCounts, MatmulIdenticalToSerial) {
@@ -68,6 +76,47 @@ TEST(ParallelSearch, OraclesAgree) {
     SearchResult parallel = procedure_5_1_parallel(algo, space, opts, 4);
     expect_same(serial, parallel);
   }
+}
+
+// Regression for the pooled driver: every gallery algorithm must yield
+// the serial pi, rule AND candidate statistics at several thread counts.
+TEST(ParallelSearch, GalleryIdenticalToSerialWithStats) {
+  struct Case {
+    model::UniformDependenceAlgorithm algo;
+    MatI space;
+  };
+  const std::vector<Case> cases = {
+      {model::matmul(3), MatI{{1, 1, -1}}},
+      {model::matmul(4), MatI{{1, 1, -1}}},
+      {model::transitive_closure(4), MatI{{0, 0, 1}}},
+      {model::lu_decomposition(3), MatI{{1, 1, -1}}},
+      {model::convolution(4, 3), MatI(0, 2)},
+      {model::matvec(4), MatI(0, 2)},
+      {model::edit_distance(3, 4), MatI(0, 2)},
+      {model::unit_cube_algorithm(4, 2),
+       MatI{{1, 0, 0, 0}, {0, 1, 0, 0}}},
+  };
+  for (const Case& c : cases) {
+    SearchResult serial = procedure_5_1(c.algo, c.space);
+    for (std::size_t threads : {1u, 2u, 5u}) {
+      SCOPED_TRACE(c.algo.name() + " threads=" + std::to_string(threads));
+      SearchResult parallel =
+          procedure_5_1_parallel(c.algo, c.space, {}, threads);
+      expect_same_with_stats(serial, parallel);
+      if (serial.found) EXPECT_EQ(serial.verdict.rule, parallel.verdict.rule);
+    }
+  }
+}
+
+TEST(ParallelSearch, NotFoundStatsMatchSerial) {
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  SearchOptions opts;
+  opts.max_objective = 10;
+  SearchResult serial = procedure_5_1(algo, MatI{{1, 1, -1}}, opts);
+  SearchResult parallel =
+      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, opts, 3);
+  EXPECT_FALSE(serial.found);
+  expect_same_with_stats(serial, parallel);
 }
 
 TEST(ParallelSearch, NotFoundMatchesSerial) {
