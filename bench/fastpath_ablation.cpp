@@ -143,6 +143,10 @@ Timing run_mode(const std::vector<mapping::MappingMatrix>& cands,
 }  // namespace
 
 int main() {
+  // SYSMAP_BENCH_SMOKE=1: single-rep quick pass over fewer candidates,
+  // used by CI to exercise the harness (incl. the parity assertion)
+  // without paying for stable timings.
+  const bool smoke = std::getenv("SYSMAP_BENCH_SMOKE") != nullptr;
   const char* path = std::getenv("SYSMAP_BENCH_JSON");
   std::ofstream json(path ? path : "BENCH_fastpath.json");
 
@@ -174,7 +178,7 @@ int main() {
 
   for (const Case& c : cases) {
     std::vector<mapping::MappingMatrix> cands =
-        materialize_candidates(c, 200);
+        materialize_candidates(c, smoke ? 20 : 200);
     const model::IndexSet& set = c.algo.index_set();
     for (search::ConflictOracle oracle : oracles) {
       if (oracle == search::ConflictOracle::kBruteForce && !c.brute_force_ok) {
@@ -182,8 +186,8 @@ int main() {
       }
       // Calibrate rep count on one BigInt pass so each mode runs long
       // enough to time stably, then keep it identical across modes.
-      int reps;
-      {
+      int reps = 1;
+      if (!smoke) {
         exact::FastpathGuard guard(false);
         auto t0 = std::chrono::steady_clock::now();
         verdict_pass(cands, oracle, set);

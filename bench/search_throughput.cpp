@@ -1,0 +1,202 @@
+// SEARCH-THROUGHPUT -- ablation of the fixed-S incremental search engine.
+//
+// Runs Procedure 5.1 END TO END (enumeration, dependence screen, rank
+// test, conflict oracle, first-hit-optimal abort) for each gallery
+// workload and oracle, once with SearchOptions::use_fixed_space_context
+// disabled (the from-scratch seed path) and once enabled (the
+// search::FixedSpaceContext amortizer: echelon rank replay, Prop 3.2
+// cofactor closed form for k = n-1, HNF-of-S warm start for k <= n-2).
+// The two paths are bit-identical by construction -- this harness asserts
+// pi, objective, verdict rule and candidate statistics agree before
+// reporting any number.
+//
+// Output: a human-readable table on stdout and one JSON object per
+// (case, oracle, context mode) plus one speedup summary line per
+// (case, oracle), written to $SYSMAP_BENCH_JSON or BENCH_search.json in
+// the working directory (same JSON-lines format as BENCH_fastpath.json).
+// Set SYSMAP_BENCH_SMOKE=1 for a single-rep quick pass (CI smoke).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+struct Case {
+  std::string name;
+  model::UniformDependenceAlgorithm algo;
+  MatI space;
+  bool brute_force_ok;  // brute force rescans J per candidate: small J only
+};
+
+std::string oracle_name(search::ConflictOracle oracle) {
+  switch (oracle) {
+    case search::ConflictOracle::kPaperTheorems:
+      return "kPaperTheorems";
+    case search::ConflictOracle::kExact:
+      return "kExact";
+    case search::ConflictOracle::kBruteForce:
+      return "kBruteForce";
+  }
+  return "?";
+}
+
+struct Timing {
+  double ms = 0;
+  search::SearchResult result;
+};
+
+Timing run_mode(const Case& c, search::ConflictOracle oracle,
+                bool use_context, int reps) {
+  search::SearchOptions opts;
+  opts.oracle = oracle;
+  opts.use_fixed_space_context = use_context;
+  Timing best;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    search::SearchResult r = search::procedure_5_1(c.algo, c.space, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best.ms) {
+      best.ms = ms;
+      best.result = std::move(r);
+    }
+  }
+  return best;
+}
+
+bool identical(const search::SearchResult& a, const search::SearchResult& b) {
+  return a.found == b.found && a.pi == b.pi && a.objective == b.objective &&
+         a.makespan == b.makespan && a.verdict.status == b.verdict.status &&
+         a.verdict.rule == b.verdict.rule &&
+         a.candidates_tested == b.candidates_tested &&
+         a.candidates_passed_dependence == b.candidates_passed_dependence;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("SYSMAP_BENCH_SMOKE") != nullptr;
+  const char* path = std::getenv("SYSMAP_BENCH_JSON");
+  std::ofstream json(path ? path : "BENCH_search.json");
+
+  // k = n-1 cases hit the Prop 3.2 closed form (the fused rank+conflict
+  // cofactor screen); the unit-cube cases keep k <= n-2 so the HNF warm
+  // start and the exact ladder are exercised.  The larger-mu cases push
+  // the first feasible conflict vector to higher objective levels, so many
+  // more candidates reach the oracle before the optimum -- the regime the
+  // amortization targets.  The mu=4 cases are deliberately tiny: there the
+  // sweep is enumeration-bound and the context can at best break even
+  // (Amdahl), which the table reports honestly.
+  std::vector<Case> cases;
+  cases.push_back({"matmul_mu4", model::matmul(4), MatI{{1, 1, -1}}, true});
+  cases.push_back({"transitive_closure_mu4", model::transitive_closure(4),
+                   MatI{{0, 0, 1}}, true});
+  cases.push_back({"lu_decomposition_mu4", model::lu_decomposition(4),
+                   MatI{{1, 1, -1}}, true});
+  cases.push_back({"convolution_mu24_k1", model::convolution(24, 3),
+                   MatI(0, 2), true});
+  cases.push_back({"unit_cube_4d_mu3_k2", model::unit_cube_algorithm(4, 3),
+                   MatI{{1, 0, 0, 0}}, false});
+  if (!smoke) {
+    cases.push_back(
+        {"matmul_mu16", model::matmul(16), MatI{{1, 1, -1}}, false});
+    cases.push_back({"lu_decomposition_mu16", model::lu_decomposition(16),
+                     MatI{{1, 1, -1}}, false});
+    cases.push_back({"convolution_2d_mu4_k3", model::convolution_2d(4, 4, 4, 4),
+                     MatI{{1, 0, 0, 0}, {0, 1, 0, 0}}, false});
+    cases.push_back({"unit_cube_5d_mu2_k3", model::unit_cube_algorithm(5, 2),
+                     MatI{{1, 0, 0, 0, 0}, {0, 1, 0, 0, 0}}, false});
+  }
+
+  const std::vector<search::ConflictOracle> oracles = {
+      search::ConflictOracle::kPaperTheorems,
+      search::ConflictOracle::kExact,
+      search::ConflictOracle::kBruteForce,
+  };
+
+  std::cout << "SEARCH-THROUGHPUT: end-to-end procedure_5_1, fixed-S "
+               "context vs from-scratch seed path\n";
+  std::cout << "case                      oracle          cands   seed_ms  "
+               "ctx_ms   cands/s(ctx)  speedup\n";
+
+  bool all_parity_ok = true;
+  for (const Case& c : cases) {
+    for (search::ConflictOracle oracle : oracles) {
+      if (oracle == search::ConflictOracle::kBruteForce && !c.brute_force_ok) {
+        continue;
+      }
+      int reps = 1;
+      if (!smoke) {
+        // Calibrate on one seed run so both modes repeat long enough to
+        // time stably, then keep the count identical across modes.
+        Timing probe = run_mode(c, oracle, /*use_context=*/false, 1);
+        reps = probe.ms >= 50
+                   ? 3
+                   : static_cast<int>(50 / (probe.ms + 0.01)) + 3;
+      }
+      Timing seed = run_mode(c, oracle, /*use_context=*/false, reps);
+      Timing ctx = run_mode(c, oracle, /*use_context=*/true, reps);
+      if (!identical(seed.result, ctx.result)) {
+        std::cerr << "PARITY VIOLATION in " << c.name << "/"
+                  << oracle_name(oracle) << "\n";
+        all_parity_ok = false;
+        continue;
+      }
+      double speedup = ctx.ms > 0 ? seed.ms / ctx.ms : 0;
+      double cands_per_sec =
+          ctx.ms > 0 ? 1000.0 * static_cast<double>(
+                                    ctx.result.candidates_tested) /
+                           ctx.ms
+                     : 0;
+
+      std::ostringstream row;
+      row.setf(std::ios::fixed);
+      row.precision(3);
+      row << c.name;
+      for (std::size_t p = c.name.size(); p < 26; ++p) row << ' ';
+      row << oracle_name(oracle);
+      for (std::size_t p = oracle_name(oracle).size(); p < 16; ++p) row << ' ';
+      row << seed.result.candidates_tested << "/"
+          << seed.result.candidates_passed_dependence << "  " << seed.ms
+          << "  " << ctx.ms << "  ";
+      row.precision(0);
+      row << cands_per_sec << "  ";
+      row.precision(2);
+      row << speedup << "x";
+      std::cout << row.str() << "\n";
+
+      for (bool use_context : {false, true}) {
+        const Timing& t = use_context ? ctx : seed;
+        double cps =
+            t.ms > 0 ? 1000.0 * static_cast<double>(
+                                    t.result.candidates_tested) /
+                           t.ms
+                     : 0;
+        json << "{\"case\":\"" << c.name << "\""
+             << ",\"n\":" << c.algo.index_set().dimension()
+             << ",\"k\":" << (c.space.rows() + 1) << ",\"oracle\":\""
+             << oracle_name(oracle) << "\""
+             << ",\"context\":" << (use_context ? "true" : "false")
+             << ",\"ms\":" << t.ms
+             << ",\"candidates_tested\":" << t.result.candidates_tested
+             << ",\"passed_dependence\":"
+             << t.result.candidates_passed_dependence
+             << ",\"candidates_per_sec\":" << cps
+             << ",\"found\":" << (t.result.found ? "true" : "false")
+             << ",\"objective\":" << t.result.objective << "}\n";
+      }
+      json << "{\"case\":\"" << c.name << "\",\"oracle\":\""
+           << oracle_name(oracle) << "\",\"speedup\":" << speedup << "}\n";
+      json.flush();
+    }
+  }
+  return all_parity_ok ? 0 : 1;
+}

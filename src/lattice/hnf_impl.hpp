@@ -29,6 +29,10 @@ class ColumnOps {
   ColumnOps(Mat h, std::size_t n)
       : h_(std::move(h)), u_(Mat::identity(n)), v_(Mat::identity(n)) {}
 
+  /// Resumes from a previously saved (H, U, V) state (warm start).
+  ColumnOps(Mat h, Mat u, Mat v)
+      : h_(std::move(h)), u_(std::move(u)), v_(std::move(v)) {}
+
   Mat& h() { return h_; }
   const Mat& h() const { return h_; }
 
@@ -171,6 +175,32 @@ void eliminate_row_euclid(ColumnOps<T>& ops, std::size_t row,
   }
 }
 
+// One full HNF step for row i: eliminate to the right of the pivot, enforce
+// a positive pivot, and (optionally) reduce the columns left of it.  The
+// chosen column operations depend ONLY on row i of H, which is what makes
+// the fixed-prefix warm start below bit-identical to a from-scratch run.
+template <typename T>
+void hnf_process_row(ColumnOps<T>& ops, std::size_t i, std::size_t n,
+                     const HnfOptions& options) {
+  if (options.strategy == HnfStrategy::kExtendedGcd) {
+    eliminate_row_xgcd(ops, i, i, n);
+  } else {
+    eliminate_row_euclid(ops, i, i, n);
+  }
+  if (ops.h()(i, i).is_zero()) {
+    throw std::domain_error("hnf: matrix does not have full row rank");
+  }
+  if (ops.h()(i, i).is_negative()) ops.negate(i);
+  if (options.reduce_off_diagonal) {
+    // Reduce columns left of the pivot modulo the pivot column.  Column i
+    // is zero above row i, so this cannot disturb already-triangular rows.
+    for (std::size_t j = 0; j < i; ++j) {
+      T q = T::floor_div(ops.h()(i, j), ops.h()(i, i));
+      ops.add_multiple(j, -q, i);
+    }
+  }
+}
+
 template <typename T>
 BasicHnfResult<T> hermite_normal_form_t(const linalg::Matrix<T>& t,
                                         const HnfOptions& options = {}) {
@@ -181,25 +211,67 @@ BasicHnfResult<T> hermite_normal_form_t(const linalg::Matrix<T>& t,
         "hnf: more rows than columns cannot be full row rank [L, 0]");
   }
   ColumnOps<T> ops(t, n);
-  for (std::size_t i = 0; i < k; ++i) {
-    if (options.strategy == HnfStrategy::kExtendedGcd) {
-      eliminate_row_xgcd(ops, i, i, n);
-    } else {
-      eliminate_row_euclid(ops, i, i, n);
-    }
-    if (ops.h()(i, i).is_zero()) {
-      throw std::domain_error("hnf: matrix does not have full row rank");
-    }
-    if (ops.h()(i, i).is_negative()) ops.negate(i);
-    if (options.reduce_off_diagonal) {
-      // Reduce columns left of the pivot modulo the pivot column.  Column i
-      // is zero above row i, so this cannot disturb already-triangular rows.
-      for (std::size_t j = 0; j < i; ++j) {
-        T q = T::floor_div(ops.h()(i, j), ops.h()(i, i));
-        ops.add_multiple(j, -q, i);
-      }
-    }
+  for (std::size_t i = 0; i < k; ++i) hnf_process_row(ops, i, n, options);
+  return std::move(ops).take();
+}
+
+// -- fixed-prefix warm start -------------------------------------------------
+//
+// The HNF of T = [S; pi] shares all reduction work for rows of S with the
+// HNF of S itself: the column operations chosen while eliminating row i
+// depend only on row i of the working matrix, and rows of S never see pi.
+// hermite_prefix_t eliminates the rows of S once; hermite_extend_row_t
+// replays the accumulated multiplier onto a candidate last row and performs
+// only the final elimination step.  The (h, u, v) triple it returns is
+// bit-identical to hermite_normal_form_t on the stacked matrix (asserted in
+// tests/fixed_space_test.cpp).
+
+/// Saved elimination state after processing every row of a fixed prefix.
+template <typename T>
+struct HnfPrefix {
+  linalg::Matrix<T> h;  ///< rows(s) x n, the eliminated prefix s * u
+  linalg::Matrix<T> u;  ///< n x n accumulated unimodular multiplier
+  linalg::Matrix<T> v;  ///< n x n, inverse of u
+  HnfOptions options;   ///< must match the options of the final step
+};
+
+/// Eliminates every row of s (throws std::domain_error when s does not have
+/// full row rank).  s may have zero rows.
+template <typename T>
+HnfPrefix<T> hermite_prefix_t(const linalg::Matrix<T>& s,
+                              const HnfOptions& options = {}) {
+  const std::size_t rows = s.rows();
+  const std::size_t n = s.cols();
+  if (rows >= n) {
+    throw std::domain_error("hnf prefix: need at least one free row below");
   }
+  ColumnOps<T> ops(s, n);
+  for (std::size_t i = 0; i < rows; ++i) hnf_process_row(ops, i, n, options);
+  BasicHnfResult<T> r = std::move(ops).take();
+  return {std::move(r.h), std::move(r.u), std::move(r.v), options};
+}
+
+/// Completes the HNF of [prefix rows; last] from the saved state: transforms
+/// `last` by the accumulated multiplier and eliminates the one new row.
+template <typename T>
+BasicHnfResult<T> hermite_extend_row_t(const HnfPrefix<T>& prefix,
+                                       const linalg::Vector<T>& last) {
+  const std::size_t rows = prefix.h.rows();
+  const std::size_t n = prefix.h.cols();
+  if (last.size() != n) {
+    throw std::invalid_argument("hnf extend: row width mismatch");
+  }
+  linalg::Matrix<T> h(rows + 1, n);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < n; ++j) h(i, j) = prefix.h(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    T sum(0);
+    for (std::size_t r = 0; r < n; ++r) sum += last[r] * prefix.u(r, j);
+    h(rows, j) = std::move(sum);
+  }
+  ColumnOps<T> ops(std::move(h), prefix.u, prefix.v);
+  hnf_process_row(ops, rows, n, prefix.options);
   return std::move(ops).take();
 }
 

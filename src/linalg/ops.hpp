@@ -75,6 +75,85 @@ std::size_t rank(const Matrix<T>& input) {
   return r;
 }
 
+/// Fraction-free echelon factorization of a matrix, recorded so that the
+/// rank of the matrix with ONE extra row appended can be decided by
+/// replaying the Bareiss elimination for just that row (O(rank * cols))
+/// instead of re-running the full elimination.  Rows are the frozen pivot
+/// rows in elimination order; divisors[t] is the Bareiss divisor in force
+/// at step t (the pivot of step t-1; 1 for the first step).
+template <typename T>
+struct BareissEchelon {
+  std::vector<Vector<T>> rows;
+  std::vector<std::size_t> pivot_cols;  ///< strictly increasing
+  std::vector<T> divisors;
+  std::size_t cols = 0;
+
+  std::size_t rank() const noexcept { return rows.size(); }
+};
+
+/// Runs the same elimination as rank() above, recording the frozen pivot
+/// rows and divisor chain.
+template <typename T>
+BareissEchelon<T> bareiss_echelon(const Matrix<T>& input) {
+  Matrix<T> a = input;
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  BareissEchelon<T> e;
+  e.cols = cols;
+  std::size_t r = 0;
+  T prev{1};
+  for (std::size_t c = 0; c < cols && r < rows; ++c) {
+    std::size_t pivot = r;
+    while (pivot < rows && a(pivot, c) == T{}) ++pivot;
+    if (pivot == rows) continue;
+    if (pivot != r) a.swap_rows(pivot, r);
+    e.rows.push_back(a.row_vector(r));
+    e.pivot_cols.push_back(c);
+    e.divisors.push_back(prev);
+    for (std::size_t i = r + 1; i < rows; ++i) {
+      for (std::size_t j = c + 1; j < cols; ++j) {
+        a(i, j) = (a(i, j) * a(r, c) - a(i, c) * a(r, j)) / prev;
+      }
+      a(i, c) = T{};
+    }
+    prev = a(r, c);
+    ++r;
+  }
+  return e;
+}
+
+/// Replays the recorded Bareiss elimination on one appended row x; returns
+/// true iff x is independent of the echelon's row space, i.e.
+/// rank([A; x]) == rank(A) + 1.  Every division is exact (each intermediate
+/// is a subdeterminant of [A; x] by the Bareiss identity).
+template <typename T>
+bool bareiss_row_independent_inplace(const BareissEchelon<T>& e,
+                                     Vector<T>& x) {
+  if (x.size() != e.cols) {
+    throw std::invalid_argument("bareiss_row_independent: width mismatch");
+  }
+  for (std::size_t t = 0; t < e.rank(); ++t) {
+    const Vector<T>& er = e.rows[t];
+    const std::size_t c = e.pivot_cols[t];
+    const T& p = er[c];
+    const T& prev = e.divisors[t];
+    T factor = x[c];
+    for (std::size_t j = c + 1; j < e.cols; ++j) {
+      x[j] = (x[j] * p - factor * er[j]) / prev;
+    }
+    x[c] = T{};
+  }
+  for (const T& v : x) {
+    if (!(v == T{})) return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool bareiss_row_independent(const BareissEchelon<T>& e, Vector<T> x) {
+  return bareiss_row_independent_inplace(e, x);
+}
+
 /// Cofactor C_ij = (-1)^(i+j) * det(minor_ij).
 template <typename T>
 T cofactor(const Matrix<T>& a, std::size_t i, std::size_t j) {

@@ -73,12 +73,12 @@ ConflictVerdict decide_conflict_free_over_basis(const MatZ& kernel,
       });
 }
 
-std::vector<VecZ> enumerate_nonfeasible_conflict_vectors(
+ConflictVectorSurvey enumerate_nonfeasible_conflict_vectors(
     const MappingMatrix& t, const model::IndexSet& set,
     std::size_t max_results, std::uint64_t budget) {
   const std::size_t n = t.n();
   const std::size_t k = t.k();
-  std::vector<VecZ> out;
+  ConflictVectorSurvey out;
   if (k >= n) return out;  // square full-rank T has no conflict vectors
 
   lattice::HnfResult hnf = lattice::hermite_normal_form(t.matrix());
@@ -92,9 +92,15 @@ std::vector<VecZ> enumerate_nonfeasible_conflict_vectors(
     }
     bound[j] = b;
     BigInt width = BigInt(2) * b + BigInt(1);
-    if (!width.fits_int64()) return out;
+    if (!width.fits_int64()) {
+      out.truncated = true;  // coefficient box beyond int64: nothing swept
+      return out;
+    }
     std::uint64_t w = static_cast<std::uint64_t>(width.to_int64());
-    if (volume > budget / w) return out;  // over budget: give up silently
+    if (volume > budget / w) {
+      out.truncated = true;  // enumeration volume over budget
+      return out;
+    }
     volume *= w;
   }
 
@@ -125,8 +131,11 @@ std::vector<VecZ> enumerate_nonfeasible_conflict_vectors(
         // make_primitive can scale the vector back outside the box only
         // downward; it stays non-feasible.
         if (seen.insert(canonical).second) {
-          out.push_back(std::move(canonical));
-          if (out.size() >= max_results) return out;
+          out.vectors.push_back(std::move(canonical));
+          if (out.vectors.size() >= max_results) {
+            out.truncated = true;  // cap hit before the sweep finished
+            return out;
+          }
         }
       }
     }

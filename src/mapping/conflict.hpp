@@ -72,11 +72,23 @@ ConflictVerdict decide_conflict_free_over_basis(
 ConflictVerdict decide_conflict_free(const MappingMatrix& t,
                                      const model::IndexSet& set);
 
+/// Result of the diagnostic survey below.  `truncated` distinguishes a
+/// genuinely clean mapping (vectors empty, truncated false) from a survey
+/// that gave up: enumeration volume over budget, coefficient bounds outside
+/// int64, or the max_results cap reached before the sweep finished.
+struct ConflictVectorSurvey {
+  std::vector<VecZ> vectors;
+  bool truncated = false;
+
+  bool complete() const { return !truncated; }
+};
+
 /// Diagnostic survey: ALL non-feasible (primitive, canonical-sign)
 /// conflict vectors of T within the index-set box, up to `max_results`.
-/// Empty iff T is conflict-free.  Useful for array designers deciding how
-/// to repair a rejected mapping (which directions collide and how badly).
-std::vector<VecZ> enumerate_nonfeasible_conflict_vectors(
+/// `vectors` is empty AND `truncated` is false iff T is conflict-free.
+/// Useful for array designers deciding how to repair a rejected mapping
+/// (which directions collide and how badly).
+ConflictVectorSurvey enumerate_nonfeasible_conflict_vectors(
     const MappingMatrix& t, const model::IndexSet& set,
     std::size_t max_results = 64, std::uint64_t budget = 50'000'000);
 

@@ -27,6 +27,18 @@ ConflictVerdict theorem_3_1(const MappingMatrix& t,
       [&] { return detail::theorem_3_1_t<BigInt>(t, set); });
 }
 
+MatZ conflict_cofactor_matrix(const MatI& space) {
+  return exact::with_fallback(
+      [&] {
+        return to_bigint(detail::conflict_cofactor_matrix_t(
+            detail::lift<CheckedInt>(space)));
+      },
+      [&] {
+        return detail::conflict_cofactor_matrix_t(
+            detail::lift<BigInt>(space));
+      });
+}
+
 // ---------------------------------------------------------------------------
 // Theorem 4.3 (necessary)
 // ---------------------------------------------------------------------------

@@ -38,6 +38,14 @@ namespace sysmap::mapping {
 ConflictVerdict theorem_3_1(const MappingMatrix& t,
                             const model::IndexSet& set);
 
+/// Proposition 3.2 closed form: for a fixed space part S in Z^{(n-2) x n},
+/// the raw (unnormalized) conflict cross product of T = [S; pi] is linear
+/// in the schedule row: cross([S; pi]) = C * pi.  Returns C; column j is
+/// the cross product of [S; e_j].  Throws std::domain_error unless S has
+/// exactly n-2 rows.  search::FixedSpaceContext uses C to turn the
+/// per-candidate Theorem 3.1 check into one O(n^2) product.
+MatZ conflict_cofactor_matrix(const MatI& space);
+
 /// Theorem 4.3 (necessary): every column of V = U^{-1} must have a nonzero
 /// entry among its first k rows; otherwise some unit vector e_i is a
 /// conflict vector (always non-feasible since mu_i >= 1).

@@ -147,19 +147,13 @@ bool row_certifies(const linalg::Matrix<T>& kernel, std::size_t r,
 
 // -- Equation 3.2 / Theorem 3.1 --------------------------------------------
 
-/// The unique (primitive, canonical-sign) conflict vector of an (n-1) x n
-/// mapping; throws std::domain_error when rank(T) < n-1.
+/// Generalized cross product of the n-1 rows of tz (Equation 3.2's
+/// numerator): gamma_i = (-1)^i det(tz minus column i), NOT normalized to a
+/// primitive vector.
 template <typename T>
-linalg::Vector<T> unique_conflict_vector_t(const MappingMatrix& t) {
-  const std::size_t n = t.n();
-  if (t.k() + 1 != n) {
-    throw std::domain_error(
-        "unique_conflict_vector: requires T in Z^{(n-1) x n}");
-  }
-  linalg::Matrix<T> tz = lift<T>(t.matrix());
-  // Generalized cross product: gamma_i = (-1)^i det(T minus column i).
+linalg::Vector<T> conflict_cross_raw_t(const linalg::Matrix<T>& tz) {
+  const std::size_t n = tz.cols();
   linalg::Vector<T> gamma(n);
-  bool all_zero = true;
   for (std::size_t i = 0; i < n; ++i) {
     linalg::Matrix<T> sub(n - 1, n - 1);
     for (std::size_t r = 0; r < n - 1; ++r) {
@@ -171,7 +165,53 @@ linalg::Vector<T> unique_conflict_vector_t(const MappingMatrix& t) {
     }
     T d = linalg::determinant(sub);
     gamma[i] = (i % 2 == 0) ? d : -d;
-    if (!gamma[i].is_zero()) all_zero = false;
+  }
+  return gamma;
+}
+
+/// Proposition 3.2 closed form: with the space part S fixed, the raw
+/// conflict cross product of T = [S; pi] is a LINEAR function of pi.  For
+/// S in Z^{(n-2) x n} this returns the n x n cofactor matrix C whose column
+/// j is the cross product of [S; e_j]; by multilinearity of the determinant
+/// in the schedule row, conflict_cross_raw_t([S; pi]) == C * pi for every
+/// pi, so the per-candidate unique conflict vector of Theorem 3.1 is one
+/// O(n^2) matrix-vector product once C is precomputed.
+template <typename T>
+linalg::Matrix<T> conflict_cofactor_matrix_t(const linalg::Matrix<T>& s) {
+  const std::size_t n = s.cols();
+  if (s.rows() + 2 != n) {
+    throw std::domain_error(
+        "conflict_cofactor_matrix: requires S in Z^{(n-2) x n}");
+  }
+  linalg::Matrix<T> tj(n - 1, n);
+  for (std::size_t r = 0; r + 2 < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) tj(r, c) = s(r, c);
+  }
+  linalg::Matrix<T> cof(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t c = 0; c < n; ++c) tj(n - 2, c) = T(c == j ? 1 : 0);
+    linalg::Vector<T> col = conflict_cross_raw_t(tj);
+    for (std::size_t i = 0; i < n; ++i) cof(i, j) = std::move(col[i]);
+  }
+  return cof;
+}
+
+/// The unique (primitive, canonical-sign) conflict vector of an (n-1) x n
+/// mapping; throws std::domain_error when rank(T) < n-1.
+template <typename T>
+linalg::Vector<T> unique_conflict_vector_t(const MappingMatrix& t) {
+  const std::size_t n = t.n();
+  if (t.k() + 1 != n) {
+    throw std::domain_error(
+        "unique_conflict_vector: requires T in Z^{(n-1) x n}");
+  }
+  linalg::Vector<T> gamma = conflict_cross_raw_t(lift<T>(t.matrix()));
+  bool all_zero = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!gamma[i].is_zero()) {
+      all_zero = false;
+      break;
+    }
   }
   if (all_zero) {
     throw std::domain_error("unique_conflict_vector: rank(T) < n-1");
@@ -573,6 +613,29 @@ ConflictVerdict enumerate_lattice_box(const linalg::Matrix<T>& kernel,
   return out;
 }
 
+/// The HNF-bounded exact enumeration, over a decomposition the caller
+/// already holds (warm-started or freshly computed -- both are identical).
+template <typename T>
+ConflictVerdict decide_conflict_free_exact_from_hnf_t(
+    const lattice::BasicHnfResult<T>& hnf, std::size_t k,
+    const model::IndexSet& set, std::uint64_t budget) {
+  const std::size_t n = hnf.u.rows();
+  // Free coefficients beta_{k..n-1} weight the last n-k columns of U.
+  // beta = V gamma and any non-feasible gamma lies in the box |gamma_i| <=
+  // mu_i, so |beta_j| <= sum_c |v_jc| * mu_c bounds the search exactly.
+  const std::size_t free_dims = n - k;
+  linalg::Vector<T> bound(free_dims);
+  for (std::size_t j = 0; j < free_dims; ++j) {
+    T b(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      b += hnf.v(k + j, c).abs() * T(set.mu(c));
+    }
+    bound[j] = b;
+  }
+  return enumerate_lattice_box(hnf.u.block(0, n, k, n), bound, set, budget,
+                               "exact lattice-box enumeration");
+}
+
 template <typename T>
 ConflictVerdict decide_conflict_free_exact_t(const MappingMatrix& t,
                                              const model::IndexSet& set,
@@ -590,20 +653,7 @@ ConflictVerdict decide_conflict_free_exact_t(const MappingMatrix& t,
   }
 
   lattice::BasicHnfResult<T> hnf = decompose<T>(t);
-  // Free coefficients beta_{k..n-1} weight the last n-k columns of U.
-  // beta = V gamma and any non-feasible gamma lies in the box |gamma_i| <=
-  // mu_i, so |beta_j| <= sum_c |v_jc| * mu_c bounds the search exactly.
-  const std::size_t free_dims = n - k;
-  linalg::Vector<T> bound(free_dims);
-  for (std::size_t j = 0; j < free_dims; ++j) {
-    T b(0);
-    for (std::size_t c = 0; c < n; ++c) {
-      b += hnf.v(k + j, c).abs() * T(set.mu(c));
-    }
-    bound[j] = b;
-  }
-  return enumerate_lattice_box(hnf.u.block(0, n, k, n), bound, set, budget,
-                               "exact lattice-box enumeration");
+  return decide_conflict_free_exact_from_hnf_t(hnf, k, set, budget);
 }
 
 template <typename T>
@@ -642,24 +692,13 @@ ConflictVerdict decide_conflict_free_over_basis_t(
 
 // -- the exact dispatcher (decide_conflict_free ladder) ----------------------
 
+/// The k <= n-2 rule ladder over a decomposition the caller already holds.
+/// hermite_extend_row_t produces a bit-identical (h, u, v) triple, so the
+/// search engine's warm-started path funnels through this exact body.
 template <typename T>
-ConflictVerdict decide_conflict_free_t(const MappingMatrix& t,
-                                       const model::IndexSet& set) {
-  const std::size_t n = t.n();
-  const std::size_t k = t.k();
-
-  if (k == n) {
-    ConflictVerdict out;
-    out.status = t.has_full_rank() ? ConflictVerdict::Status::kConflictFree
-                                   : ConflictVerdict::Status::kHasConflict;
-    out.rule = "square T: rank test";
-    return out;
-  }
-  if (k + 1 == n) return theorem_3_1_t<T>(t, set);  // exact: unique gamma
-
-  // k <= n-2: single HNF, then a ladder of exact-when-they-fire rules.
-  lattice::BasicHnfResult<T> hnf = decompose<T>(t);
-
+ConflictVerdict decide_conflict_free_hnf_ladder_t(
+    const lattice::BasicHnfResult<T>& hnf, std::size_t k,
+    const model::IndexSet& set) {
   // Necessary conditions reject with genuine witnesses.
   ConflictVerdict necessary = theorem_4_3_t(hnf, k, set);
   if (necessary.status == ConflictVerdict::Status::kHasConflict) {
@@ -699,7 +738,28 @@ ConflictVerdict decide_conflict_free_t(const MappingMatrix& t,
   ConflictVerdict exact = decide_conflict_free_over_basis_t(
       reduced, set, kDefaultEnumerationBudget);
   if (exact.status != ConflictVerdict::Status::kUnknown) return exact;
-  return decide_conflict_free_exact_t<T>(t, set, kDefaultEnumerationBudget);
+  return decide_conflict_free_exact_from_hnf_t(hnf, k, set,
+                                               kDefaultEnumerationBudget);
+}
+
+template <typename T>
+ConflictVerdict decide_conflict_free_t(const MappingMatrix& t,
+                                       const model::IndexSet& set) {
+  const std::size_t n = t.n();
+  const std::size_t k = t.k();
+
+  if (k == n) {
+    ConflictVerdict out;
+    out.status = t.has_full_rank() ? ConflictVerdict::Status::kConflictFree
+                                   : ConflictVerdict::Status::kHasConflict;
+    out.rule = "square T: rank test";
+    return out;
+  }
+  if (k + 1 == n) return theorem_3_1_t<T>(t, set);  // exact: unique gamma
+
+  // k <= n-2: single HNF, then a ladder of exact-when-they-fire rules.
+  lattice::BasicHnfResult<T> hnf = decompose<T>(t);
+  return decide_conflict_free_hnf_ladder_t(hnf, k, set);
 }
 
 }  // namespace sysmap::mapping::detail

@@ -16,18 +16,7 @@ LinearSchedule::LinearSchedule(VecI pi) : pi_(std::move(pi)) {
 Int LinearSchedule::time(const VecI& j) const { return linalg::dot(pi_, j); }
 
 bool LinearSchedule::respects_dependences(const MatI& dependence) const {
-  if (dependence.rows() != pi_.size()) {
-    throw std::invalid_argument("LinearSchedule: dimension mismatch with D");
-  }
-  for (std::size_t c = 0; c < dependence.cols(); ++c) {
-    Int delay = 0;
-    for (std::size_t r = 0; r < pi_.size(); ++r) {
-      delay = exact::add_checked(
-          delay, exact::mul_checked(pi_[r], dependence(r, c)));
-    }
-    if (delay <= 0) return false;
-  }
-  return true;
+  return schedule::respects_dependences(pi_, dependence);
 }
 
 Int LinearSchedule::dependence_delay(const MatI& dependence,

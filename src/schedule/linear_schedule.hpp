@@ -7,6 +7,9 @@
 // objective minimized throughout Section 5.
 #pragma once
 
+#include <stdexcept>
+
+#include "exact/checked.hpp"
 #include "linalg/types.hpp"
 #include "model/algorithm.hpp"
 #include "model/index_set.hpp"
@@ -43,5 +46,25 @@ class LinearSchedule {
  private:
   VecI pi_;
 };
+
+/// Pi * D > 0 without constructing a LinearSchedule -- the search engine's
+/// per-candidate dependence screen (thousands of rejected candidates should
+/// not pay a vector copy each).  Same arithmetic as the member function;
+/// defined inline because EVERY enumerated candidate pays this check, so
+/// it must fold into the drivers' sweep loops.
+inline bool respects_dependences(const VecI& pi, const MatI& dependence) {
+  if (dependence.rows() != pi.size()) {
+    throw std::invalid_argument("LinearSchedule: dimension mismatch with D");
+  }
+  for (std::size_t c = 0; c < dependence.cols(); ++c) {
+    Int delay = 0;
+    for (std::size_t r = 0; r < pi.size(); ++r) {
+      delay = exact::add_checked(
+          delay, exact::mul_checked(pi[r], dependence(r, c)));
+    }
+    if (delay <= 0) return false;
+  }
+  return true;
+}
 
 }  // namespace sysmap::schedule

@@ -1,0 +1,513 @@
+#include "search/fixed_space.hpp"
+
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "baseline/brute_force.hpp"
+#include "exact/bigint.hpp"
+#include "exact/checked_int.hpp"
+#include "exact/fastpath.hpp"
+#include "lattice/hnf_impl.hpp"
+#include "lattice/kernel.hpp"
+#include "linalg/ops.hpp"
+#include "mapping/mapping_matrix.hpp"
+#include "mapping/verdicts_impl.hpp"
+
+namespace sysmap::search {
+
+using exact::BigInt;
+using exact::CheckedInt;
+using mapping::ConflictVerdict;
+
+namespace {
+
+template <typename T>
+linalg::Vector<T> lift_vec(const VecI& v) {
+  linalg::Vector<T> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = T(v[i]);
+  return out;
+}
+
+/// The raw Theorem 3.1 cross product via the Proposition 3.2 closed form:
+/// cross([S; pi]) = C pi, entry-identical to the seed's minor expansion by
+/// multilinearity of the determinant in the schedule row.
+template <typename T>
+linalg::Vector<T> cross_from_cofactor(const linalg::Matrix<T>& cof,
+                                      const VecI& pi) {
+  const std::size_t n = cof.rows();
+  linalg::Vector<T> gamma(n, T(0));
+  for (std::size_t r = 0; r < n; ++r) {
+    T acc(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (pi[c] == 0) continue;
+      acc += cof(r, c) * T(pi[c]);
+    }
+    gamma[r] = std::move(acc);
+  }
+  bool all_zero = true;
+  for (const T& g : gamma) {
+    if (!g.is_zero()) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    // Same throw as the seed's unique_conflict_vector_t on rank(T) < n-1.
+    throw std::domain_error("unique_conflict_vector: rank(T) < n-1");
+  }
+  return lattice::make_primitive_t(std::move(gamma));
+}
+
+enum class Thm31Screen {
+  kRankDeficient,  ///< gamma = C pi = 0, i.e. rank([S; pi]) < n-1
+  kConflict,       ///< unique conflict vector is feasible-free... rejected
+  kFeasible,       ///< conflict vector escapes the index-set box: accept
+};
+
+/// Allocation-frugal Theorem 3.1 screen on the RAW cross product
+/// gamma = C pi: with g = gcd_i |gamma_i| > 0 the seed's primitive-vector
+/// test  (exists i: |gamma_i / g| > mu_i)  is equivalent to
+/// (exists i: |gamma_i| > mu_i * g), so the division, sign
+/// canonicalization and vector copy of make_primitive are skipped.
+/// `gamma` is caller-provided scratch (thread_local on the CheckedInt
+/// path); entries are fully overwritten.
+template <typename T>
+Thm31Screen theorem_3_1_screen(const linalg::Matrix<T>& cof, const VecI& pi,
+                               const model::IndexSet& set,
+                               linalg::Vector<T>& gamma) {
+  const std::size_t n = cof.rows();
+  gamma.resize(n);
+  bool all_zero = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    T acc(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (pi[c] == 0) continue;
+      acc += cof(r, c) * T(pi[c]);
+    }
+    if (!acc.is_zero()) all_zero = false;
+    gamma[r] = std::move(acc);
+  }
+  if (all_zero) return Thm31Screen::kRankDeficient;
+  T g{};
+  for (const T& x : gamma) g = T::gcd(g, x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (gamma[i].abs() > T(set.mu(i)) * g) return Thm31Screen::kFeasible;
+  }
+  return Thm31Screen::kConflict;
+}
+
+/// Width bound for the stack-buffer raw screen; gallery dimensions are
+/// n <= 5, anything wider takes the CheckedInt/BigInt template path.
+constexpr std::size_t kRawScreenMaxN = 16;
+
+/// theorem_3_1_screen on raw machine words: no scalar-wrapper call
+/// overhead, stack buffers instead of thread_local vectors, and the gcd
+/// chain is skipped whenever the trivial bounds 1 <= g <= min_i |gamma_i|
+/// already decide the Theorem 2.2 test.  Returns nullopt when int64
+/// overflows anywhere the CheckedInt path would trap, so the caller
+/// restarts in BigInt exactly as `exact::with_fallback` would.  Overflow
+/// of a COMPARISON product mu_i * g is the one place the two paths
+/// diverge in mechanism but not in answer: the product exceeding int64
+/// means the right-hand side exceeds |gamma_i|, so the strict test is
+/// false -- the exact BigInt evaluation would say the same.
+std::optional<Thm31Screen> theorem_3_1_screen_raw(const MatI& cof,
+                                                  const VecI& pi,
+                                                  const model::IndexSet& set) {
+  const std::size_t n = cof.rows();
+  Int gamma[kRawScreenMaxN];
+  bool all_zero = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    Int acc = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      Int p = 0;
+      if (__builtin_mul_overflow(cof(r, c), pi[c], &p) ||
+          __builtin_add_overflow(acc, p, &acc)) {
+        return std::nullopt;
+      }
+    }
+    if (acc != 0) all_zero = false;
+    gamma[r] = acc;
+  }
+  if (all_zero) return Thm31Screen::kRankDeficient;
+  Int mag[kRawScreenMaxN];
+  Int min_nz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (gamma[i] == INT64_MIN) return std::nullopt;  // |.| would trap
+    mag[i] = gamma[i] < 0 ? -gamma[i] : gamma[i];
+    if (mag[i] != 0 && (min_nz == 0 || mag[i] < min_nz)) min_nz = mag[i];
+  }
+  // g = gcd_i |gamma_i| satisfies 1 <= g <= min_nz; the exact test is
+  // exists i: |gamma_i| > mu_i * g.
+  bool beyond_mu = false;  // necessary: exists |gamma_i| > mu_i * 1
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mag[i] <= set.mu(i)) continue;
+    beyond_mu = true;
+    Int rhs = 0;
+    if (!__builtin_mul_overflow(set.mu(i), min_nz, &rhs) && mag[i] > rhs) {
+      return Thm31Screen::kFeasible;  // sufficient: beats mu_i * min_nz
+    }
+  }
+  if (!beyond_mu) return Thm31Screen::kConflict;
+  Int g = 0;
+  for (std::size_t i = 0; i < n; ++i) g = exact::gcd_i64(g, mag[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    Int rhs = 0;
+    if (__builtin_mul_overflow(set.mu(i), g, &rhs)) continue;  // rhs > mag[i]
+    if (mag[i] > rhs) return Thm31Screen::kFeasible;
+  }
+  return Thm31Screen::kConflict;
+}
+
+/// Theorems 4.7/4.8/4.5 (kPaperTheorems) or the full exact ladder
+/// (kExact) over a warm-started HNF of T = [S; pi]; identical to the
+/// dispatch the seed performs after its from-scratch decomposition.
+template <typename T>
+ConflictVerdict hnf_tail_verdict(ConflictOracle oracle,
+                                 const lattice::BasicHnfResult<T>& hnf,
+                                 std::size_t k, std::size_t n,
+                                 const model::IndexSet& set) {
+  if (oracle == ConflictOracle::kPaperTheorems) {
+    if (k + 2 == n) return mapping::detail::theorem_4_7_t(hnf, k, set);
+    if (k + 3 == n) return mapping::detail::theorem_4_8_t(hnf, k, set);
+    return mapping::detail::theorem_4_5_t(hnf, k, set);
+  }
+  return mapping::detail::decide_conflict_free_hnf_ladder_t(hnf, k, set);
+}
+
+}  // namespace
+
+struct FixedSpaceContext::Impl {
+  model::IndexSet set;
+  MatI space;
+  std::size_t k = 0;  // rows(space) + 1
+  std::size_t n = 0;
+
+  template <typename T>
+  struct Data {
+    linalg::BareissEchelon<T> echelon;  // of S, for the rank replay
+    // Proposition 3.2 cofactor matrix, present when k = n-1.
+    std::optional<linalg::Matrix<T>> cofactor;
+    // HNF-of-S warm start, present when k <= n-2 and S has full row rank.
+    std::optional<lattice::detail::HnfPrefix<T>> prefix;
+  };
+
+  // nullopt when the precompute itself overflowed int64; per-candidate
+  // dispatch then goes straight to the BigInt data.
+  std::optional<Data<CheckedInt>> checked;
+  // Unwrapped copy of checked->cofactor for the stack-buffer raw screen
+  // (k = n-1, n <= kRawScreenMaxN only).
+  std::optional<MatI> cofactor_raw;
+  // BigInt mirror, built on first demand (overflow fallback or a failed
+  // checked precompute); call_once keeps the lazy init safe under the
+  // parallel search's shared-context workers.
+  mutable std::once_flag big_once;
+  mutable std::optional<Data<BigInt>> big_data;
+
+  const Data<BigInt>& big() const {
+    std::call_once(big_once,
+                   [this] { big_data = build<BigInt>(space, n); });
+    return *big_data;
+  }
+
+  template <typename T>
+  static Data<T> build(const MatI& space, std::size_t n) {
+    Data<T> d;
+    d.echelon = linalg::bareiss_echelon(mapping::detail::lift<T>(space));
+    if (space.rows() + 2 == n) {
+      d.cofactor = mapping::detail::conflict_cofactor_matrix_t(
+          mapping::detail::lift<T>(space));
+    }
+    if (space.rows() + 2 < n && d.echelon.rank() == space.rows()) {
+      // Rank-deficient S never reaches an oracle (the rank screen rejects
+      // every candidate first), so skipping the prefix there is safe; the
+      // catch guards the same impossibility inside hnf_process_row.
+      try {
+        d.prefix = lattice::detail::hermite_prefix_t(
+            mapping::detail::lift<T>(space));
+      } catch (const std::domain_error&) {
+      }
+    }
+    return d;
+  }
+
+  Impl(const model::IndexSet& set_in, const MatI& space_in)
+      : set(set_in),
+        space(space_in),
+        k(space_in.rows() + 1),
+        n(set_in.dimension()) {
+    if (space.cols() != n) {
+      throw std::invalid_argument("FixedSpaceContext: S width must equal n");
+    }
+    if (k > n) {
+      throw std::invalid_argument("FixedSpaceContext: k must not exceed n");
+    }
+    try {
+      checked = build<CheckedInt>(space, n);
+    } catch (const exact::OverflowError&) {
+      checked = std::nullopt;
+    }
+    if (checked && checked->cofactor && n <= kRawScreenMaxN) {
+      MatI raw(n, n);
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+          raw(r, c) = (*checked->cofactor)(r, c).value();
+        }
+      }
+      cofactor_raw = std::move(raw);
+    }
+  }
+};
+
+FixedSpaceContext::FixedSpaceContext(const model::IndexSet& set,
+                                     const MatI& space) {
+  if (space.cols() != set.dimension()) {
+    throw std::invalid_argument("FixedSpaceContext: S width must equal n");
+  }
+  if (space.rows() + 1 > set.dimension()) {
+    throw std::invalid_argument("FixedSpaceContext: k must not exceed n");
+  }
+  impl_ = std::make_unique<const Impl>(set, space);
+}
+
+FixedSpaceContext::~FixedSpaceContext() = default;
+FixedSpaceContext::FixedSpaceContext(FixedSpaceContext&&) noexcept = default;
+FixedSpaceContext& FixedSpaceContext::operator=(FixedSpaceContext&&) noexcept =
+    default;
+
+std::size_t FixedSpaceContext::k() const { return impl_->k; }
+std::size_t FixedSpaceContext::n() const { return impl_->n; }
+
+bool FixedSpaceContext::has_full_rank(const VecI& pi) const {
+  const Impl& im = *impl_;
+  if (pi.size() != im.n) {
+    throw std::invalid_argument("FixedSpaceContext: Pi width mismatch");
+  }
+  // rank([S; pi]) = k  iff  rank(S) = k-1 and pi outside S's row space;
+  // the replay is exact (every intermediate is a subdeterminant), so the
+  // boolean matches the seed's full Bareiss pass.
+  return exact::with_fallback(
+      [&] {
+        if (!im.checked) {
+          throw exact::OverflowError("fixed-space: no checked precompute");
+        }
+        if (im.checked->echelon.rank() + 1 != im.k) return false;
+        // Scratch row reused across candidates: the replay clobbers it and
+        // every entry is overwritten before use, so no per-candidate heap
+        // traffic on the fast path.
+        thread_local linalg::Vector<CheckedInt> scratch;
+        scratch.resize(pi.size());
+        for (std::size_t i = 0; i < pi.size(); ++i) {
+          scratch[i] = CheckedInt(pi[i]);
+        }
+        return linalg::bareiss_row_independent_inplace(im.checked->echelon,
+                                                       scratch);
+      },
+      [&] {
+        if (im.big().echelon.rank() + 1 != im.k) return false;
+        return linalg::bareiss_row_independent(im.big().echelon,
+                                               lift_vec<BigInt>(pi));
+      });
+}
+
+std::optional<ConflictVerdict> FixedSpaceContext::accept(
+    ConflictOracle oracle, const VecI& pi) const {
+  const Impl& im = *impl_;
+  if (oracle != ConflictOracle::kBruteForce && im.k + 1 == im.n) {
+    // Hot path of the gallery: Theorem 3.1 with the Prop 3.2 closed form.
+    // Rejected candidates return nullopt WITHOUT materializing the rule
+    // string or BigInt witness -- they dominate the sweep.
+    if (im.cofactor_raw) {
+      std::optional<Thm31Screen> s =
+          theorem_3_1_screen_raw(*im.cofactor_raw, pi, im.set);
+      if (!s) {  // int64 overflow: exact restart, as with_fallback would
+        linalg::Vector<BigInt> gamma;
+        s = theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma);
+      }
+      switch (*s) {
+        case Thm31Screen::kRankDeficient:
+          // Same throw as the seed's unique_conflict_vector_t when
+          // rank(T) < n-1 (unreachable after the rank screen).
+          throw std::domain_error("unique_conflict_vector: rank(T) < n-1");
+        case Thm31Screen::kConflict:
+          return std::nullopt;
+        case Thm31Screen::kFeasible:
+          break;
+      }
+      return mapping::detail::verdict(
+          ConflictVerdict::Status::kConflictFree,
+          "Theorem 3.1: unique conflict vector feasible");
+    }
+    return exact::with_fallback(
+        [&]() -> std::optional<ConflictVerdict> {
+          if (!im.checked || !im.checked->cofactor) {
+            throw exact::OverflowError("fixed-space: no checked cofactor");
+          }
+          thread_local linalg::Vector<CheckedInt> gamma;
+          switch (theorem_3_1_screen(*im.checked->cofactor, pi, im.set,
+                                     gamma)) {
+            case Thm31Screen::kRankDeficient:
+              // Same throw as the seed's unique_conflict_vector_t when
+              // rank(T) < n-1 (unreachable after the rank screen).
+              throw std::domain_error(
+                  "unique_conflict_vector: rank(T) < n-1");
+            case Thm31Screen::kConflict:
+              return std::nullopt;
+            case Thm31Screen::kFeasible:
+              break;
+          }
+          return mapping::detail::verdict(
+              ConflictVerdict::Status::kConflictFree,
+              "Theorem 3.1: unique conflict vector feasible");
+        },
+        [&]() -> std::optional<ConflictVerdict> {
+          linalg::Vector<BigInt> gamma;
+          switch (theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma)) {
+            case Thm31Screen::kRankDeficient:
+              throw std::domain_error(
+                  "unique_conflict_vector: rank(T) < n-1");
+            case Thm31Screen::kConflict:
+              return std::nullopt;
+            case Thm31Screen::kFeasible:
+              break;
+          }
+          return mapping::detail::verdict(
+              ConflictVerdict::Status::kConflictFree,
+              "Theorem 3.1: unique conflict vector feasible");
+        });
+  }
+  ConflictVerdict v = verdict(oracle, pi);
+  if (v.status != ConflictVerdict::Status::kConflictFree) return std::nullopt;
+  return v;
+}
+
+std::optional<ConflictVerdict> FixedSpaceContext::screen(
+    ConflictOracle oracle, const VecI& pi) const {
+  const Impl& im = *impl_;
+  if (oracle != ConflictOracle::kBruteForce && im.k + 1 == im.n) {
+    // One cofactor product decides both Step 5(2) and 5(3): gamma = C pi
+    // is zero exactly when rank([S; pi]) < k (the rank reject), and
+    // otherwise the gcd-scaled Theorem 2.2 test decides conflict-freeness.
+    if (im.cofactor_raw) {
+      std::optional<Thm31Screen> s =
+          theorem_3_1_screen_raw(*im.cofactor_raw, pi, im.set);
+      if (!s) {  // int64 overflow: exact restart, as with_fallback would
+        linalg::Vector<BigInt> gamma;
+        s = theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma);
+      }
+      if (*s != Thm31Screen::kFeasible) return std::nullopt;
+      return mapping::detail::verdict(
+          ConflictVerdict::Status::kConflictFree,
+          "Theorem 3.1: unique conflict vector feasible");
+    }
+    return exact::with_fallback(
+        [&]() -> std::optional<ConflictVerdict> {
+          if (!im.checked || !im.checked->cofactor) {
+            throw exact::OverflowError("fixed-space: no checked cofactor");
+          }
+          thread_local linalg::Vector<CheckedInt> gamma;
+          switch (theorem_3_1_screen(*im.checked->cofactor, pi, im.set,
+                                     gamma)) {
+            case Thm31Screen::kFeasible:
+              return mapping::detail::verdict(
+                  ConflictVerdict::Status::kConflictFree,
+                  "Theorem 3.1: unique conflict vector feasible");
+            default:
+              return std::nullopt;
+          }
+        },
+        [&]() -> std::optional<ConflictVerdict> {
+          linalg::Vector<BigInt> gamma;
+          switch (theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma)) {
+            case Thm31Screen::kFeasible:
+              return mapping::detail::verdict(
+                  ConflictVerdict::Status::kConflictFree,
+                  "Theorem 3.1: unique conflict vector feasible");
+            default:
+              return std::nullopt;
+          }
+        });
+  }
+  if (!has_full_rank(pi)) return std::nullopt;
+  return accept(oracle, pi);
+}
+
+ConflictVerdict FixedSpaceContext::verdict(ConflictOracle oracle,
+                                           const VecI& pi) const {
+  const Impl& im = *impl_;
+  if (oracle == ConflictOracle::kBruteForce) {
+    return baseline::brute_force_conflicts(
+        mapping::MappingMatrix(im.space, pi), im.set);
+  }
+  if (im.k == im.n) {
+    ConflictVerdict out;
+    out.status = has_full_rank(pi) ? ConflictVerdict::Status::kConflictFree
+                                   : ConflictVerdict::Status::kHasConflict;
+    out.rule = "square T: rank test";
+    return out;
+  }
+  if (im.k + 1 == im.n) {
+    // Theorem 3.1 via the closed form; identical gamma, hence identical
+    // rule and witness.
+    return exact::with_fallback(
+        [&] {
+          if (!im.checked || !im.checked->cofactor) {
+            throw exact::OverflowError("fixed-space: no checked cofactor");
+          }
+          linalg::Vector<CheckedInt> gamma =
+              cross_from_cofactor(*im.checked->cofactor, pi);
+          if (mapping::detail::feasible(gamma, im.set)) {
+            return mapping::detail::verdict(
+                ConflictVerdict::Status::kConflictFree,
+                "Theorem 3.1: unique conflict vector feasible");
+          }
+          return mapping::detail::verdict(
+              ConflictVerdict::Status::kHasConflict,
+              "Theorem 3.1: unique conflict vector non-feasible",
+              mapping::detail::widen(std::move(gamma)));
+        },
+        [&] {
+          linalg::Vector<BigInt> gamma =
+              cross_from_cofactor(*im.big().cofactor, pi);
+          if (mapping::detail::feasible(gamma, im.set)) {
+            return mapping::detail::verdict(
+                ConflictVerdict::Status::kConflictFree,
+                "Theorem 3.1: unique conflict vector feasible");
+          }
+          return mapping::detail::verdict(
+              ConflictVerdict::Status::kHasConflict,
+              "Theorem 3.1: unique conflict vector non-feasible",
+              mapping::detail::widen(std::move(gamma)));
+        });
+  }
+  // The CheckedInt and BigInt builds agree on prefix presence (the rank of
+  // S and any domain_error are scalar-independent), so consult whichever
+  // exists without forcing the lazy BigInt mirror.
+  const bool have_prefix = im.checked ? im.checked->prefix.has_value()
+                                      : im.big().prefix.has_value();
+  if (!have_prefix) {
+    // Rank-deficient S: fall back to the seed's from-scratch dispatch
+    // (identical behavior, including any domain_error from the HNF).
+    return run_conflict_oracle(oracle, mapping::MappingMatrix(im.space, pi),
+                               im.set);
+  }
+  return exact::with_fallback(
+      [&] {
+        if (!im.checked || !im.checked->prefix) {
+          throw exact::OverflowError("fixed-space: no checked HNF prefix");
+        }
+        lattice::BasicHnfResult<CheckedInt> hnf =
+            lattice::detail::hermite_extend_row_t(*im.checked->prefix,
+                                                  lift_vec<CheckedInt>(pi));
+        return hnf_tail_verdict(oracle, hnf, im.k, im.n, im.set);
+      },
+      [&] {
+        lattice::BasicHnfResult<BigInt> hnf =
+            lattice::detail::hermite_extend_row_t(*im.big().prefix,
+                                                  lift_vec<BigInt>(pi));
+        return hnf_tail_verdict(oracle, hnf, im.k, im.n, im.set);
+      });
+}
+
+}  // namespace sysmap::search

@@ -7,9 +7,9 @@
 #include <thread>
 #include <vector>
 
-#include "baseline/brute_force.hpp"
 #include "exact/checked.hpp"
-#include "mapping/theorems.hpp"
+#include "search/enumerate.hpp"
+#include "search/fixed_space.hpp"
 #include "search/thread_pool.hpp"
 
 namespace sysmap::search {
@@ -23,34 +23,6 @@ struct WorkerBest {
   mapping::ConflictVerdict verdict;
   std::optional<schedule::Routing> routing;
 };
-
-mapping::ConflictVerdict run_oracle(ConflictOracle oracle,
-                                    const mapping::MappingMatrix& t,
-                                    const model::IndexSet& set) {
-  switch (oracle) {
-    case ConflictOracle::kPaperTheorems: {
-      const std::size_t n = t.n();
-      const std::size_t k = t.k();
-      if (k == n) {
-        mapping::ConflictVerdict out;
-        out.status = t.has_full_rank()
-                         ? mapping::ConflictVerdict::Status::kConflictFree
-                         : mapping::ConflictVerdict::Status::kHasConflict;
-        out.rule = "square T: rank test";
-        return out;
-      }
-      if (k + 1 == n) return mapping::theorem_3_1(t, set);
-      if (k + 2 == n) return mapping::theorem_4_7(t, set);
-      if (k + 3 == n) return mapping::theorem_4_8(t, set);
-      return mapping::theorem_4_5(t, set);
-    }
-    case ConflictOracle::kBruteForce:
-      return baseline::brute_force_conflicts(t, set);
-    case ConflictOracle::kExact:
-    default:
-      return mapping::decide_conflict_free(t, set);
-  }
-}
 
 // Lowers `bound` to at most `candidate` (atomic fetch-min).
 void atomic_min(std::atomic<std::size_t>& bound, std::size_t candidate) {
@@ -92,14 +64,24 @@ SearchResult procedure_5_1_parallel(
   // instead of paying spawn/join per objective value.
   ThreadPool pool(num_threads);
 
+  // One immutable fixed-S context shared by every worker; all queries are
+  // const and bit-identical to the from-scratch path.
+  std::optional<FixedSpaceContext> ctx;
+  if (options.use_fixed_space_context) ctx.emplace(set, space);
+
+  // Skip objective levels no Pi can land on: sum |pi_i| mu_i is always a
+  // multiple of gcd_i mu_i.
+  const Int stride = objective_level_stride(set);
+
   SearchResult result;
   std::vector<VecI> level;
   for (Int f = std::max<Int>(options.min_objective, 1); f <= max_objective;
        ++f) {
+    if (f % stride != 0) continue;
     // Materialize this level (serial; enumeration is cheap relative to
     // the per-candidate verdicts).
     level.clear();
-    enumerate_schedules_at(set, f, [&](const VecI& pi) {
+    for_each_schedule_at(set, f, [&](const VecI& pi) {
       level.push_back(pi);
       return true;
     });
@@ -118,18 +100,26 @@ SearchResult procedure_5_1_parallel(
       for (std::size_t idx = w; idx < level.size(); idx += workers) {
         if (idx >= best_found.load(std::memory_order_relaxed)) break;
         const VecI& pi = level[idx];
-        schedule::LinearSchedule sched(pi);
-        if (!sched.respects_dependences(d)) continue;
+        if (!schedule::respects_dependences(pi, d)) continue;
         ++passed[w];
-        mapping::MappingMatrix t(space, pi);
-        if (!t.has_full_rank()) continue;
-        mapping::ConflictVerdict verdict = run_oracle(options.oracle, t, set);
-        if (verdict.status !=
-            mapping::ConflictVerdict::Status::kConflictFree) {
-          continue;
+        mapping::ConflictVerdict verdict;
+        if (ctx) {
+          std::optional<mapping::ConflictVerdict> v =
+              ctx->screen(options.oracle, pi);
+          if (!v) continue;
+          verdict = std::move(*v);
+        } else {
+          mapping::MappingMatrix t(space, pi);
+          if (!t.has_full_rank()) continue;
+          verdict = run_conflict_oracle(options.oracle, t, set);
+          if (verdict.status !=
+              mapping::ConflictVerdict::Status::kConflictFree) {
+            continue;
+          }
         }
         std::optional<schedule::Routing> routing;
         if (options.target) {
+          schedule::LinearSchedule sched(pi);
           routing = schedule::route(space, d, *options.target, sched);
           if (!routing) continue;
         }
@@ -171,7 +161,7 @@ SearchResult procedure_5_1_parallel(
     // cheap dependence screen over exactly the serial prefix.
     result.candidates_tested += best_pos + 1;
     for (std::size_t idx = 0; idx <= best_pos; ++idx) {
-      if (schedule::LinearSchedule(level[idx]).respects_dependences(d)) {
+      if (schedule::respects_dependences(level[idx], d)) {
         ++result.candidates_passed_dependence;
       }
     }

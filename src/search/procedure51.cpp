@@ -1,78 +1,48 @@
 #include "search/procedure51.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "baseline/brute_force.hpp"
 #include "exact/checked.hpp"
 #include "mapping/theorems.hpp"
+#include "search/enumerate.hpp"
+#include "search/fixed_space.hpp"
 
 namespace sysmap::search {
 
-namespace {
-
-// Recursive lexicographic enumeration of pi with sum |pi_i| mu_i == f.
-bool enumerate_rec(const model::IndexSet& set, Int remaining, std::size_t i,
-                   VecI& pi, const std::function<bool(const VecI&)>& visit) {
-  const std::size_t n = set.dimension();
-  if (i == n) {
-    if (remaining != 0) return true;
-    return visit(pi);
-  }
-  const Int mu = set.mu(i);
-  if (mu <= 0) {
-    // IndexSet enforces mu_i >= 1, so this is unreachable through the
-    // public API; guard the division anyway and pin the weightless
-    // coordinate to 0 (any other value would enumerate forever).
-    pi[i] = 0;
-    return enumerate_rec(set, remaining, i + 1, pi, visit);
-  }
-  const Int max_abs = remaining / mu;
-  // Tail feasibility: the remaining weight must be expressible by later
-  // coordinates; with arbitrary magnitudes any nonnegative remainder works
-  // as long as some later coordinate exists.
-  for (Int a = 0; a <= max_abs; ++a) {
-    Int rest = remaining - a * mu;
-    if (i + 1 == n && rest != 0) continue;  // last coordinate must land on f
-    if (a == 0) {
-      pi[i] = 0;
-      if (!enumerate_rec(set, rest, i + 1, pi, visit)) return false;
-    } else {
-      pi[i] = a;
-      if (!enumerate_rec(set, rest, i + 1, pi, visit)) return false;
-      pi[i] = -a;
-      if (!enumerate_rec(set, rest, i + 1, pi, visit)) return false;
+mapping::ConflictVerdict run_conflict_oracle(ConflictOracle oracle,
+                                             const mapping::MappingMatrix& t,
+                                             const model::IndexSet& set) {
+  switch (oracle) {
+    case ConflictOracle::kPaperTheorems: {
+      const std::size_t n = t.n();
+      const std::size_t k = t.k();
+      if (k == n) {
+        mapping::ConflictVerdict out;
+        out.status = t.has_full_rank()
+                         ? mapping::ConflictVerdict::Status::kConflictFree
+                         : mapping::ConflictVerdict::Status::kHasConflict;
+        out.rule = "square T: rank test";
+        return out;
+      }
+      if (k + 1 == n) return mapping::theorem_3_1(t, set);
+      if (k + 2 == n) return mapping::theorem_4_7(t, set);
+      if (k + 3 == n) return mapping::theorem_4_8(t, set);
+      return mapping::theorem_4_5(t, set);
     }
+    case ConflictOracle::kBruteForce:
+      return baseline::brute_force_conflicts(t, set);
+    case ConflictOracle::kExact:
+    default:
+      return mapping::decide_conflict_free(t, set);
   }
-  pi[i] = 0;
-  return true;
 }
-
-mapping::ConflictVerdict paper_theorem_verdict(const mapping::MappingMatrix& t,
-                                               const model::IndexSet& set) {
-  const std::size_t n = t.n();
-  const std::size_t k = t.k();
-  if (k == n) {
-    mapping::ConflictVerdict out;
-    out.status = t.has_full_rank()
-                     ? mapping::ConflictVerdict::Status::kConflictFree
-                     : mapping::ConflictVerdict::Status::kHasConflict;
-    out.rule = "square T: rank test";
-    return out;
-  }
-  if (k + 1 == n) return mapping::theorem_3_1(t, set);
-  if (k + 2 == n) return mapping::theorem_4_7(t, set);
-  if (k + 3 == n) return mapping::theorem_4_8(t, set);
-  return mapping::theorem_4_5(t, set);
-}
-
-}  // namespace
 
 bool enumerate_schedules_at(const model::IndexSet& set, Int f,
                             const std::function<bool(const VecI&)>& visit) {
-  if (f < 0) return true;
-  VecI pi(set.dimension(), 0);
-  return enumerate_rec(set, f, 0, pi, visit);
+  return for_each_schedule_at(set, f, visit);
 }
 
 SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
@@ -99,39 +69,50 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
         exact::mul_checked(4, exact::mul_checked(mu_max + 1, mu_sum));
   }
 
+  // The fixed-S context hoists every per-candidate invariant of S out of
+  // the sweep (echelon rank replay, Prop 3.2 cofactors, HNF warm start);
+  // its verdicts are bit-identical to the from-scratch path below.
+  std::optional<FixedSpaceContext> ctx;
+  if (options.use_fixed_space_context) ctx.emplace(set, space);
+
+  // Skip objective levels no Pi can land on: sum |pi_i| mu_i is always a
+  // multiple of gcd_i mu_i.
+  const Int stride = objective_level_stride(set);
+
   SearchResult result;
   for (Int f = std::max<Int>(options.min_objective, 1); f <= max_objective;
        ++f) {
+    if (f % stride != 0) continue;
     bool found_at_level = false;
-    enumerate_schedules_at(set, f, [&](const VecI& pi) {
+    for_each_schedule_at(set, f, [&](const VecI& pi) {
       ++result.candidates_tested;
-      schedule::LinearSchedule sched(pi);
       // (1) Pi D > 0.
-      if (!sched.respects_dependences(d)) return true;
+      if (!schedule::respects_dependences(pi, d)) return true;
       ++result.candidates_passed_dependence;
-      mapping::MappingMatrix t(space, pi);
-      // (2) rank(T) = k.
-      if (!t.has_full_rank()) return true;
-      // (3) conflict-free.
       mapping::ConflictVerdict verdict;
-      switch (options.oracle) {
-        case ConflictOracle::kPaperTheorems:
-          verdict = paper_theorem_verdict(t, set);
-          break;
-        case ConflictOracle::kExact:
-          verdict = mapping::decide_conflict_free(t, set);
-          break;
-        case ConflictOracle::kBruteForce:
-          verdict = baseline::brute_force_conflicts(t, set);
-          break;
-      }
-      if (verdict.status !=
-          mapping::ConflictVerdict::Status::kConflictFree) {
-        return true;
+      if (ctx) {
+        // (2)+(3) fused: rank screen (echelon replay, or the cofactor
+        // product itself for k = n-1) plus the conflict oracle; rejected
+        // candidates skip verdict materialization entirely.
+        std::optional<mapping::ConflictVerdict> v =
+            ctx->screen(options.oracle, pi);
+        if (!v) return true;
+        verdict = std::move(*v);
+      } else {
+        mapping::MappingMatrix t(space, pi);
+        // (2) rank(T) = k.
+        if (!t.has_full_rank()) return true;
+        // (3) conflict-free.
+        verdict = run_conflict_oracle(options.oracle, t, set);
+        if (verdict.status !=
+            mapping::ConflictVerdict::Status::kConflictFree) {
+          return true;
+        }
       }
       // (4) routing on a fixed target array, when requested.
       std::optional<schedule::Routing> routing;
       if (options.target) {
+        schedule::LinearSchedule sched(pi);
         routing = schedule::route(space, d, *options.target, sched);
         if (!routing) return true;
       }

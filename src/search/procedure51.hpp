@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "mapping/conflict.hpp"
+#include "mapping/mapping_matrix.hpp"
 #include "model/algorithm.hpp"
 #include "schedule/interconnect.hpp"
 #include "schedule/linear_schedule.hpp"
@@ -40,6 +41,11 @@ struct SearchOptions {
   /// Require routability on this target array (condition 4); nullopt
   /// designs a dedicated array instead (conditions 1-3 only).
   std::optional<schedule::Interconnect> target;
+  /// Amortize per-candidate work with search::FixedSpaceContext (default).
+  /// The context path is bit-identical to the from-scratch path (same
+  /// verdicts, witnesses and statistics); disabling it exists for the
+  /// search_throughput ablation and parity tests.
+  bool use_fixed_space_context = true;
 };
 
 struct SearchResult {
@@ -59,7 +65,18 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
 
 /// Enumerates every integral Pi with sum |pi_i| mu_i == f in deterministic
 /// (lexicographic) order; returns false when the callback aborts the scan.
+/// Type-erased convenience wrapper over search::for_each_schedule_at
+/// (search/enumerate.hpp), which the search drivers call directly so the
+/// per-candidate visit inlines.
 bool enumerate_schedules_at(const model::IndexSet& set, Int f,
                             const std::function<bool(const VecI&)>& visit);
+
+/// Step 5(3)'s conflict decision for one candidate, from scratch: the
+/// published-theorem dispatch (kPaperTheorems), the library-exact
+/// dispatcher (kExact) or the brute-force baseline.  Shared by the serial
+/// and parallel searches and by FixedSpaceContext's fallback path.
+mapping::ConflictVerdict run_conflict_oracle(ConflictOracle oracle,
+                                             const mapping::MappingMatrix& t,
+                                             const model::IndexSet& set);
 
 }  // namespace sysmap::search

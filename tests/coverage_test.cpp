@@ -208,15 +208,17 @@ TEST(SearchRegimes, Procedure51OnFourDConvolution) {
 TEST(ConflictSurvey, CleanMappingYieldsEmptySurvey) {
   model::IndexSet set = model::IndexSet::cube(3, 4);
   mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 4, 1});
-  EXPECT_TRUE(
-      mapping::enumerate_nonfeasible_conflict_vectors(t, set).empty());
+  mapping::ConflictVectorSurvey survey =
+      mapping::enumerate_nonfeasible_conflict_vectors(t, set);
+  EXPECT_TRUE(survey.vectors.empty());
+  EXPECT_TRUE(survey.complete());  // empty AND complete == conflict-free
 }
 
 TEST(ConflictSurvey, ListsAllDirectionsOnConflictedMapping) {
   model::IndexSet set = model::IndexSet::cube(3, 3);
   mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 1, 1});
   std::vector<VecZ> survey =
-      mapping::enumerate_nonfeasible_conflict_vectors(t, set);
+      mapping::enumerate_nonfeasible_conflict_vectors(t, set).vectors;
   ASSERT_FALSE(survey.empty());
   MatZ tz = to_bigint(t.matrix());
   for (const auto& gamma : survey) {
@@ -238,16 +240,33 @@ TEST(ConflictSurvey, ListsAllDirectionsOnConflictedMapping) {
 TEST(ConflictSurvey, MaxResultsCaps) {
   model::IndexSet set = model::IndexSet::cube(4, 3);
   mapping::MappingMatrix t(MatI{{1, 1, 1, 1}});
-  std::vector<VecZ> survey =
+  mapping::ConflictVectorSurvey survey =
       mapping::enumerate_nonfeasible_conflict_vectors(t, set, 5);
-  EXPECT_EQ(survey.size(), 5u);
+  EXPECT_EQ(survey.vectors.size(), 5u);
+  // Capped before the sweep finished: flagged, not silently partial.
+  EXPECT_TRUE(survey.truncated);
 }
 
 TEST(ConflictSurvey, SquareMappingHasNone) {
   model::IndexSet set = model::IndexSet::cube(2, 3);
   mapping::MappingMatrix t(MatI::identity(2));
-  EXPECT_TRUE(
-      mapping::enumerate_nonfeasible_conflict_vectors(t, set).empty());
+  mapping::ConflictVectorSurvey survey =
+      mapping::enumerate_nonfeasible_conflict_vectors(t, set);
+  EXPECT_TRUE(survey.vectors.empty());
+  EXPECT_TRUE(survey.complete());
+}
+
+TEST(ConflictSurvey, BudgetExhaustionIsFlaggedNotSilent) {
+  // This mapping has many non-feasible conflict vectors; with a budget of
+  // one enumeration point the sweep cannot run at all.  The seed returned
+  // a bare empty vector here -- indistinguishable from conflict-free.
+  model::IndexSet set = model::IndexSet::cube(3, 3);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 1, 1});
+  mapping::ConflictVectorSurvey survey =
+      mapping::enumerate_nonfeasible_conflict_vectors(t, set, 64, 1);
+  EXPECT_TRUE(survey.vectors.empty());
+  EXPECT_TRUE(survey.truncated);
+  EXPECT_FALSE(survey.complete());
 }
 
 // ---------------------------------------------------------------------------
