@@ -76,6 +76,7 @@ std::string BigInt::to_string() const {
     }
     while (!scratch.empty() && scratch.back() == 0) scratch.pop_back();
     for (int d = 0; d < 9; ++d) {
+      // SYSMAP_NARROWING_OK: rem % 10 is a single decimal digit.
       digits.push_back(static_cast<char>('0' + rem % 10));
       rem /= 10;
     }
@@ -127,6 +128,8 @@ std::vector<BigInt::Limb> BigInt::add_magnitude(const std::vector<Limb>& a,
   return out;
 }
 
+// SYSMAP_RAW_FASTPATH(bounded: limb-wise borrow arithmetic; every operand
+// is a 32-bit limb widened to int64, so diff stays within [-2^33, 2^33])
 std::vector<BigInt::Limb> BigInt::sub_magnitude(const std::vector<Limb>& a,
                                                 const std::vector<Limb>& b) {
   assert(compare_magnitude(a, b) >= 0);
@@ -173,6 +176,8 @@ std::vector<BigInt::Limb> BigInt::mul_magnitude(const std::vector<Limb>& a,
 }
 
 // Knuth algorithm D (schoolbook long division), base 2^32.
+// SYSMAP_RAW_FASTPATH(bounded: multiply-subtract borrow chain over 32-bit
+// limbs widened to int64; |t| < 2^34 by Knuth's Theorem D bounds)
 void BigInt::div_mod_magnitude(const std::vector<Limb>& num,
                                const std::vector<Limb>& den,
                                std::vector<Limb>& quot,

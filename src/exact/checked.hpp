@@ -104,6 +104,10 @@ struct ExtendedGcd {
 
 /// Extended Euclid over int64.  Coefficients are bounded by |a|,|b| so the
 /// intermediate products cannot overflow when the inputs fit in int64.
+///
+/// SYSMAP_RAW_FASTPATH(bounded: r2 = r0 - q*r1 is the Euclidean remainder,
+/// 0 <= r2 < |r1|, so the raw multiply-subtract cannot overflow; the Bezout
+/// coefficient updates still go through sub_checked/mul_checked)
 inline ExtendedGcd extended_gcd_i64(std::int64_t a, std::int64_t b) {
   // Invariants: r0 = x0*a + y0*b and r1 = x1*a + y1*b.
   std::int64_t r0 = a, r1 = b;

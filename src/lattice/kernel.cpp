@@ -7,6 +7,7 @@
 #include "exact/checked.hpp"
 #include "lattice/hnf.hpp"
 #include "linalg/ops.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::lattice {
 
@@ -23,7 +24,12 @@ Int gcd_of(const VecI& v) {
 bool is_primitive(const VecZ& v) { return gcd_of(v).is_one(); }
 bool is_primitive(const VecI& v) { return gcd_of(v) == 1; }
 
-VecZ make_primitive(VecZ v) { return make_primitive_t(std::move(v)); }
+VecZ make_primitive(VecZ v) {
+  VecZ out = make_primitive_t(std::move(v));
+  SYSMAP_CONTRACT(gcd_of(out).is_zero() || gcd_of(out).is_one(),
+                  "make_primitive returned a non-primitive vector");
+  return out;
+}
 
 VecI make_primitive(VecI v) {
   Int g = gcd_of(v);
@@ -38,6 +44,8 @@ VecI make_primitive(VecI v) {
     }
     break;
   }
+  SYSMAP_CONTRACT(gcd_of(v) == 1,
+                  "make_primitive returned gcd " << gcd_of(v));
   return v;
 }
 

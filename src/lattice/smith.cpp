@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exact/bigint.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::lattice {
 
@@ -108,6 +109,23 @@ SmithResult smith_normal_form(const MatZ& a) {
     if (w.s(t, t).is_negative()) w.row_negate(t);
   }
 done:
+#if SYSMAP_CONTRACTS_ACTIVE
+  // Smith postconditions: U·A·V = S, S diagonal with d_i | d_{i+1}.
+  SYSMAP_CONTRACT(w.u * a * w.v == w.s, "U*A*V differs from the returned S");
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      SYSMAP_CONTRACT(i == j || w.s(i, j).is_zero(),
+                      "S not diagonal at (" << i << "," << j << ")");
+    }
+  }
+  for (std::size_t i = 0; i + 1 < rmax; ++i) {
+    SYSMAP_CONTRACT(w.s(i + 1, i + 1).is_zero() ||
+                        (!w.s(i, i).is_zero() &&
+                         (w.s(i + 1, i + 1) % w.s(i, i)).is_zero()),
+                    "invariant factor d_" << i << " does not divide d_"
+                                          << (i + 1));
+  }
+#endif
   return {std::move(w.s), std::move(w.u), std::move(w.v)};
 }
 

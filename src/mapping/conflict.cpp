@@ -13,6 +13,7 @@
 #include "linalg/ops.hpp"
 #include "mapping/theorems.hpp"
 #include "mapping/verdicts_impl.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::mapping {
 
@@ -30,24 +31,37 @@ bool is_feasible_conflict_vector(const VecZ& gamma,
 bool is_feasible_conflict_vector(const VecI& gamma,
                                  const model::IndexSet& set) {
   for (std::size_t i = 0; i < gamma.size(); ++i) {
-    Int a = gamma[i] < 0 ? -gamma[i] : gamma[i];
-    if (a > set.mu(i)) return true;
+    // Two-sided compare instead of |gamma_i|: negating gamma_i would
+    // overflow on INT64_MIN, while -mu_i is always representable (mu_i >= 1).
+    if (gamma[i] > set.mu(i) || gamma[i] < -set.mu(i)) return true;
   }
   return false;
 }
 
 VecZ unique_conflict_vector(const MappingMatrix& t) {
-  return exact::with_fallback(
+  VecZ gamma = exact::with_fallback(
       [&] {
         return to_bigint(detail::unique_conflict_vector_t<CheckedInt>(t));
       },
       [&] { return detail::unique_conflict_vector_t<BigInt>(t); });
+#if SYSMAP_CONTRACTS_ACTIVE
+  // Theorem 3.1 postconditions: gamma spans null(T) and is primitive.
+  VecZ image = to_bigint(t.matrix()) * gamma;
+  for (std::size_t r = 0; r < image.size(); ++r) {
+    SYSMAP_CONTRACT(image[r].is_zero(),
+                    "T*gamma nonzero in row " << r << " for the returned "
+                                                 "conflict vector");
+  }
+  SYSMAP_CONTRACT(lattice::gcd_of(gamma).is_one(),
+                  "returned conflict vector is not primitive");
+#endif
+  return gamma;
 }
 
 ConflictVerdict decide_conflict_free_exact(const MappingMatrix& t,
                                            const model::IndexSet& set,
                                            std::uint64_t budget) {
-  return exact::with_fallback(
+  ConflictVerdict verdict = exact::with_fallback(
       [&] {
         return detail::decide_conflict_free_exact_t<CheckedInt>(t, set,
                                                                 budget);
@@ -55,6 +69,24 @@ ConflictVerdict decide_conflict_free_exact(const MappingMatrix& t,
       [&] {
         return detail::decide_conflict_free_exact_t<BigInt>(t, set, budget);
       });
+#if SYSMAP_CONTRACTS_ACTIVE
+  // A conflict witness must be a genuine non-feasible conflict vector:
+  // in null(T), nonzero, and confined to the index-set difference box.
+  if (verdict.status == ConflictVerdict::Status::kHasConflict &&
+      verdict.witness.has_value()) {
+    VecZ image = to_bigint(t.matrix()) * (*verdict.witness);
+    for (std::size_t r = 0; r < image.size(); ++r) {
+      SYSMAP_CONTRACT(image[r].is_zero(),
+                      "conflict witness not in null(T), row " << r);
+    }
+    bool nonzero = false;
+    for (const auto& g : *verdict.witness) nonzero = nonzero || !g.is_zero();
+    SYSMAP_CONTRACT(nonzero, "conflict witness is the zero vector");
+    SYSMAP_CONTRACT(!is_feasible_conflict_vector(*verdict.witness, set),
+                    "conflict witness escapes the index-set box");
+  }
+#endif
+  return verdict;
 }
 
 ConflictVerdict decide_conflict_free_over_basis(const MatZ& kernel,

@@ -9,7 +9,9 @@
 #include <cstddef>
 
 #include "exact/fastpath.hpp"
+#include "mapping/conflict.hpp"
 #include "mapping/verdicts_impl.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::mapping {
 
@@ -22,9 +24,24 @@ using exact::CheckedInt;
 
 ConflictVerdict theorem_3_1(const MappingMatrix& t,
                             const model::IndexSet& set) {
-  return exact::with_fallback(
+  ConflictVerdict v = exact::with_fallback(
       [&] { return detail::theorem_3_1_t<CheckedInt>(t, set); },
       [&] { return detail::theorem_3_1_t<BigInt>(t, set); });
+#if SYSMAP_CONTRACTS_ACTIVE
+  // The k = n-1 witness is the unique conflict vector: it must lie in
+  // null(T) and inside the index-set difference box (non-feasible).
+  if (v.status == ConflictVerdict::Status::kHasConflict &&
+      v.witness.has_value()) {
+    VecZ image = to_bigint(t.matrix()) * (*v.witness);
+    for (std::size_t r = 0; r < image.size(); ++r) {
+      SYSMAP_CONTRACT(image[r].is_zero(),
+                      "Theorem 3.1 witness not in null(T), row " << r);
+    }
+    SYSMAP_CONTRACT(!is_feasible_conflict_vector(*v.witness, set),
+                    "Theorem 3.1 witness escapes the index-set box");
+  }
+#endif
+  return v;
 }
 
 MatZ conflict_cofactor_matrix(const MatI& space) {

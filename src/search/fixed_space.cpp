@@ -14,6 +14,7 @@
 #include "linalg/ops.hpp"
 #include "mapping/mapping_matrix.hpp"
 #include "mapping/verdicts_impl.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::search {
 
@@ -112,6 +113,8 @@ constexpr std::size_t kRawScreenMaxN = 16;
 /// diverge in mechanism but not in answer: the product exceeding int64
 /// means the right-hand side exceeds |gamma_i|, so the strict test is
 /// false -- the exact BigInt evaluation would say the same.
+///
+/// SYSMAP_RAW_FASTPATH(fallback: theorem_3_1_screen)
 std::optional<Thm31Screen> theorem_3_1_screen_raw(const MatI& cof,
                                                   const VecI& pi,
                                                   const model::IndexSet& set) {
@@ -321,6 +324,22 @@ std::optional<ConflictVerdict> FixedSpaceContext::accept(
     if (im.cofactor_raw) {
       std::optional<Thm31Screen> s =
           theorem_3_1_screen_raw(*im.cofactor_raw, pi, im.set);
+#if SYSMAP_CONTRACTS_ACTIVE
+      if (s) {
+        // Same parity contract as screen(): a raw verdict must match the
+        // exact oracle bit for bit.
+        linalg::Vector<BigInt> gamma_big;
+        Thm31Screen exact_s =
+            theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma_big);
+        SYSMAP_CONTRACT(*s == exact_s,
+                        "raw accept verdict "
+                            // SYSMAP_NARROWING_OK: enum streamed as int.
+                            << static_cast<int>(*s)
+                            << " diverges from BigInt oracle verdict "
+                            // SYSMAP_NARROWING_OK: enum streamed as int.
+                            << static_cast<int>(exact_s));
+      }
+#endif
       if (!s) {  // int64 overflow: exact restart, as with_fallback would
         linalg::Vector<BigInt> gamma;
         s = theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma);
@@ -392,6 +411,22 @@ std::optional<ConflictVerdict> FixedSpaceContext::screen(
     if (im.cofactor_raw) {
       std::optional<Thm31Screen> s =
           theorem_3_1_screen_raw(*im.cofactor_raw, pi, im.set);
+#if SYSMAP_CONTRACTS_ACTIVE
+      if (s) {
+        // Fast-path-vs-BigInt verdict parity: the raw machine-word screen
+        // must agree with the exact oracle whenever it claims an answer.
+        linalg::Vector<BigInt> gamma_big;
+        Thm31Screen exact_s =
+            theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma_big);
+        SYSMAP_CONTRACT(*s == exact_s,
+                        "raw screen verdict "
+                            // SYSMAP_NARROWING_OK: enum streamed as int.
+                            << static_cast<int>(*s)
+                            << " diverges from BigInt oracle verdict "
+                            // SYSMAP_NARROWING_OK: enum streamed as int.
+                            << static_cast<int>(exact_s));
+      }
+#endif
       if (!s) {  // int64 overflow: exact restart, as with_fallback would
         linalg::Vector<BigInt> gamma;
         s = theorem_3_1_screen(*im.big().cofactor, pi, im.set, gamma);

@@ -11,6 +11,7 @@
 #include "search/enumerate.hpp"
 #include "search/fixed_space.hpp"
 #include "search/thread_pool.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::search {
 
@@ -171,6 +172,23 @@ SearchResult procedure_5_1_parallel(
     result.makespan = exact::add_checked(f, 1);
     result.verdict = std::move(best[best_worker].verdict);
     result.routing = std::move(best[best_worker].routing);
+#if SYSMAP_CONTRACTS_ACTIVE
+    {
+      // The parallel reduction must hand back exactly what the serial scan
+      // would: a dependence-respecting, full-rank Pi at this objective
+      // level whose verdict reproduces when its own oracle is re-run from
+      // scratch (no context, no worker-local state).
+      SYSMAP_CONTRACT(schedule::respects_dependences(result.pi, d),
+                      "parallel winner violates a dependence");
+      mapping::MappingMatrix t_check(space, result.pi);
+      SYSMAP_CONTRACT(t_check.has_full_rank(),
+                      "parallel winner T = [S; Pi] is singular");
+      SYSMAP_CONTRACT(
+          run_conflict_oracle(options.oracle, t_check, set).status ==
+              mapping::ConflictVerdict::Status::kConflictFree,
+          "parallel winner is not conflict-free when its oracle is re-run");
+    }
+#endif
     return result;
   }
   return result;

@@ -9,6 +9,7 @@
 #include "mapping/theorems.hpp"
 #include "search/enumerate.hpp"
 #include "search/fixed_space.hpp"
+#include "support/contracts.hpp"
 
 namespace sysmap::search {
 
@@ -127,6 +128,36 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
     });
     if (found_at_level) break;
   }
+#if SYSMAP_CONTRACTS_ACTIVE
+  if (result.found) {
+    // Procedure 5.1 postconditions: the winning Pi really costs f, keeps
+    // T = [S; Pi] full-rank, respects dependences and is conflict-free by
+    // the from-scratch exact oracle (independent of any context fast path).
+    Int cost = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cost = exact::add_checked(
+          cost, exact::mul_checked(exact::abs_checked(result.pi[i]),
+                                   set.mu(i)));
+    }
+    SYSMAP_CONTRACT(cost == result.objective,
+                    "reported objective " << result.objective
+                                          << " but sum |pi_i| mu_i = "
+                                          << cost);
+    SYSMAP_CONTRACT(schedule::respects_dependences(result.pi, d),
+                    "found Pi violates a dependence");
+    mapping::MappingMatrix t_check(space, result.pi);
+    SYSMAP_CONTRACT(t_check.has_full_rank(), "found T = [S; Pi] is singular");
+    // Re-run the same oracle from scratch (no context, no cached state):
+    // the winning verdict must be reproducible.  Note the oracles need not
+    // agree with each other (brute force scans the actual J, the box tests
+    // are conservative for non-box polyhedra), so the contract checks
+    // against the oracle the search itself used.
+    SYSMAP_CONTRACT(
+        run_conflict_oracle(options.oracle, t_check, set).status ==
+            mapping::ConflictVerdict::Status::kConflictFree,
+        "found Pi is not conflict-free when its oracle is re-run");
+  }
+#endif
   return result;
 }
 

@@ -44,6 +44,36 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t index);
 
+  // Generation-counter protocol.  All five shared fields below are read and
+  // written ONLY under mutex_; the protocol's invariants are:
+  //
+  //   I1  run() publishes job_, clears error_, sets active_ = size() and
+  //       increments generation_ in one critical section, then notifies
+  //       cv_work_.  generation_ only ever increases, and only in run().
+  //   I2  Each worker keeps a private `seen` counter.  It executes the
+  //       published job exactly once per generation: it waits until
+  //       generation_ != seen, copies job_ under the mutex, sets
+  //       seen = generation_, and runs the copy OUTSIDE the lock (workers
+  //       must not serialize on pool state while computing).
+  //   I3  Exactly size() workers decrement active_ per generation (one
+  //       each); the worker that drops it to 0 notifies cv_done_.  run()
+  //       sleeps on cv_done_ until active_ == 0, so run() returning
+  //       happens-after every worker's job body for that generation
+  //       (mutex release/acquire pairs carry the ordering).  This is the
+  //       fence callers rely on when workers write into caller-owned
+  //       per-worker slots (see parallel_search.cpp): those writes need no
+  //       atomics because the final decrement of active_ sequences them
+  //       before run() returns.
+  //   I4  error_ holds the FIRST exception of the current generation;
+  //       later ones are dropped.  run() moves it out after the join and
+  //       rethrows, so a failure cannot leak into the next generation.
+  //   I5  stop_ is set once (destructor) and never cleared; workers
+  //       re-check it on every wakeup before touching generation state.
+  //       The destructor joins every worker, so worker_loop never touches
+  //       a destroyed pool.
+  //
+  // Not reentrant: run() must not be called concurrently or from a worker
+  // (active_ and error_ are per-generation, not per-call).
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

@@ -268,7 +268,9 @@ TEST(BigIntProperty, DivModInvariant) {
     BigInt::div_mod(a, b, q, r);
     EXPECT_EQ(q * b + r, a);
     EXPECT_LT(r.abs(), b.abs());
-    if (!r.is_zero()) EXPECT_EQ(r.signum(), a.signum());
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.signum(), a.signum());
+    }
   }
 }
 
@@ -359,7 +361,9 @@ TEST(RationalProperty, FieldAxiomsSample) {
     EXPECT_EQ(a + b, b + a);
     EXPECT_EQ((a + b) + c, a + (b + c));
     EXPECT_EQ(a * (b + c), a * b + a * c);
-    if (!a.is_zero()) EXPECT_EQ((b / a) * a, b);
+    if (!a.is_zero()) {
+      EXPECT_EQ((b / a) * a, b);
+    }
     EXPECT_EQ(a - a, Rational(0));
   }
 }

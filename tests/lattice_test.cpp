@@ -208,7 +208,9 @@ TEST_P(SmithRandomProperty, DecompositionHolds) {
     std::size_t rmax = std::min(rows, cols);
     for (std::size_t i = 0; i < rows; ++i) {
       for (std::size_t j = 0; j < cols; ++j) {
-        if (i != j) EXPECT_TRUE(r.s(i, j).is_zero());
+        if (i != j) {
+          EXPECT_TRUE(r.s(i, j).is_zero());
+        }
       }
     }
     for (std::size_t i = 0; i + 1 < rmax; ++i) {

@@ -1,0 +1,47 @@
+// Positive fixture: kernel_lint MUST accept this file.
+//
+// Exercises every way kernel code is allowed to touch machine words: the
+// CheckedInt wrapper, *_checked helpers, an annotated fast path naming its
+// fallback, a bounded annotation, and an escaped narrowing.  Never compiled.
+#include <cstdint>
+#include <optional>
+
+namespace fixture {
+
+struct CheckedInt {
+  std::int64_t value() const { return 0; }
+  CheckedInt operator*(const CheckedInt&) const { return {}; }
+  CheckedInt operator+(const CheckedInt&) const { return {}; }
+};
+
+std::int64_t mul_checked(std::int64_t a, std::int64_t b);
+
+// The exact path: wrapper arithmetic is fine anywhere.
+CheckedInt screen_exact(CheckedInt gamma_i, CheckedInt g) {
+  return gamma_i * g + CheckedInt{};
+}
+
+// Checked helpers are fine anywhere too.
+std::int64_t screen_helper(std::int64_t gamma_i, std::int64_t g) {
+  return mul_checked(gamma_i, g);
+}
+
+// SYSMAP_RAW_FASTPATH(fallback: screen_exact)
+std::optional<std::int64_t> screen_raw(std::int64_t gamma_i, std::int64_t g) {
+  std::int64_t bound = 0;
+  if (__builtin_mul_overflow(gamma_i, g, &bound)) return std::nullopt;
+  return bound;  // overflow restarts in screen_exact
+}
+
+// SYSMAP_RAW_FASTPATH(bounded: operands are decimal digits, products stay
+// far below 2^63 in every iteration)
+std::int64_t digit_product(std::int64_t a, std::int64_t b) {
+  return a * b;
+}
+
+int narrowed_with_reason(std::int64_t small) {
+  // SYSMAP_NARROWING_OK: caller guarantees a value below 2^31.
+  return static_cast<int>(small);
+}
+
+}  // namespace fixture

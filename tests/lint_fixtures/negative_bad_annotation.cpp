@@ -1,0 +1,14 @@
+// Negative fixture: kernel_lint MUST reject this file.
+//
+// A fast-path marker that names a fallback which does not exist: the raw
+// path would have nowhere to restart on overflow.  Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+// SYSMAP_RAW_FASTPATH(fallback: screen_bigint_restart)
+std::int64_t orphan_fast_path(std::int64_t a, std::int64_t b) {
+  return a * b;
+}
+
+}  // namespace fixture

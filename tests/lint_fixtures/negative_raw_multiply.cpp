@@ -1,0 +1,25 @@
+// Negative fixture: kernel_lint MUST reject this file.
+//
+// A deliberately unguarded raw-int64 multiply of the kind that silently
+// corrupts a Theorem 2.2 conflict verdict when |gamma_i| * g overflows.
+// The ctest entry running kernel_lint over this file carries WILL_FAIL, so
+// the suite fails if the lint ever stops catching it.  Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+std::int64_t unguarded_screen_product(std::int64_t gamma_i, std::int64_t g) {
+  std::int64_t bound = gamma_i * g;  // raw-arith: unannotated multiply
+  return bound;
+}
+
+std::int64_t unguarded_accumulate(std::int64_t acc, std::int64_t p) {
+  acc += p;  // raw-arith: compound assignment
+  return -acc;  // raw-arith: negation overflows on INT64_MIN
+}
+
+int narrowed(std::int64_t wide) {
+  return static_cast<int>(wide);  // narrowing: unexplained truncation
+}
+
+}  // namespace fixture

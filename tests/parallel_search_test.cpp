@@ -103,7 +103,9 @@ TEST(ParallelSearch, GalleryIdenticalToSerialWithStats) {
       SearchResult parallel =
           procedure_5_1_parallel(c.algo, c.space, {}, threads);
       expect_same_with_stats(serial, parallel);
-      if (serial.found) EXPECT_EQ(serial.verdict.rule, parallel.verdict.rule);
+      if (serial.found) {
+        EXPECT_EQ(serial.verdict.rule, parallel.verdict.rule);
+      }
     }
   }
 }

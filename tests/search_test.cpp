@@ -236,7 +236,9 @@ TEST(IlpFormulation, MatmulOddMuRejectsGcdCandidates) {
   // the true optimum mu(mu+2) = 35.
   EXPECT_FALSE(r.rejected.empty());
   EXPECT_LE(r.lower_bound, mu * (mu + 2));
-  if (r.found) EXPECT_GE(r.objective, mu * (mu + 2));
+  if (r.found) {
+    EXPECT_GE(r.objective, mu * (mu + 2));
+  }
 }
 
 TEST(IlpFormulation, TransitiveClosure) {
@@ -296,8 +298,12 @@ TEST(ExtremePoints, ReproducesAppendixExample51) {
   EXPECT_TRUE(examined(VecI{mu + 2, 1, 1}));  // Pi_5
   // Pi_1's rejection reason: conflict vector [1,1,0]-direction non-feasible.
   for (const auto& e : r.examined) {
-    if (e.pi == VecI{1, 1, mu}) EXPECT_FALSE(e.conflict_free);
-    if (e.pi == VecI{1, mu, 1}) EXPECT_TRUE(e.conflict_free);
+    if (e.pi == VecI{1, 1, mu}) {
+      EXPECT_FALSE(e.conflict_free);
+    }
+    if (e.pi == VecI{1, mu, 1}) {
+      EXPECT_TRUE(e.conflict_free);
+    }
   }
 }
 

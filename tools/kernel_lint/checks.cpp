@@ -1,0 +1,781 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string_view>
+
+namespace sysmap::lint {
+
+namespace {
+
+// C++ keywords that can never be an operand identifier.
+const std::set<std::string, std::less<>>& keywords() {
+  static const std::set<std::string, std::less<>> kw = {
+      "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+      "class", "concept", "const", "consteval", "constexpr", "constinit",
+      "const_cast", "continue", "co_await", "co_return", "co_yield",
+      "decltype", "default", "delete", "do", "double", "dynamic_cast", "else",
+      "enum", "explicit", "export", "extern", "false", "float", "for",
+      "friend", "goto", "if", "inline", "int", "long", "mutable", "namespace",
+      "new", "noexcept", "nullptr", "operator", "private", "protected",
+      "public", "register", "reinterpret_cast", "requires", "return", "short",
+      "signed", "sizeof", "static", "static_assert", "static_cast", "struct",
+      "switch", "template", "this", "throw", "true", "try", "typedef",
+      "typeid", "typename", "union", "unsigned", "using", "virtual", "void",
+      "volatile", "while"};
+  return kw;
+}
+
+// Members/free functions that return raw signed-64 values in this codebase.
+const std::set<std::string, std::less<>>& raw_returning() {
+  static const std::set<std::string, std::less<>> fns = {
+      "mu",          "value",       "to_int64",       "gcd_i64",
+      "lcm_i64",     "add_checked", "sub_checked",    "mul_checked",
+      "div_checked", "rem_checked", "neg_checked",    "abs_checked",
+      "floor_div_checked"};
+  return fns;
+}
+
+// Exact-scalar wrappers: constructing one of these absorbs a raw value into
+// the checked/bignum discipline, so the call is not a raw operand.
+const std::set<std::string, std::less<>>& wrapped_ctors() {
+  static const std::set<std::string, std::less<>> w = {
+      "T", "Q", "BigInt", "CheckedInt", "Rational", "CheckedRational",
+      "Scalar"};
+  return w;
+}
+
+bool is_narrow_int_type(const std::vector<std::string>& type_tokens) {
+  // Narrower-than-64 signed integer spellings we refuse to cast into.
+  static const std::set<std::string, std::less<>> narrow = {
+      "int", "short", "char", "int8_t", "int16_t", "int32_t"};
+  for (const std::string& t : type_tokens) {
+    if (narrow.count(t)) return true;
+  }
+  return false;
+}
+
+struct FunctionBody {
+  std::string name;
+  std::size_t sig_start = 0;  ///< index (code stream) of the name token:
+                              ///< parameter declarations live in
+                              ///< [sig_start, open)
+  std::size_t open = 0;       ///< index (code stream) of '{'
+  std::size_t close = 0;      ///< index (code stream) of matching '}'
+  bool annotated = false;
+  std::set<std::string> raw_vars;        ///< raw-64 locals/params
+  std::set<std::string> container_vars;  ///< MatI/VecI locals/params
+};
+
+struct Analyzer {
+  const std::string& path;
+  std::vector<Token> all;            // full stream, comments included
+  std::vector<std::size_t> code;     // indices of non-comment/preproc tokens
+  std::vector<FunctionBody> functions;
+  std::set<std::string> raw_vars;        // file-scope (globals, members)
+  std::set<std::string> container_vars;  // file-scope MatI/VecI names
+  FileReport report;
+
+  explicit Analyzer(const std::string& p, const std::string& source)
+      : path(p), all(tokenize(source)) {
+    code.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i].kind != TokenKind::kComment &&
+          all[i].kind != TokenKind::kPreprocessor) {
+        code.push_back(i);
+      }
+    }
+  }
+
+  const Token& tok(std::size_t ci) const { return all[code[ci]]; }
+  std::size_t ntok() const { return code.size(); }
+
+  bool is_ident(std::size_t ci, std::string_view text) const {
+    return tok(ci).kind == TokenKind::kIdentifier && tok(ci).text == text;
+  }
+  bool is_punct(std::size_t ci, std::string_view text) const {
+    return tok(ci).kind == TokenKind::kPunct && tok(ci).text == text;
+  }
+
+  void diag(std::size_t ci, std::string rule, std::string message) {
+    Diagnostic d;
+    d.file = path;
+    d.line = tok(ci).line;
+    d.col = tok(ci).col;
+    d.rule = std::move(rule);
+    d.message = std::move(message);
+    d.function = enclosing_function_name(ci);
+    report.diagnostics.push_back(std::move(d));
+  }
+
+  // ---- raw-64 type matching ------------------------------------------------
+
+  /// Number of code tokens consumed by a raw signed-64 type name starting at
+  /// ci, or 0 when there is none.
+  std::size_t match_raw_type(std::size_t ci) const {
+    if (ci >= ntok()) return 0;
+    if (is_ident(ci, "Int") || is_ident(ci, "int64_t")) return 1;
+    if (is_ident(ci, "std") && ci + 2 < ntok() && is_punct(ci + 1, "::") &&
+        is_ident(ci + 2, "int64_t")) {
+      return 3;
+    }
+    if (is_ident(ci, "sysmap") && ci + 2 < ntok() && is_punct(ci + 1, "::") &&
+        is_ident(ci + 2, "Int")) {
+      return 3;
+    }
+    if (is_ident(ci, "long") && ci + 1 < ntok() && is_ident(ci + 1, "long")) {
+      return (ci + 2 < ntok() && is_ident(ci + 2, "int")) ? 3 : 2;
+    }
+    return 0;
+  }
+
+  std::size_t match_container_type(std::size_t ci) const {
+    if (ci < ntok() && (is_ident(ci, "MatI") || is_ident(ci, "VecI"))) {
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- structure: function bodies and annotations --------------------------
+
+  /// True when the '{' at code index bi opens a function (or lambda) body.
+  /// Walks backwards over signature trailer tokens looking for the closing
+  /// ')' of a parameter list.
+  bool brace_opens_function(std::size_t bi, std::size_t& out_name) const {
+    static const std::set<std::string, std::less<>> disallowed = {
+        "namespace", "struct", "class", "enum", "union", "else", "do", "try",
+        "export", "extern", "return", "new"};
+    std::size_t steps = 0;
+    std::size_t i = bi;
+    while (i > 0 && steps < 40) {
+      --i;
+      ++steps;
+      const Token& t = tok(i);
+      if (t.kind == TokenKind::kPunct && t.text == ")") {
+        // Match back to '('.
+        std::size_t depth = 1;
+        std::size_t j = i;
+        while (j > 0 && depth > 0) {
+          --j;
+          if (is_punct(j, ")")) ++depth;
+          if (is_punct(j, "(")) --depth;
+        }
+        if (depth != 0) return false;
+        if (j == 0) return false;
+        const Token& before = tok(j - 1);
+        if (before.kind == TokenKind::kIdentifier) {
+          static const std::set<std::string, std::less<>> ctrl = {
+              "if", "for", "while", "switch", "catch", "alignas",
+              "static_assert", "decltype", "sizeof", "noexcept"};
+          if (ctrl.count(before.text)) return false;
+          out_name = j - 1;
+          return true;
+        }
+        if (before.kind == TokenKind::kPunct &&
+            (before.text == "]" || before.text == ">")) {
+          out_name = j - 1;  // lambda or templated operator; name best-effort
+          return true;
+        }
+        return false;
+      }
+      if (t.kind == TokenKind::kIdentifier) {
+        if (disallowed.count(t.text)) return false;
+        continue;  // qualifier, type name of trailing return, init name...
+      }
+      if (t.kind == TokenKind::kPunct) {
+        static const std::set<std::string, std::less<>> ok = {
+            "::", "<", ">", "&", "*", "->", ",", ":", "]", "[", "..."};
+        if (ok.count(t.text)) continue;
+        return false;  // ';', '}', '=', '{' ... : plain block or initializer
+      }
+      return false;
+    }
+    return false;
+  }
+
+  void find_functions() {
+    std::vector<std::size_t> stack;
+    for (std::size_t ci = 0; ci < ntok(); ++ci) {
+      if (is_punct(ci, "{")) {
+        stack.push_back(ci);
+      } else if (is_punct(ci, "}") && !stack.empty()) {
+        std::size_t open = stack.back();
+        stack.pop_back();
+        std::size_t name_ci = 0;
+        if (brace_opens_function(open, name_ci)) {
+          FunctionBody fb;
+          fb.sig_start = name_ci;
+          fb.open = open;
+          fb.close = ci;
+          fb.name = tok(name_ci).kind == TokenKind::kIdentifier
+                        ? tok(name_ci).text
+                        : std::string("<lambda>");
+          functions.push_back(fb);
+        }
+      }
+    }
+    std::sort(functions.begin(), functions.end(),
+              [](const FunctionBody& a, const FunctionBody& b) {
+                return a.open < b.open;
+              });
+  }
+
+  std::string enclosing_function_name(std::size_t ci) const {
+    const std::size_t pos = code[ci];
+    std::string best;
+    for (const FunctionBody& f : functions) {
+      if (code[f.open] <= pos && pos <= code[f.close]) {
+        best = f.name;  // innermost wins: functions sorted by open position
+      }
+    }
+    return best;
+  }
+
+  bool in_annotated_function(std::size_t ci) const {
+    const std::size_t pos = code[ci];
+    for (const FunctionBody& f : functions) {
+      if (f.annotated && code[f.open] <= pos && pos <= code[f.close]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void collect_annotations() {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i].kind != TokenKind::kComment) continue;
+      const std::string& text = all[i].text;
+      std::size_t at = text.find("SYSMAP_RAW_FASTPATH");
+      if (at == std::string::npos) continue;
+      ++report.annotation_count;
+      // The clause may wrap onto continuation comment lines; splice
+      // consecutive comment tokens until the closing paren shows up.
+      std::string clause = text.substr(at);
+      for (std::size_t j = i + 1;
+           j < all.size() && clause.find(')') == std::string::npos &&
+           all[j].kind == TokenKind::kComment &&
+           all[j].line <= all[i].line + 4;
+           ++j) {
+        clause += ' ';
+        clause += all[j].text;
+      }
+      const bool valid = validate_annotation(i, clause);
+      // Attach to the enclosing function if the comment sits inside one,
+      // otherwise to the first function body opening after it.
+      FunctionBody* target = nullptr;
+      for (FunctionBody& f : functions) {
+        if (code[f.open] <= i && i <= code[f.close]) target = &f;
+      }
+      if (!target) {
+        for (FunctionBody& f : functions) {
+          if (code[f.open] > i) {
+            target = &f;
+            break;
+          }
+        }
+      }
+      if (!target) {
+        Diagnostic d;
+        d.file = path;
+        d.line = all[i].line;
+        d.col = all[i].col;
+        d.rule = "fastpath-annotation";
+        d.message = "SYSMAP_RAW_FASTPATH annotation is attached to no "
+                    "function definition";
+        report.diagnostics.push_back(std::move(d));
+        continue;
+      }
+      // A malformed marker must NOT suppress the raw-arith checks in its
+      // function; only a validated annotation earns the exemption.
+      if (valid) target->annotated = true;
+    }
+  }
+
+  bool validate_annotation(std::size_t tok_index, const std::string& text) {
+    auto fail = [&](const std::string& msg) {
+      Diagnostic d;
+      d.file = path;
+      d.line = all[tok_index].line;
+      d.col = all[tok_index].col;
+      d.rule = "fastpath-annotation";
+      d.message = msg;
+      report.diagnostics.push_back(std::move(d));
+    };
+    std::size_t open = text.find('(');
+    std::size_t close = text.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail("SYSMAP_RAW_FASTPATH must carry a (fallback: <symbol>) or "
+           "(bounded: <reason>) clause");
+      return false;
+    }
+    std::string clause = text.substr(open + 1, close - open - 1);
+    auto trim = [](std::string s) {
+      std::size_t b = s.find_first_not_of(" \t");
+      std::size_t e = s.find_last_not_of(" \t");
+      return b == std::string::npos ? std::string()
+                                    : s.substr(b, e - b + 1);
+    };
+    if (clause.rfind("fallback:", 0) == 0) {
+      std::string symbol = trim(clause.substr(9));
+      if (symbol.empty()) {
+        fail("SYSMAP_RAW_FASTPATH fallback clause names no symbol");
+        return false;
+      }
+      // The named fallback must exist: its last ::-component has to appear
+      // as an identifier somewhere else in this file.
+      std::size_t sep = symbol.rfind("::");
+      std::string leaf =
+          sep == std::string::npos ? symbol : symbol.substr(sep + 2);
+      std::size_t lt = leaf.find('<');
+      if (lt != std::string::npos) leaf = leaf.substr(0, lt);
+      bool found = false;
+      for (std::size_t ci = 0; ci < ntok() && !found; ++ci) {
+        if (is_ident(ci, leaf)) found = true;
+      }
+      if (!found) {
+        fail("SYSMAP_RAW_FASTPATH fallback symbol '" + leaf +
+             "' does not appear in this file");
+        return false;
+      }
+      return true;
+    }
+    if (clause.rfind("bounded:", 0) == 0) {
+      std::string reason = trim(clause.substr(8));
+      if (reason.size() < 10) {
+        fail("SYSMAP_RAW_FASTPATH bounded clause needs a real justification "
+             "(>= 10 characters)");
+        return false;
+      }
+      return true;
+    }
+    fail("SYSMAP_RAW_FASTPATH clause must start with 'fallback:' or "
+         "'bounded:'");
+    return false;
+  }
+
+  void record_annotated_ranges() {
+    for (const FunctionBody& f : functions) {
+      if (f.annotated) {
+        report.annotated_line_ranges.emplace_back(tok(f.open).line,
+                                                  tok(f.close).line);
+      }
+    }
+  }
+
+  // ---- raw variable collection ---------------------------------------------
+
+  /// Routes a declared name into the innermost enclosing function's scope
+  /// (parameters included via sig_start), or file scope outside any body.
+  void insert_var(std::size_t ci, const std::string& name, bool container) {
+    FunctionBody* target = nullptr;
+    for (FunctionBody& f : functions) {  // sorted by open: last hit = innermost
+      if (f.sig_start <= ci && ci <= f.close) target = &f;
+    }
+    if (target) {
+      (container ? target->container_vars : target->raw_vars).insert(name);
+    } else {
+      (container ? container_vars : raw_vars).insert(name);
+    }
+  }
+
+  bool name_is_raw_at(std::size_t ci, const std::string& name) const {
+    if (raw_vars.count(name)) return true;
+    for (const FunctionBody& f : functions) {
+      if (f.sig_start <= ci && ci <= f.close && f.raw_vars.count(name)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool name_is_container_at(std::size_t ci, const std::string& name) const {
+    if (container_vars.count(name)) return true;
+    for (const FunctionBody& f : functions) {
+      if (f.sig_start <= ci && ci <= f.close &&
+          f.container_vars.count(name)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void collect_declarations() {
+    for (std::size_t ci = 0; ci + 1 < ntok(); ++ci) {
+      bool container = false;
+      std::size_t len = match_raw_type(ci);
+      if (len == 0) {
+        len = match_container_type(ci);
+        container = len != 0;
+      }
+      if (len == 0) continue;
+      // Exclude `unsigned long long`, `static_cast<Int>` heads etc.
+      if (ci > 0) {
+        if (is_ident(ci - 1, "unsigned") || is_punct(ci - 1, "<") ||
+            is_punct(ci - 1, "::")) {
+          continue;
+        }
+      }
+      std::size_t j = ci + len;
+      // Skip cv/ref/ptr declarator decorations.
+      while (j < ntok() && (is_ident(j, "const") || is_punct(j, "&") ||
+                            is_punct(j, "*") || is_punct(j, "&&"))) {
+        ++j;
+      }
+      if (j >= ntok() || tok(j).kind != TokenKind::kIdentifier ||
+          keywords().count(tok(j).text)) {
+        continue;
+      }
+      // Declarator must terminate like a variable, array or parameter.
+      if (j + 1 < ntok()) {
+        const Token& nxt = tok(j + 1);
+        static const std::set<std::string, std::less<>> enders = {
+            "=", ";", ",", "[", ")", ":", "{"};
+        if (!(nxt.kind == TokenKind::kPunct && enders.count(nxt.text))) {
+          continue;  // e.g. a function declaration `Int foo(...)`
+        }
+      }
+      insert_var(j, tok(j).text, container);
+      // Comma-chained declarators: `Int r0 = a, r1 = b;`
+      std::size_t depth = 0;
+      for (std::size_t k = j + 1; k < ntok(); ++k) {
+        const Token& t = tok(k);
+        if (t.kind != TokenKind::kPunct) continue;
+        if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == "}") {
+          if (depth == 0) break;  // parameter declaration ended
+          --depth;
+        }
+        if (depth != 0) continue;
+        if (t.text == ";") break;
+        if (t.text == ",") {
+          if (k + 1 < ntok() && tok(k + 1).kind == TokenKind::kIdentifier &&
+              !keywords().count(tok(k + 1).text) && k + 2 < ntok() &&
+              (is_punct(k + 2, "=") || is_punct(k + 2, ";") ||
+               is_punct(k + 2, ",") || is_punct(k + 2, "["))) {
+            insert_var(k + 1, tok(k + 1).text, container);
+          } else {
+            break;  // a call argument list, not a declarator chain
+          }
+        }
+      }
+    }
+  }
+
+  // ---- operand classification ----------------------------------------------
+
+  bool ident_is_raw_operand(std::size_t ci) const {
+    const std::string& name = tok(ci).text;
+    if (keywords().count(name)) return false;
+    if (name_is_raw_at(ci, name)) return true;
+    if (name_is_container_at(ci, name) && ci + 1 < ntok() &&
+        (is_punct(ci + 1, "(") || is_punct(ci + 1, "["))) {
+      return true;  // element access of a machine-int matrix/vector
+    }
+    // Member or free call returning a raw value: name(...)
+    if (ci + 1 < ntok() && is_punct(ci + 1, "(") &&
+        raw_returning().count(name)) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Rawness of a token range treated as one parenthesized expression.
+  bool group_is_raw(std::size_t begin, std::size_t end) const {
+    static const std::set<std::string, std::less<>> boolean_ops = {
+        "<", ">", "<=", ">=", "==", "!=", "&&", "||", "?"};
+    std::size_t depth = 0;
+    bool has_raw = false;
+    for (std::size_t ci = begin; ci < end; ++ci) {
+      const Token& t = tok(ci);
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == "]") --depth;
+        if (depth == 0 && boolean_ops.count(t.text)) {
+          return false;  // comparison/conditional: result is not an int64
+        }
+      }
+      if (t.kind == TokenKind::kIdentifier && ident_is_raw_operand(ci)) {
+        has_raw = true;
+      }
+    }
+    return has_raw;
+  }
+
+  std::size_t match_open_back(std::size_t close_ci, std::string_view open,
+                              std::string_view close) const {
+    std::size_t depth = 1;
+    std::size_t j = close_ci;
+    while (j > 0 && depth > 0) {
+      --j;
+      if (is_punct(j, std::string(close))) ++depth;
+      if (is_punct(j, std::string(open))) --depth;
+    }
+    return depth == 0 ? j : close_ci;
+  }
+
+  /// Rawness of the operand ENDING at code index ci (inclusive).
+  bool left_operand_is_raw(std::size_t ci) const {
+    const Token& t = tok(ci);
+    if (t.kind == TokenKind::kIdentifier) {
+      if (name_is_raw_at(ci, t.text) && !keywords().count(t.text)) {
+        return true;
+      }
+      return false;
+    }
+    if (t.kind == TokenKind::kNumber) return false;
+    if (t.kind == TokenKind::kPunct && t.text == "]") {
+      std::size_t open = match_open_back(ci, "[", "]");
+      if (open == ci || open == 0) return false;
+      const Token& base = tok(open - 1);
+      return base.kind == TokenKind::kIdentifier &&
+             (name_is_raw_at(open - 1, base.text) ||
+              name_is_container_at(open - 1, base.text));
+    }
+    if (t.kind == TokenKind::kPunct && t.text == ")") {
+      std::size_t open = match_open_back(ci, "(", ")");
+      if (open == ci || open == 0) return false;
+      const Token& before = tok(open - 1);
+      if (before.kind == TokenKind::kIdentifier) {
+        if (wrapped_ctors().count(before.text)) return false;
+        if (raw_returning().count(before.text)) return true;
+        if (name_is_container_at(open - 1, before.text)) return true;
+        return false;  // unknown call: conservative
+      }
+      if (before.kind == TokenKind::kPunct && before.text == ">") {
+        // Cast or template call: scan the <...> type list.
+        std::size_t lt = open - 1;
+        std::size_t depth = 1;
+        while (lt > 0 && depth > 0) {
+          --lt;
+          if (is_punct(lt, ">")) ++depth;
+          if (is_punct(lt, "<")) --depth;
+        }
+        if (depth != 0 || lt == 0) return false;
+        bool raw_type = false;
+        for (std::size_t k = lt + 1; k + 1 < open; ++k) {
+          if (match_raw_type(k) != 0 &&
+              (k == lt + 1 || !is_punct(k - 1, "::"))) {
+            raw_type = true;
+          }
+        }
+        const Token& head = tok(lt - 1);
+        if (head.kind == TokenKind::kIdentifier &&
+            (head.text == "static_cast" || head.text == "const_cast" ||
+             head.text == "reinterpret_cast")) {
+          return raw_type;
+        }
+        return false;
+      }
+      // Plain parenthesized group.
+      return group_is_raw(open + 1, ci);
+    }
+    return false;
+  }
+
+  /// Rawness of the operand STARTING at code index ci.
+  bool right_operand_is_raw(std::size_t ci) const {
+    const Token& t = tok(ci);
+    if (t.kind == TokenKind::kIdentifier) {
+      if (t.text == "static_cast" || t.text == "const_cast" ||
+          t.text == "reinterpret_cast") {
+        // static_cast<T>(x): raw iff T is a raw-64 type.
+        std::size_t k = ci + 1;
+        if (k < ntok() && is_punct(k, "<")) {
+          for (std::size_t j = k + 1; j < ntok() && !is_punct(j, ">"); ++j) {
+            if (match_raw_type(j) != 0 && !is_punct(j - 1, "::")) return true;
+          }
+        }
+        return false;
+      }
+      return ident_is_raw_operand(ci);
+    }
+    if (t.kind == TokenKind::kNumber) return false;
+    if (t.kind == TokenKind::kPunct && t.text == "(") {
+      std::size_t depth = 1;
+      std::size_t j = ci;
+      while (j + 1 < ntok() && depth > 0) {
+        ++j;
+        if (is_punct(j, "(")) ++depth;
+        if (is_punct(j, ")")) --depth;
+      }
+      return depth == 0 ? group_is_raw(ci + 1, j) : false;
+    }
+    return false;
+  }
+
+  // ---- the raw-arith scan --------------------------------------------------
+
+  bool token_ends_operand(std::size_t ci) const {
+    const Token& t = tok(ci);
+    if (t.kind == TokenKind::kIdentifier) return !keywords().count(t.text);
+    if (t.kind == TokenKind::kNumber) return true;
+    return t.kind == TokenKind::kPunct && (t.text == ")" || t.text == "]");
+  }
+
+  bool token_starts_operand(std::size_t ci) const {
+    const Token& t = tok(ci);
+    if (t.kind == TokenKind::kIdentifier) {
+      return !keywords().count(t.text) || t.text == "static_cast" ||
+             t.text == "const_cast" || t.text == "reinterpret_cast";
+    }
+    if (t.kind == TokenKind::kNumber) return true;
+    return t.kind == TokenKind::kPunct && t.text == "(";
+  }
+
+  void check_raw_arithmetic() {
+    static const std::set<std::string, std::less<>> binary_ops = {"+", "-",
+                                                                  "*"};
+    static const std::set<std::string, std::less<>> compound_ops = {
+        "+=", "-=", "*="};
+    static const std::set<std::string, std::less<>> unary_prefix_before = {
+        "(", "[", "{", ",", "=", "?", ":", ";", "+",  "-",  "*",  "/",
+        "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+        "+=", "-=", "*=", "/=", "return", "case"};
+    for (std::size_t ci = 1; ci + 1 < ntok(); ++ci) {
+      const Token& t = tok(ci);
+      if (t.kind != TokenKind::kPunct) continue;
+      const bool is_binary_op = binary_ops.count(t.text) != 0;
+      const bool is_compound_op = compound_ops.count(t.text) != 0;
+      if (!is_binary_op && !is_compound_op) continue;
+      if (enclosing_function_name(ci).empty()) continue;  // not in a body
+      if (in_annotated_function(ci)) continue;
+
+      if (is_compound_op) {
+        if (left_operand_is_raw(ci - 1) || right_operand_is_raw(ci + 1)) {
+          diag(ci, "raw-arith",
+               "raw int64 compound assignment '" + t.text +
+                   "' outside a SYSMAP_RAW_FASTPATH function; route through "
+                   "exact::CheckedInt or exact::*_checked");
+        }
+        continue;
+      }
+
+      const bool binary = token_ends_operand(ci - 1) &&
+                          token_starts_operand(ci + 1);
+      if (binary) {
+        if (left_operand_is_raw(ci - 1) || right_operand_is_raw(ci + 1)) {
+          diag(ci, "raw-arith",
+               "raw int64 '" + t.text +
+                   "' outside a SYSMAP_RAW_FASTPATH function; route through "
+                   "exact::CheckedInt or exact::*_checked");
+        }
+        continue;
+      }
+      // Unary minus on a raw operand: -INT64_MIN is signed overflow.
+      if (t.text == "-" && token_starts_operand(ci + 1)) {
+        const Token& prev = tok(ci - 1);
+        bool unary_context =
+            (prev.kind == TokenKind::kPunct &&
+             unary_prefix_before.count(prev.text)) ||
+            (prev.kind == TokenKind::kIdentifier &&
+             (prev.text == "return" || prev.text == "case"));
+        if (unary_context && right_operand_is_raw(ci + 1)) {
+          diag(ci, "raw-arith",
+               "raw int64 negation outside a SYSMAP_RAW_FASTPATH function "
+               "(overflows on INT64_MIN); use exact::neg_checked or "
+               "exact::abs_checked");
+        }
+      }
+    }
+  }
+
+  // ---- narrowing -----------------------------------------------------------
+
+  // The escape comment may sit on the flagged line or the line above it.
+  bool line_has_narrowing_ok(std::size_t line) const {
+    for (const Token& t : all) {
+      if (t.kind == TokenKind::kComment &&
+          (t.line == line || t.line + 1 == line) &&
+          t.text.find("SYSMAP_NARROWING_OK") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void check_narrowing() {
+    for (std::size_t ci = 0; ci + 3 < ntok(); ++ci) {
+      if (in_annotated_function(ci)) continue;
+      // static_cast<narrow>(...)
+      if (is_ident(ci, "static_cast") && is_punct(ci + 1, "<")) {
+        std::vector<std::string> type_tokens;
+        std::size_t j = ci + 2;
+        while (j < ntok() && !is_punct(j, ">")) {
+          type_tokens.push_back(tok(j).text);
+          ++j;
+        }
+        if (is_narrow_int_type(type_tokens) &&
+            !line_has_narrowing_ok(tok(ci).line)) {
+          diag(ci, "narrowing",
+               "explicit cast to a sub-64-bit integer type in kernel code; "
+               "widen instead, or mark the line SYSMAP_NARROWING_OK with a "
+               "reason");
+        }
+        continue;
+      }
+      // C-style (int)x on an operand.
+      if (is_punct(ci, "(") && is_ident(ci + 1, "int") &&
+          is_punct(ci + 2, ")") && token_starts_operand(ci + 3) &&
+          !line_has_narrowing_ok(tok(ci).line)) {
+        diag(ci, "narrowing",
+             "C-style cast to int in kernel code; widen instead, or mark "
+             "the line SYSMAP_NARROWING_OK with a reason");
+        continue;
+      }
+      // int x = <expression containing a raw 64-bit operand>;
+      if (is_ident(ci, "int") &&
+          (ci == 0 || (!is_ident(ci - 1, "long") &&
+                       !is_ident(ci - 1, "unsigned") &&
+                       !is_ident(ci - 1, "short") &&
+                       !is_punct(ci - 1, "<") && !is_punct(ci - 1, "::"))) &&
+          tok(ci + 1).kind == TokenKind::kIdentifier &&
+          !keywords().count(tok(ci + 1).text) && is_punct(ci + 2, "=")) {
+        bool raw_init = false;
+        std::size_t depth = 0;
+        for (std::size_t j = ci + 3; j < ntok(); ++j) {
+          if (is_punct(j, "(") || is_punct(j, "[")) ++depth;
+          if (is_punct(j, ")") || is_punct(j, "]")) {
+            if (depth == 0) break;
+            --depth;
+          }
+          if (depth == 0 && is_punct(j, ";")) break;
+          if (tok(j).kind == TokenKind::kIdentifier &&
+              ident_is_raw_operand(j)) {
+            raw_init = true;
+          }
+        }
+        if (raw_init && !line_has_narrowing_ok(tok(ci).line)) {
+          diag(ci, "narrowing",
+               "int variable initialized from a raw 64-bit expression in "
+               "kernel code; keep the full width or mark the line "
+               "SYSMAP_NARROWING_OK");
+        }
+      }
+    }
+  }
+
+  void run() {
+    find_functions();
+    collect_annotations();
+    record_annotated_ranges();
+    collect_declarations();
+    check_raw_arithmetic();
+    check_narrowing();
+    std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+              [](const Diagnostic& a, const Diagnostic& b) {
+                return a.line != b.line ? a.line < b.line : a.col < b.col;
+              });
+  }
+};
+
+}  // namespace
+
+FileReport analyze_file(const std::string& path, const std::string& source) {
+  Analyzer a(path, source);
+  a.run();
+  return a.report;
+}
+
+}  // namespace sysmap::lint

@@ -1,0 +1,52 @@
+// The kernel exactness-discipline checks.
+//
+// Kernel namespaces (src/lattice, src/mapping, src/exact,
+// src/search/fixed_space*) must route every int64 computation through the
+// CheckedInt/BigInt exact scalars; raw machine-word arithmetic is allowed
+// only inside functions that carry a SYSMAP_RAW_FASTPATH marker naming
+// their BigInt-restart fallback (or a bounded-range argument).  See
+// docs/STATIC_ANALYSIS.md for the annotation grammar.
+//
+// Rules:
+//   raw-arith           binary/compound +, -, * (or unary -) on a raw
+//                       signed-64 operand outside an annotated function
+//   fastpath-annotation SYSMAP_RAW_FASTPATH marker malformed: missing
+//                       fallback clause, fallback symbol not present in the
+//                       file, bounded clause without a justification, or an
+//                       annotation attached to no function
+//   narrowing           cast to a narrower integer type (static_cast or
+//                       C-style) or an `int` variable initialized from a
+//                       raw 64-bit expression, without SYSMAP_NARROWING_OK
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace sysmap::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string rule;      ///< raw-arith | fastpath-annotation | narrowing
+  std::string message;
+  std::string function;  ///< best-effort enclosing function name
+};
+
+struct FileReport {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t annotation_count = 0;
+  /// [first_line, last_line] of every SYSMAP_RAW_FASTPATH-annotated
+  /// function body; the libclang frontend suppresses its findings inside
+  /// these ranges so both frontends honor the same annotations.
+  std::vector<std::pair<std::size_t, std::size_t>> annotated_line_ranges;
+};
+
+/// Runs every check over one kernel source file.
+FileReport analyze_file(const std::string& path, const std::string& source);
+
+}  // namespace sysmap::lint

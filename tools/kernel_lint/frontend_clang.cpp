@@ -1,0 +1,169 @@
+#include "frontend_clang.hpp"
+
+#ifdef SYSMAP_LINT_HAVE_LIBCLANG
+
+#include <clang-c/Index.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace sysmap::lint {
+
+namespace {
+
+struct VisitCtx {
+  const std::string* path = nullptr;
+  const std::vector<std::pair<std::size_t, std::size_t>>* annotated = nullptr;
+  std::vector<Diagnostic>* out = nullptr;
+};
+
+bool line_annotated(const VisitCtx& ctx, std::size_t line) {
+  for (const auto& [first, last] : *ctx.annotated) {
+    if (line >= first && line <= last) return true;
+  }
+  return false;
+}
+
+bool is_signed_int64(CXType t) {
+  CXType canon = clang_getCanonicalType(t);
+  return canon.kind == CXType_LongLong ||
+         (canon.kind == CXType_Long && clang_Type_getSizeOf(canon) == 8);
+}
+
+bool is_narrower_signed_int(CXType t) {
+  CXType canon = clang_getCanonicalType(t);
+  switch (canon.kind) {
+    case CXType_Int:
+    case CXType_Short:
+    case CXType_SChar:
+    case CXType_Char_S:
+      return true;
+    case CXType_Long:
+      return clang_Type_getSizeOf(canon) < 8;
+    default:
+      return false;
+  }
+}
+
+std::string to_string(CXString s) {
+  std::string out;
+  const char* c = clang_getCString(s);
+  if (c) out = c;
+  clang_disposeString(s);
+  return out;
+}
+
+CXChildVisitResult visitor(CXCursor cursor, CXCursor, CXClientData data) {
+  auto* ctx = static_cast<VisitCtx*>(data);
+
+  CXSourceLocation loc = clang_getCursorLocation(cursor);
+  if (clang_Location_isInSystemHeader(loc)) {
+    return CXChildVisit_Continue;
+  }
+  CXFile file;
+  unsigned line = 0, col = 0;
+  clang_getSpellingLocation(loc, &file, &line, &col, nullptr);
+  std::string file_name = to_string(clang_getFileName(file));
+  // Only report findings in the file under analysis, not its includes.
+  if (file_name != *ctx->path &&
+      file_name.find(*ctx->path) == std::string::npos) {
+    return CXChildVisit_Recurse;
+  }
+
+  if (clang_getCursorKind(cursor) == CXCursor_CXXStaticCastExpr ||
+      clang_getCursorKind(cursor) == CXCursor_CStyleCastExpr) {
+    CXType to = clang_getCursorType(cursor);
+    if (is_narrower_signed_int(to) && !line_annotated(*ctx, line)) {
+      // Check the operand is a wider integer (ignore e.g. double → int done
+      // deliberately outside kernels; kernel dirs should not have those).
+      bool operand_wide = false;
+      clang_visitChildren(
+          cursor,
+          [](CXCursor child, CXCursor, CXClientData d) {
+            auto* wide = static_cast<bool*>(d);
+            CXType ct = clang_getCursorType(child);
+            if (is_signed_int64(ct)) *wide = true;
+            return CXChildVisit_Recurse;
+          },
+          &operand_wide);
+      if (operand_wide) {
+        Diagnostic diag;
+        diag.file = *ctx->path;
+        diag.line = line;
+        diag.col = col;
+        diag.rule = "narrowing";
+        diag.message =
+            "AST: cast narrows a 64-bit signed integer in kernel code";
+        ctx->out->push_back(std::move(diag));
+      }
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+}  // namespace
+
+bool clang_frontend_available() { return true; }
+
+std::vector<Diagnostic> clang_narrowing_check(
+    const std::string& path,
+    const std::vector<std::pair<std::size_t, std::size_t>>& annotated_ranges,
+    const std::vector<std::string>& include_dirs) {
+  std::vector<Diagnostic> out;
+
+  std::vector<std::string> arg_storage = {"-std=c++20", "-xc++"};
+  for (const std::string& dir : include_dirs) {
+    arg_storage.push_back("-I" + dir);
+  }
+  std::vector<const char*> args;
+  args.reserve(arg_storage.size());
+  for (const std::string& a : arg_storage) args.push_back(a.c_str());
+
+  CXIndex index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  CXTranslationUnit tu = nullptr;
+  CXErrorCode err = clang_parseTranslationUnit2(
+      index, path.c_str(), args.data(), static_cast<int>(args.size()),
+      nullptr, 0, CXTranslationUnit_None, &tu);
+  if (err != CXError_Success || tu == nullptr) {
+    Diagnostic diag;
+    diag.file = path;
+    diag.rule = "frontend";
+    diag.message = "libclang failed to parse this file; AST narrowing pass "
+                   "skipped (check include paths)";
+    out.push_back(std::move(diag));
+    clang_disposeIndex(index);
+    return out;
+  }
+
+  VisitCtx ctx{&path, &annotated_ranges, &out};
+  clang_visitChildren(clang_getTranslationUnitCursor(tu), visitor, &ctx);
+
+  clang_disposeTranslationUnit(tu);
+  clang_disposeIndex(index);
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    return a.line != b.line ? a.line < b.line : a.col < b.col;
+  });
+  return out;
+}
+
+}  // namespace sysmap::lint
+
+#else  // !SYSMAP_LINT_HAVE_LIBCLANG
+
+namespace sysmap::lint {
+
+bool clang_frontend_available() { return false; }
+
+std::vector<Diagnostic> clang_narrowing_check(
+    const std::string&,
+    const std::vector<std::pair<std::size_t, std::size_t>>&,
+    const std::vector<std::string>&) {
+  return {};
+}
+
+}  // namespace sysmap::lint
+
+#endif  // SYSMAP_LINT_HAVE_LIBCLANG

@@ -1,0 +1,33 @@
+// Optional libclang AST frontend.
+//
+// When libclang development headers are present at configure time
+// (SYSMAP_LINT_HAVE_LIBCLANG), kernel_lint parses each file a second time
+// with the real C++ frontend and reports implicit narrowing conversions that
+// the token-level heuristics cannot see (integral conversions buried in
+// overload resolution, list-initialization narrowing, etc.).  Findings
+// inside SYSMAP_RAW_FASTPATH-annotated line ranges are suppressed so both
+// frontends honor the same annotations.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace sysmap::lint {
+
+/// True when this binary was built with the libclang frontend.
+bool clang_frontend_available();
+
+/// AST-level narrowing pass over one file.  `include_dirs` are passed as -I.
+/// Returns an empty vector when the frontend is unavailable or the file
+/// cannot be parsed (a parse failure is reported as a diagnostic with rule
+/// "frontend" so CI surfaces broken include paths instead of silently
+/// skipping the check).
+std::vector<Diagnostic> clang_narrowing_check(
+    const std::string& path,
+    const std::vector<std::pair<std::size_t, std::size_t>>& annotated_ranges,
+    const std::vector<std::string>& include_dirs);
+
+}  // namespace sysmap::lint

@@ -1,0 +1,242 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string_view>
+
+namespace sysmap::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first so greedy matching works.
+constexpr std::array<std::string_view, 26> kPunctuators3 = {
+    "<<=", ">>=", "<=>", "->*", "...",
+    // two-character from here on (padded list kept flat for one loop)
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##",
+};
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  std::size_t line() const { return line_; }
+  std::size_t col() const { return col_; }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  bool match(std::string_view s) const {
+    return src_.compare(pos_, s.size(), s) == 0;
+  }
+
+  void skip(std::size_t n) {
+    for (std::size_t i = 0; i < n && !done(); ++i) advance();
+  }
+
+ private:
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+// Consumes a quoted literal (delimiter " or ') honoring backslash escapes.
+std::string read_quoted(Cursor& cur, char delim) {
+  std::string out;
+  out.push_back(cur.advance());  // opening delimiter
+  while (!cur.done()) {
+    char c = cur.advance();
+    out.push_back(c);
+    if (c == '\\' && !cur.done()) {
+      out.push_back(cur.advance());
+      continue;
+    }
+    if (c == delim || c == '\n') break;  // newline: unterminated, recover
+  }
+  return out;
+}
+
+// Consumes R"delim( ... )delim".  `cur` sits on the opening quote.
+std::string read_raw_string(Cursor& cur) {
+  std::string out;
+  out.push_back(cur.advance());  // the quote
+  std::string delim;
+  while (!cur.done() && cur.peek() != '(' && cur.peek() != '"' &&
+         cur.peek() != '\n') {
+    delim.push_back(cur.peek());
+    out.push_back(cur.advance());
+  }
+  if (cur.done() || cur.peek() != '(') return out;  // malformed; recover
+  out.push_back(cur.advance());                     // '('
+  const std::string closer = ")" + delim + "\"";
+  while (!cur.done()) {
+    if (cur.match(closer)) {
+      for (std::size_t i = 0; i < closer.size(); ++i) {
+        out.push_back(cur.peek());
+        cur.advance();
+      }
+      break;
+    }
+    out.push_back(cur.advance());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  while (!cur.done()) {
+    char c = cur.peek();
+    std::size_t line = cur.line();
+    std::size_t col = cur.col();
+
+    if (c == '\n') {
+      cur.advance();
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+
+    // Preprocessor directive: swallow the logical line (with \ splices).
+    if (c == '#' && at_line_start) {
+      std::string text;
+      while (!cur.done()) {
+        char d = cur.peek();
+        if (d == '\\' && cur.peek(1) == '\n') {
+          cur.skip(2);
+          text.push_back(' ');
+          continue;
+        }
+        if (d == '\n') break;
+        text.push_back(cur.advance());
+      }
+      tokens.push_back({TokenKind::kPreprocessor, text, line, col});
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      cur.skip(2);
+      std::string text;
+      while (!cur.done() && cur.peek() != '\n') text.push_back(cur.advance());
+      tokens.push_back({TokenKind::kComment, text, line, col});
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.skip(2);
+      std::string text;
+      while (!cur.done()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.skip(2);
+          break;
+        }
+        text.push_back(cur.advance());
+      }
+      tokens.push_back({TokenKind::kComment, text, line, col});
+      continue;
+    }
+
+    // String/char literals, with encoding prefixes and raw strings.
+    if (c == '"' || c == '\'') {
+      std::string text = read_quoted(cur, c);
+      tokens.push_back({c == '"' ? TokenKind::kString : TokenKind::kCharLiteral,
+                        text, line, col});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!cur.done() && is_ident_char(cur.peek())) {
+        text.push_back(cur.advance());
+      }
+      // u8R"(, R"(, L"...", u'x' ... : literal with a prefix we just ate.
+      if (!cur.done() && (cur.peek() == '"' || cur.peek() == '\'')) {
+        bool raw = !text.empty() && text.back() == 'R';
+        bool prefix = text == "R" || text == "L" || text == "u" || text == "U" ||
+                      text == "u8" || text == "LR" || text == "uR" ||
+                      text == "UR" || text == "u8R";
+        if (prefix) {
+          char q = cur.peek();
+          std::string lit = (raw && q == '"') ? read_raw_string(cur)
+                                              : read_quoted(cur, q);
+          tokens.push_back({q == '"' ? TokenKind::kString
+                                     : TokenKind::kCharLiteral,
+                            text + lit, line, col});
+          continue;
+        }
+      }
+      tokens.push_back({TokenKind::kIdentifier, text, line, col});
+      continue;
+    }
+
+    // pp-numbers: digits, then everything number-ish including separators
+    // and sign characters after an exponent marker.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      std::string text;
+      text.push_back(cur.advance());
+      while (!cur.done()) {
+        char d = cur.peek();
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          text.push_back(cur.advance());
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty()) {
+          char e = text.back();
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            text.push_back(cur.advance());
+            continue;
+          }
+        }
+        break;
+      }
+      tokens.push_back({TokenKind::kNumber, text, line, col});
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    bool matched = false;
+    for (std::string_view p : kPunctuators3) {
+      if (cur.match(p)) {
+        cur.skip(p.size());
+        tokens.push_back({TokenKind::kPunct, std::string(p), line, col});
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    tokens.push_back({TokenKind::kPunct, std::string(1, cur.advance()), line,
+                      col});
+  }
+  return tokens;
+}
+
+}  // namespace sysmap::lint

@@ -1,0 +1,39 @@
+// Minimal C++ tokenizer for the kernel exactness lint.
+//
+// kernel_lint enforces a *discipline*, not the C++ standard: the checks in
+// checks.hpp need identifiers, literals, comments (annotations live there)
+// and punctuation with correct line/column positions, through every comment
+// form, string/char literal (including raw strings) and preprocessor line.
+// A full frontend is not required for that; when libclang is available the
+// optional AST frontend (frontend_clang.cpp) cross-checks the findings with
+// real type information.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sysmap::lint {
+
+enum class TokenKind {
+  kIdentifier,   ///< keywords included; checks consult a keyword table
+  kNumber,       ///< any pp-number (integer, float, hex, separators)
+  kString,       ///< "..." / R"(...)" with prefixes
+  kCharLiteral,  ///< '...'
+  kPunct,        ///< operators and punctuation, longest-match
+  kComment,      ///< // or /* */, text WITHOUT the delimiters
+  kPreprocessor, ///< a whole # directive line (continuations folded)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  ///< 1-based
+  std::size_t col = 0;   ///< 1-based
+};
+
+/// Tokenizes `source`.  Never throws on malformed input: unterminated
+/// literals are closed at end-of-file so the checks can still run.
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace sysmap::lint

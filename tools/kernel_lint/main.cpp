@@ -1,0 +1,147 @@
+// kernel_lint: exactness-discipline checker for the sysmap kernel layers.
+//
+// Usage:
+//   kernel_lint [--json <out.json>] [-I <include-dir>]... <file-or-dir>...
+//
+// Directories are scanned recursively for .hpp/.cpp files.  Exit status:
+//   0  no diagnostics
+//   1  diagnostics reported
+//   2  usage or I/O error
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "frontend_clang.hpp"
+#include "report.hpp"
+
+namespace fs = std::filesystem;
+using sysmap::lint::Diagnostic;
+using sysmap::lint::FileReport;
+using sysmap::lint::RunReport;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int collect_files(const std::string& arg, std::vector<std::string>& out) {
+  std::error_code ec;
+  fs::file_status st = fs::status(arg, ec);
+  if (ec || st.type() == fs::file_type::not_found) {
+    std::cerr << "kernel_lint: no such file or directory: " << arg << "\n";
+    return 2;
+  }
+  if (fs::is_directory(st)) {
+    for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+      if (entry.is_regular_file() && lintable(entry.path())) {
+        out.push_back(entry.path().string());
+      }
+    }
+    if (ec) {
+      std::cerr << "kernel_lint: error scanning " << arg << ": "
+                << ec.message() << "\n";
+      return 2;
+    }
+    return 0;
+  }
+  out.push_back(arg);
+  return 0;
+}
+
+int usage() {
+  std::cerr << "usage: kernel_lint [--json <out.json>] [-I <dir>]... "
+               "<file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<std::string> include_dirs;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      if (++i >= argc) return usage();
+      json_path = argv[i];
+    } else if (arg == "-I") {
+      if (++i >= argc) return usage();
+      include_dirs.push_back(argv[i]);
+    } else if (arg.rfind("-I", 0) == 0 && arg.size() > 2) {
+      include_dirs.push_back(arg.substr(2));
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const std::string& in : inputs) {
+    if (int rc = collect_files(in, files); rc != 0) return rc;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  RunReport run;
+  run.files = files;
+  for (const std::string& file : files) {
+    std::ifstream is(file, std::ios::binary);
+    if (!is) {
+      std::cerr << "kernel_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    FileReport report = sysmap::lint::analyze_file(file, buf.str());
+    run.annotation_count += report.annotation_count;
+    for (Diagnostic& d : report.diagnostics) {
+      run.diagnostics.push_back(std::move(d));
+    }
+    if (sysmap::lint::clang_frontend_available()) {
+      for (Diagnostic& d : sysmap::lint::clang_narrowing_check(
+               file, report.annotated_line_ranges, include_dirs)) {
+        run.diagnostics.push_back(std::move(d));
+      }
+    }
+  }
+
+  for (const Diagnostic& d : run.diagnostics) {
+    std::cerr << d.file << ":" << d.line << ":" << d.col << ": [" << d.rule
+              << "]";
+    if (!d.function.empty()) std::cerr << " in '" << d.function << "'";
+    std::cerr << ": " << d.message << "\n";
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      std::cerr << "kernel_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    sysmap::lint::write_json(os, run);
+  }
+
+  std::cerr << "kernel_lint: " << files.size() << " file(s), "
+            << run.annotation_count << " fast-path annotation(s), "
+            << run.diagnostics.size() << " diagnostic(s)"
+            << (sysmap::lint::clang_frontend_available()
+                    ? " [libclang frontend active]"
+                    : " [token frontend only]")
+            << "\n";
+  return run.diagnostics.empty() ? 0 : 1;
+}

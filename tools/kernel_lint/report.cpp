@@ -1,0 +1,57 @@
+#include "report.hpp"
+
+#include <ostream>
+
+namespace sysmap::lint {
+
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const RunReport& report) {
+  os << "{\n  \"tool\": \"kernel_lint\",\n  \"files\": [";
+  for (std::size_t i = 0; i < report.files.size(); ++i) {
+    if (i) os << ", ";
+    write_escaped(os, report.files[i]);
+  }
+  os << "],\n  \"annotation_count\": " << report.annotation_count
+     << ",\n  \"diagnostic_count\": " << report.diagnostics.size()
+     << ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    os << (i ? ",\n    {" : "\n    {") << "\"file\": ";
+    write_escaped(os, d.file);
+    os << ", \"line\": " << d.line << ", \"col\": " << d.col
+       << ", \"rule\": ";
+    write_escaped(os, d.rule);
+    os << ", \"function\": ";
+    write_escaped(os, d.function);
+    os << ", \"message\": ";
+    write_escaped(os, d.message);
+    os << '}';
+  }
+  os << (report.diagnostics.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+}  // namespace sysmap::lint

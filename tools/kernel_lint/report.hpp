@@ -1,0 +1,24 @@
+// JSON report writer for kernel_lint.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace sysmap::lint {
+
+struct RunReport {
+  std::vector<std::string> files;      ///< every file analyzed
+  std::vector<Diagnostic> diagnostics; ///< merged across files, stable order
+  std::size_t annotation_count = 0;    ///< SYSMAP_RAW_FASTPATH markers seen
+};
+
+/// Serializes the report as JSON:
+///   {"tool": "kernel_lint", "files": [...], "annotation_count": N,
+///    "diagnostic_count": N, "diagnostics": [{"file", "line", "col",
+///    "rule", "function", "message"}, ...]}
+void write_json(std::ostream& os, const RunReport& report);
+
+}  // namespace sysmap::lint
