@@ -1,20 +1,24 @@
-// SEARCH-THROUGHPUT -- ablation of the fixed-S incremental search engine.
+// SEARCH-THROUGHPUT -- ablation of the Procedure 5.1 execution engines.
 //
 // Runs Procedure 5.1 END TO END (enumeration, dependence screen, rank
 // test, conflict oracle, first-hit-optimal abort) for each gallery
-// workload and oracle, once with SearchOptions::use_fixed_space_context
-// disabled (the from-scratch seed path) and once enabled (the
-// search::FixedSpaceContext amortizer: echelon rank replay, Prop 3.2
-// cofactor closed form for k = n-1, HNF-of-S warm start for k <= n-2).
-// The two paths are bit-identical by construction -- this harness asserts
-// pi, objective, verdict rule and candidate statistics agree before
-// reporting any number.
+// workload and oracle, across four modes:
+//   seed            from-scratch serial scan (no FixedSpaceContext)
+//   ctx             serial scan + fixed-S context (the PR 2 engine)
+//   sched           streaming work-stealing pipeline, chunk 1 (scheduler
+//                   only: chunks of one candidate never batch)
+//   pipeline        streaming pipeline, chunk 32 (batched cofactor panels)
+//   pipeline+cache  pipeline + shared canonical-form verdict cache
+// All modes are bit-identical by construction -- this harness asserts pi,
+// objective, verdict rule and candidate statistics agree before reporting
+// any number -- and a final multi-S sweep shares one cache across scaled
+// and permuted space parts to demonstrate (and assert) cross-search hits.
 //
-// Output: a human-readable table on stdout and one JSON object per
-// (case, oracle, context mode) plus one speedup summary line per
-// (case, oracle), written to $SYSMAP_BENCH_JSON or BENCH_search.json in
-// the working directory (same JSON-lines format as BENCH_fastpath.json).
-// Set SYSMAP_BENCH_SMOKE=1 for a single-rep quick pass (CI smoke).
+// Output: a human-readable table on stdout and JSON lines (one object per
+// case/oracle/mode with threads, cache and steal counters, plus speedup
+// summary objects) written to $SYSMAP_BENCH_JSON or BENCH_search.json.
+// Set SYSMAP_BENCH_SMOKE=1 for a single-rep quick pass (CI smoke);
+// pass --threads N to size the streaming pool (default 4).
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "search/parallel_search.hpp"
+#include "search/verdict_cache.hpp"
 #include "sysmap.hpp"
 
 using namespace sysmap;
@@ -53,15 +59,48 @@ struct Timing {
   search::SearchResult result;
 };
 
-Timing run_mode(const Case& c, search::ConflictOracle oracle,
-                bool use_context, int reps) {
+enum class Mode { kSeed, kCtx, kSched, kPipeline, kPipelineCache };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kSeed:
+      return "seed";
+    case Mode::kCtx:
+      return "ctx";
+    case Mode::kSched:
+      return "sched";
+    case Mode::kPipeline:
+      return "pipeline";
+    case Mode::kPipelineCache:
+      return "pipeline_cache";
+  }
+  return "?";
+}
+
+Timing run_mode(const Case& c, search::ConflictOracle oracle, Mode mode,
+                int reps, std::size_t threads,
+                search::VerdictCache* cache = nullptr) {
   search::SearchOptions opts;
   opts.oracle = oracle;
-  opts.use_fixed_space_context = use_context;
+  opts.use_fixed_space_context = mode != Mode::kSeed;
+  if (mode == Mode::kPipelineCache) opts.verdict_cache = cache;
   Timing best;
   for (int rep = 0; rep < reps; ++rep) {
     auto t0 = std::chrono::steady_clock::now();
-    search::SearchResult r = search::procedure_5_1(c.algo, c.space, opts);
+    search::SearchResult r;
+    switch (mode) {
+      case Mode::kSeed:
+      case Mode::kCtx:
+        r = search::procedure_5_1(c.algo, c.space, opts);
+        break;
+      case Mode::kSched:
+        r = search::procedure_5_1_parallel(c.algo, c.space, opts, threads, 1);
+        break;
+      case Mode::kPipeline:
+      case Mode::kPipelineCache:
+        r = search::procedure_5_1_parallel(c.algo, c.space, opts, threads, 32);
+        break;
+    }
     auto t1 = std::chrono::steady_clock::now();
     double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (rep == 0 || ms < best.ms) {
@@ -80,21 +119,59 @@ bool identical(const search::SearchResult& a, const search::SearchResult& b) {
          a.candidates_passed_dependence == b.candidates_passed_dependence;
 }
 
+void emit_json(std::ostream& json, const Case& c,
+               search::ConflictOracle oracle, Mode mode, const Timing& t,
+               std::size_t threads) {
+  double cps =
+      t.ms > 0
+          ? 1000.0 * static_cast<double>(t.result.candidates_tested) / t.ms
+          : 0;
+  json << "{\"case\":\"" << c.name << "\""
+       << ",\"n\":" << c.algo.index_set().dimension()
+       << ",\"k\":" << (c.space.rows() + 1) << ",\"oracle\":\""
+       << oracle_name(oracle) << "\""
+       << ",\"mode\":\"" << mode_name(mode) << "\""
+       << ",\"threads\":" << (mode == Mode::kSeed || mode == Mode::kCtx
+                                  ? 1
+                                  : threads)
+       << ",\"ms\":" << t.ms
+       << ",\"candidates_tested\":" << t.result.candidates_tested
+       << ",\"passed_dependence\":" << t.result.candidates_passed_dependence
+       << ",\"candidates_per_sec\":" << cps
+       << ",\"cache_hits\":" << t.result.cache_hits
+       << ",\"cache_misses\":" << t.result.cache_misses
+       << ",\"chunks_stolen\":" << t.result.chunks_stolen
+       << ",\"found\":" << (t.result.found ? "true" : "false")
+       << ",\"objective\":" << t.result.objective << "}\n";
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const bool smoke = std::getenv("SYSMAP_BENCH_SMOKE") != nullptr;
+  std::size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (threads == 0) threads = 1;
+    } else {
+      std::cerr << "usage: search_throughput [--threads N]\n";
+      return 2;
+    }
+  }
   const char* path = std::getenv("SYSMAP_BENCH_JSON");
   std::ofstream json(path ? path : "BENCH_search.json");
 
-  // k = n-1 cases hit the Prop 3.2 closed form (the fused rank+conflict
-  // cofactor screen); the unit-cube cases keep k <= n-2 so the HNF warm
-  // start and the exact ladder are exercised.  The larger-mu cases push
-  // the first feasible conflict vector to higher objective levels, so many
-  // more candidates reach the oracle before the optimum -- the regime the
-  // amortization targets.  The mu=4 cases are deliberately tiny: there the
-  // sweep is enumeration-bound and the context can at best break even
-  // (Amdahl), which the table reports honestly.
+  // k = n-1 cases hit the Prop 3.2 closed form (and with it the batched
+  // cofactor panels); the unit-cube cases keep k <= n-2 so the HNF warm
+  // start, the exact ladder and the kernel-basis cache keys are
+  // exercised.  The larger-mu cases push the first feasible conflict
+  // vector to higher objective levels, so many more candidates reach the
+  // oracle before the optimum -- the regime every engine here targets.
+  // The mu=4 cases are deliberately tiny: there the sweep is
+  // enumeration-bound and the engines can at best break even (Amdahl),
+  // which the table reports honestly.
   std::vector<Case> cases;
   cases.push_back({"matmul_mu4", model::matmul(4), MatI{{1, 1, -1}}, true});
   cases.push_back({"transitive_closure_mu4", model::transitive_closure(4),
@@ -122,10 +199,10 @@ int main() {
       search::ConflictOracle::kBruteForce,
   };
 
-  std::cout << "SEARCH-THROUGHPUT: end-to-end procedure_5_1, fixed-S "
-               "context vs from-scratch seed path\n";
-  std::cout << "case                      oracle          cands   seed_ms  "
-               "ctx_ms   cands/s(ctx)  speedup\n";
+  std::cout << "SEARCH-THROUGHPUT: end-to-end procedure_5_1 engines ("
+            << threads << " pipeline threads)\n";
+  std::cout << "case                      oracle          cands     seed_ms  "
+               "ctx_ms   pipe_ms  cache_ms  pipe/ctx  hits/misses\n";
 
   bool all_parity_ok = true;
   for (const Case& c : cases) {
@@ -135,27 +212,32 @@ int main() {
       }
       int reps = 1;
       if (!smoke) {
-        // Calibrate on one seed run so both modes repeat long enough to
+        // Calibrate on one ctx run so every mode repeats long enough to
         // time stably, then keep the count identical across modes.
-        Timing probe = run_mode(c, oracle, /*use_context=*/false, 1);
+        Timing probe = run_mode(c, oracle, Mode::kCtx, 1, threads);
         reps = probe.ms >= 50
                    ? 3
                    : static_cast<int>(50 / (probe.ms + 0.01)) + 3;
       }
-      Timing seed = run_mode(c, oracle, /*use_context=*/false, reps);
-      Timing ctx = run_mode(c, oracle, /*use_context=*/true, reps);
-      if (!identical(seed.result, ctx.result)) {
+      Timing seed = run_mode(c, oracle, Mode::kSeed, reps, threads);
+      Timing ctx = run_mode(c, oracle, Mode::kCtx, reps, threads);
+      Timing sched = run_mode(c, oracle, Mode::kSched, reps, threads);
+      Timing pipe = run_mode(c, oracle, Mode::kPipeline, reps, threads);
+      search::VerdictCache cache;
+      Timing cached =
+          run_mode(c, oracle, Mode::kPipelineCache, reps, threads, &cache);
+      bool ok = identical(seed.result, ctx.result) &&
+                identical(seed.result, sched.result) &&
+                identical(seed.result, pipe.result) &&
+                identical(seed.result, cached.result);
+      if (!ok) {
         std::cerr << "PARITY VIOLATION in " << c.name << "/"
                   << oracle_name(oracle) << "\n";
         all_parity_ok = false;
         continue;
       }
-      double speedup = ctx.ms > 0 ? seed.ms / ctx.ms : 0;
-      double cands_per_sec =
-          ctx.ms > 0 ? 1000.0 * static_cast<double>(
-                                    ctx.result.candidates_tested) /
-                           ctx.ms
-                     : 0;
+      double pipe_speedup = pipe.ms > 0 ? ctx.ms / pipe.ms : 0;
+      double cache_speedup = cached.ms > 0 ? ctx.ms / cached.ms : 0;
 
       std::ostringstream row;
       row.setf(std::ios::fixed);
@@ -166,36 +248,69 @@ int main() {
       for (std::size_t p = oracle_name(oracle).size(); p < 16; ++p) row << ' ';
       row << seed.result.candidates_tested << "/"
           << seed.result.candidates_passed_dependence << "  " << seed.ms
-          << "  " << ctx.ms << "  ";
-      row.precision(0);
-      row << cands_per_sec << "  ";
+          << "  " << ctx.ms << "  " << pipe.ms << "  " << cached.ms << "  ";
       row.precision(2);
-      row << speedup << "x";
+      row << pipe_speedup << "x  " << cached.result.cache_hits << "/"
+          << cached.result.cache_misses;
       std::cout << row.str() << "\n";
 
-      for (bool use_context : {false, true}) {
-        const Timing& t = use_context ? ctx : seed;
-        double cps =
-            t.ms > 0 ? 1000.0 * static_cast<double>(
-                                    t.result.candidates_tested) /
-                           t.ms
-                     : 0;
-        json << "{\"case\":\"" << c.name << "\""
-             << ",\"n\":" << c.algo.index_set().dimension()
-             << ",\"k\":" << (c.space.rows() + 1) << ",\"oracle\":\""
-             << oracle_name(oracle) << "\""
-             << ",\"context\":" << (use_context ? "true" : "false")
-             << ",\"ms\":" << t.ms
-             << ",\"candidates_tested\":" << t.result.candidates_tested
-             << ",\"passed_dependence\":"
-             << t.result.candidates_passed_dependence
-             << ",\"candidates_per_sec\":" << cps
-             << ",\"found\":" << (t.result.found ? "true" : "false")
-             << ",\"objective\":" << t.result.objective << "}\n";
-      }
+      emit_json(json, c, oracle, Mode::kSeed, seed, threads);
+      emit_json(json, c, oracle, Mode::kCtx, ctx, threads);
+      emit_json(json, c, oracle, Mode::kSched, sched, threads);
+      emit_json(json, c, oracle, Mode::kPipeline, pipe, threads);
+      emit_json(json, c, oracle, Mode::kPipelineCache, cached, threads);
       json << "{\"case\":\"" << c.name << "\",\"oracle\":\""
-           << oracle_name(oracle) << "\",\"speedup\":" << speedup << "}\n";
+           << oracle_name(oracle) << "\",\"threads\":" << threads
+           << ",\"ctx_vs_seed\":" << (ctx.ms > 0 ? seed.ms / ctx.ms : 0)
+           << ",\"sched_vs_ctx\":" << (sched.ms > 0 ? ctx.ms / sched.ms : 0)
+           << ",\"pipeline_vs_ctx\":" << pipe_speedup
+           << ",\"pipeline_cache_vs_ctx\":" << cache_speedup << "}\n";
       json.flush();
+    }
+  }
+
+  // Multi-S sweep: one shared cache across space parts that present the
+  // same canonical conflict forms (scaled rows and sign-flipped columns
+  // give identical primitive conflict rays).  The later searches must run
+  // hot -- an all-miss sweep means the canonical keys regressed, so it
+  // fails the bench just like a parity violation.
+  {
+    model::UniformDependenceAlgorithm algo =
+        smoke ? model::matmul(6) : model::matmul(12);
+    const std::vector<MatI> spaces = {
+        MatI{{1, 1, -1}}, MatI{{2, 2, -2}}, MatI{{3, 3, -3}},
+        MatI{{-1, -1, 1}}, MatI{{4, 4, -4}},
+    };
+    search::VerdictCache cache;
+    search::SearchOptions opts;
+    opts.verdict_cache = &cache;
+    std::uint64_t sweep_hits = 0;
+    std::uint64_t sweep_misses = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    bool sweep_parity = true;
+    for (const MatI& space : spaces) {
+      search::SearchResult r =
+          search::procedure_5_1_parallel(algo, space, opts, threads, 32);
+      search::SearchResult plain = search::procedure_5_1(algo, space, {});
+      sweep_parity = sweep_parity && identical(plain, r);
+      sweep_hits += r.cache_hits;
+      sweep_misses += r.cache_misses;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::cout << "multi_S_sweep             shared cache    " << sweep_hits
+              << " hits / " << sweep_misses << " misses over "
+              << spaces.size() << " spaces\n";
+    json << "{\"sweep\":\"multi_s\",\"spaces\":" << spaces.size()
+         << ",\"threads\":" << threads << ",\"ms\":" << ms
+         << ",\"cache_hits\":" << sweep_hits
+         << ",\"cache_misses\":" << sweep_misses
+         << ",\"parity\":" << (sweep_parity ? "true" : "false") << "}\n";
+    if (!sweep_parity || sweep_hits == 0) {
+      std::cerr << (sweep_parity ? "NO CACHE HITS in multi-S sweep"
+                                 : "PARITY VIOLATION in multi-S sweep")
+                << "\n";
+      all_parity_ok = false;
     }
   }
   return all_parity_ok ? 0 : 1;

@@ -1,0 +1,142 @@
+// Batched exact matrix-matrix products for the k = n-1 cofactor screen.
+//
+// Proposition 3.2 turns the per-candidate conflict vector into a LINEAR
+// function of pi: cross([S; pi]) = C pi for one precomputed cofactor
+// matrix C.  Screening candidates one at a time therefore evaluates a
+// matrix-VECTOR product per candidate; packing a block of B candidates
+// into a column-major panel turns the whole block into ONE matrix-matrix
+// product C . [pi_1 ... pi_B], which amortizes the loads of C's rows
+// across the panel (structure-of-arrays: each output column is one
+// candidate's conflict vector, contiguous for the per-column feasibility
+// tail).
+//
+// Two instantiations, same algorithm, bit-identical results:
+//   - gemm_panel_i64: raw int64 with per-operation __builtin_*_overflow
+//     checks, 4-wide unrolled over panel columns; returns false the moment
+//     any multiply-accumulate would wrap so the caller can restart the
+//     WHOLE block exactly (exact::with_fallback) -- no partial results
+//     ever escape;
+//   - gemm_panel_t<T>: the template reference over CheckedInt/BigInt the
+//     fast path falls back to.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/types.hpp"
+
+namespace sysmap::linalg {
+
+/// Column-major candidate panel: column j holds candidate j's n entries at
+/// data[j * rows + i].  The plain-buffer layout keeps each output conflict
+/// vector contiguous so the Theorem 2.2 feasibility tail streams it.
+struct PanelI {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<Int> data;  // rows * cols, column-major
+
+  PanelI() = default;
+  PanelI(std::size_t r, std::size_t c) : rows(r), cols(c), data(r * c, 0) {}
+
+  Int& at(std::size_t i, std::size_t j) { return data[j * rows + i]; }
+  Int at(std::size_t i, std::size_t j) const { return data[j * rows + i]; }
+};
+
+/// Exact batched product out(:, j) = a * panel(:, j) over any exact scalar
+/// (CheckedInt traps into the caller's BigInt restart; BigInt never
+/// traps).  `panel` and `out` are column-major flat buffers with leading
+/// dimensions a.cols() and a.rows().  Reference semantics for the raw
+/// kernel below: same loop order, same association, so any instantiation
+/// that completes yields the identical numbers.
+template <typename T>
+void gemm_panel_t(const Matrix<T>& a, const std::vector<T>& panel,
+                  std::size_t panel_cols, std::vector<T>& out) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (panel.size() != n * panel_cols) {
+    throw std::invalid_argument("gemm_panel_t: panel shape");
+  }
+  out.assign(m * panel_cols, T(0));
+  for (std::size_t j = 0; j < panel_cols; ++j) {
+    const T* x = panel.data() + j * n;
+    T* y = out.data() + j * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      T acc(0);
+      for (std::size_t l = 0; l < n; ++l) acc = acc + a(i, l) * x[l];
+      y[i] = acc;
+    }
+  }
+}
+
+/// SYSMAP_RAW_FASTPATH(fallback: gemm_panel_t)
+/// Raw int64 instantiation of gemm_panel_t: out(:, j) = a * panel(:, j)
+/// with every multiply and accumulate routed through
+/// __builtin_*_overflow.  Returns false on the first operation that would
+/// wrap -- `out` contents are then unspecified and the caller must restart
+/// the whole panel on the template path (exact::with_fallback), which is
+/// what makes the block screen bit-identical to the scalar screen.  The
+/// inner loop is unrolled 4-wide over panel columns so each row of `a` is
+/// loaded once per 4 candidates (the panel is the streaming operand, `a`
+/// the resident one).
+inline bool gemm_panel_i64(const MatI& a, const PanelI& panel,
+                           PanelI& out) noexcept {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (panel.rows != n) return false;
+  if (out.rows != m || out.cols != panel.cols ||
+      out.data.size() != m * panel.cols) {
+    return false;
+  }
+  const std::size_t b = panel.cols;
+  std::size_t j = 0;
+  for (; j + 4 <= b; j += 4) {
+    const Int* x0 = panel.data.data() + (j + 0) * n;
+    const Int* x1 = panel.data.data() + (j + 1) * n;
+    const Int* x2 = panel.data.data() + (j + 2) * n;
+    const Int* x3 = panel.data.data() + (j + 3) * n;
+    Int* y0 = out.data.data() + (j + 0) * m;
+    Int* y1 = out.data.data() + (j + 1) * m;
+    Int* y2 = out.data.data() + (j + 2) * m;
+    Int* y3 = out.data.data() + (j + 3) * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      Int acc0 = 0;
+      Int acc1 = 0;
+      Int acc2 = 0;
+      Int acc3 = 0;
+      for (std::size_t l = 0; l < n; ++l) {
+        const Int c = a(i, l);
+        Int p = 0;
+        if (__builtin_mul_overflow(c, x0[l], &p)) return false;
+        if (__builtin_add_overflow(acc0, p, &acc0)) return false;
+        if (__builtin_mul_overflow(c, x1[l], &p)) return false;
+        if (__builtin_add_overflow(acc1, p, &acc1)) return false;
+        if (__builtin_mul_overflow(c, x2[l], &p)) return false;
+        if (__builtin_add_overflow(acc2, p, &acc2)) return false;
+        if (__builtin_mul_overflow(c, x3[l], &p)) return false;
+        if (__builtin_add_overflow(acc3, p, &acc3)) return false;
+      }
+      y0[i] = acc0;
+      y1[i] = acc1;
+      y2[i] = acc2;
+      y3[i] = acc3;
+    }
+  }
+  for (; j < b; ++j) {
+    const Int* x = panel.data.data() + j * n;
+    Int* y = out.data.data() + j * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      Int acc = 0;
+      for (std::size_t l = 0; l < n; ++l) {
+        Int p = 0;
+        if (__builtin_mul_overflow(a(i, l), x[l], &p)) return false;
+        if (__builtin_add_overflow(acc, p, &acc)) return false;
+      }
+      y[i] = acc;
+    }
+  }
+  return true;
+}
+
+}  // namespace sysmap::linalg

@@ -1,0 +1,175 @@
+// Canonical forms of the conflict-determining data, for verdict caching.
+//
+// Whether T = [S; Pi] is conflict-free over an index set J^n depends on
+// strictly LESS than (S, Pi):
+//   - k = n-1 (Theorem 3.1): only on the conflict RAY {t . gamma} and the
+//     box bounds -- gamma = cross([S; Pi]) up to scale and sign.  Two
+//     candidates whose crosses are colinear get the same verdict, rule
+//     string and (sign-flipped) witness reconstruction, so the canonical
+//     form is lattice::make_primitive(gamma) with the first nonzero entry
+//     made positive.
+//   - k <= n-2 (Theorems 4.5/4.7/4.8 and the conflict lattice): only on
+//     the kernel lattice of T, represented by the HNF-derived basis block
+//     u_{k+1..n}.  The paper-theorem ladder consumes the basis columns
+//     through sign-pattern- and permutation-invariant tests, so columns
+//     are made primitive, sign-normalized and sorted lexicographically.
+//     (The EXACT oracle's LLL + box-enumeration tail is NOT invariant
+//     under these moves -- lll_impl.hpp's round_nearest breaks odd
+//     symmetry -- so search::VerdictCache only admits kExact outcomes
+//     proven invariant; see verdict_cache.hpp for the admission policy.)
+//
+// Keys embed the index-set extents and an oracle tag so distinct boxes or
+// oracles can never alias, plus a kind tag separating the two families.
+// Builders return nullopt when the data does not fit the int64 payload
+// (callers then simply skip the cache -- correctness never depends on a
+// key existing).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "exact/bigint.hpp"
+#include "lattice/kernel.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/types.hpp"
+#include "model/index_set.hpp"
+
+namespace sysmap::mapping {
+
+/// Hashable canonical form of one conflict question.  Equality compares
+/// every field; the hash is FNV-1a over the same bytes-as-words stream.
+struct ConflictKey {
+  enum class Kind : std::uint8_t {
+    kConflictRay = 0,   ///< k = n-1: primitive sign-normalized gamma
+    kKernelBasis = 1,   ///< k <= n-2: canonicalized u_{k+1..n} block
+  };
+
+  Kind kind = Kind::kConflictRay;
+  std::int32_t oracle_tag = 0;  ///< caller-supplied oracle discriminator
+  std::uint32_t n = 0;          ///< index-set dimension
+  std::uint32_t k = 0;          ///< rows(T)
+  std::vector<Int> payload;     ///< extents mu_1..mu_n, then canonical data
+
+  friend bool operator==(const ConflictKey& a, const ConflictKey& b) {
+    return a.kind == b.kind && a.oracle_tag == b.oracle_tag && a.n == b.n &&
+           a.k == b.k && a.payload == b.payload;
+  }
+
+  std::size_t hash() const noexcept {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t word) {
+      h ^= word;
+      h *= 1099511628211ull;  // FNV-1a prime
+    };
+    mix(static_cast<std::uint64_t>(kind));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(oracle_tag)));
+    mix((static_cast<std::uint64_t>(n) << 32) | k);
+    for (Int v : payload) mix(static_cast<std::uint64_t>(v));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct ConflictKeyHash {
+  std::size_t operator()(const ConflictKey& key) const noexcept {
+    return key.hash();
+  }
+};
+
+namespace detail {
+
+inline void append_extents(const model::IndexSet& set,
+                           std::vector<Int>& payload) {
+  for (std::size_t i = 0; i < set.dimension(); ++i) {
+    payload.push_back(set.mu(i));
+  }
+}
+
+}  // namespace detail
+
+/// Canonical key for the k = n-1 conflict ray gamma (any nonzero multiple
+/// of cross([S; Pi])).  Precondition: gamma is nonzero.
+inline ConflictKey canonical_gamma_key(const VecI& gamma,
+                                       const model::IndexSet& set,
+                                       std::int32_t oracle_tag) {
+  ConflictKey key;
+  key.kind = ConflictKey::Kind::kConflictRay;
+  key.oracle_tag = oracle_tag;
+  key.n = static_cast<std::uint32_t>(set.dimension());
+  key.k = static_cast<std::uint32_t>(set.dimension() - 1);
+  key.payload.reserve(set.dimension() + gamma.size());
+  detail::append_extents(set, key.payload);
+  VecI canon = lattice::make_primitive(gamma);
+  // make_primitive already flips the vector so its first nonzero entry is
+  // positive -- that IS the sign normalization.
+  key.payload.insert(key.payload.end(), canon.begin(), canon.end());
+  return key;
+}
+
+/// BigInt overload: nullopt when the primitive gamma does not fit int64
+/// (the caller skips the cache; the primitive form is the smallest
+/// representative, so overflow here means the ray is genuinely huge).
+inline std::optional<ConflictKey> canonical_gamma_key(
+    const VecZ& gamma, const model::IndexSet& set, std::int32_t oracle_tag) {
+  VecZ canon = lattice::make_primitive(gamma);
+  VecI narrow(canon.size());
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    if (!canon[i].fits_int64()) return std::nullopt;
+    narrow[i] = canon[i].to_int64();
+  }
+  ConflictKey key;
+  key.kind = ConflictKey::Kind::kConflictRay;
+  key.oracle_tag = oracle_tag;
+  key.n = static_cast<std::uint32_t>(set.dimension());
+  key.k = static_cast<std::uint32_t>(set.dimension() - 1);
+  key.payload.reserve(set.dimension() + narrow.size());
+  detail::append_extents(set, key.payload);
+  key.payload.insert(key.payload.end(), narrow.begin(), narrow.end());
+  return key;
+}
+
+/// Canonical key for a k <= n-2 kernel basis block (columns u_{k+1..n} of
+/// the HNF transform).  Each column is made primitive with its first
+/// nonzero entry positive, then columns are sorted lexicographically --
+/// both moves preserve the lattice tests the paper-theorem ladder runs
+/// (divisibility, sign-pattern classes, extent comparisons), which is the
+/// cache's parity argument.  Returns nullopt when any canonical entry
+/// does not fit int64.
+template <typename T>
+std::optional<ConflictKey> canonical_kernel_key(const linalg::Matrix<T>& u,
+                                                std::size_t first_col,
+                                                const model::IndexSet& set,
+                                                std::size_t k,
+                                                std::int32_t oracle_tag) {
+  const std::size_t n = u.rows();
+  const std::size_t cols = u.cols() - first_col;
+  std::vector<VecI> columns;
+  columns.reserve(cols);
+  for (std::size_t c = first_col; c < u.cols(); ++c) {
+    linalg::Vector<T> col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = u(i, c);
+    col = lattice::make_primitive_t(std::move(col));
+    VecI narrow(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!col[i].fits_int64()) return std::nullopt;
+      narrow[i] = col[i].to_int64();
+    }
+    columns.push_back(std::move(narrow));
+  }
+  std::sort(columns.begin(), columns.end());
+  ConflictKey key;
+  key.kind = ConflictKey::Kind::kKernelBasis;
+  key.oracle_tag = oracle_tag;
+  key.n = static_cast<std::uint32_t>(n);
+  key.k = static_cast<std::uint32_t>(k);
+  key.payload.reserve(set.dimension() + cols * n);
+  detail::append_extents(set, key.payload);
+  for (const VecI& col : columns) {
+    key.payload.insert(key.payload.end(), col.begin(), col.end());
+  }
+  return key;
+}
+
+}  // namespace sysmap::mapping

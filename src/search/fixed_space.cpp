@@ -1,9 +1,13 @@
 #include "search/fixed_space.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "baseline/brute_force.hpp"
 #include "exact/bigint.hpp"
@@ -11,9 +15,12 @@
 #include "exact/fastpath.hpp"
 #include "lattice/hnf_impl.hpp"
 #include "lattice/kernel.hpp"
+#include "linalg/batch.hpp"
 #include "linalg/ops.hpp"
+#include "mapping/canonical_key.hpp"
 #include "mapping/mapping_matrix.hpp"
 #include "mapping/verdicts_impl.hpp"
+#include "search/verdict_cache.hpp"
 #include "support/contracts.hpp"
 
 namespace sysmap::search {
@@ -114,33 +121,42 @@ constexpr std::size_t kRawScreenMaxN = 16;
 /// means the right-hand side exceeds |gamma_i|, so the strict test is
 /// false -- the exact BigInt evaluation would say the same.
 ///
+/// The kernel splits into the cofactor product (shared with the batched
+/// panel screen, which computes the same products via linalg::gemm_panel)
+/// and the Theorem 2.2 tail over the resulting gamma.
+///
 /// SYSMAP_RAW_FASTPATH(fallback: theorem_3_1_screen)
-std::optional<Thm31Screen> theorem_3_1_screen_raw(const MatI& cof,
-                                                  const VecI& pi,
-                                                  const model::IndexSet& set) {
+bool cross_product_raw(const MatI& cof, const VecI& pi, Int* gamma) {
   const std::size_t n = cof.rows();
-  Int gamma[kRawScreenMaxN];
-  bool all_zero = true;
   for (std::size_t r = 0; r < n; ++r) {
     Int acc = 0;
     for (std::size_t c = 0; c < n; ++c) {
       Int p = 0;
       if (__builtin_mul_overflow(cof(r, c), pi[c], &p) ||
           __builtin_add_overflow(acc, p, &acc)) {
-        return std::nullopt;
+        return false;
       }
     }
-    if (acc != 0) all_zero = false;
     gamma[r] = acc;
   }
-  if (all_zero) return Thm31Screen::kRankDeficient;
+  return true;
+}
+
+/// SYSMAP_RAW_FASTPATH(fallback: theorem_3_1_screen)
+std::optional<Thm31Screen> thm31_tail_raw(const Int* gamma, std::size_t n,
+                                          const model::IndexSet& set) {
+  bool all_zero = true;
   Int mag[kRawScreenMaxN];
   Int min_nz = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (gamma[i] == INT64_MIN) return std::nullopt;  // |.| would trap
     mag[i] = gamma[i] < 0 ? -gamma[i] : gamma[i];
-    if (mag[i] != 0 && (min_nz == 0 || mag[i] < min_nz)) min_nz = mag[i];
+    if (mag[i] != 0) {
+      all_zero = false;
+      if (min_nz == 0 || mag[i] < min_nz) min_nz = mag[i];
+    }
   }
+  if (all_zero) return Thm31Screen::kRankDeficient;
   // g = gcd_i |gamma_i| satisfies 1 <= g <= min_nz; the exact test is
   // exists i: |gamma_i| > mu_i * g.
   bool beyond_mu = false;  // necessary: exists |gamma_i| > mu_i * 1
@@ -163,6 +179,122 @@ std::optional<Thm31Screen> theorem_3_1_screen_raw(const MatI& cof,
   return Thm31Screen::kConflict;
 }
 
+/// SYSMAP_RAW_FASTPATH(fallback: theorem_3_1_screen)
+std::optional<Thm31Screen> theorem_3_1_screen_raw(const MatI& cof,
+                                                  const VecI& pi,
+                                                  const model::IndexSet& set) {
+  Int gamma[kRawScreenMaxN];
+  if (!cross_product_raw(cof, pi, gamma)) return std::nullopt;
+  return thm31_tail_raw(gamma, cof.rows(), set);
+}
+
+constexpr std::string_view kThm31AcceptRule =
+    "Theorem 3.1: unique conflict vector feasible";
+
+/// gamma = C pi without the decision tail (the cached paths need the raw
+/// gamma to build the canonical key first).  Returns false when gamma is
+/// identically zero, i.e. rank([S; pi]) < n-1.
+template <typename T>
+bool cross_product_into(const linalg::Matrix<T>& cof, const VecI& pi,
+                        linalg::Vector<T>& gamma) {
+  const std::size_t n = cof.rows();
+  gamma.resize(n);
+  bool all_zero = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    T acc(0);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (pi[c] == 0) continue;
+      acc += cof(r, c) * T(pi[c]);
+    }
+    if (!acc.is_zero()) all_zero = false;
+    gamma[r] = std::move(acc);
+  }
+  return !all_zero;
+}
+
+/// First n entries of a raw gamma buffer as a VecI (std::copy_n instead
+/// of pointer arithmetic keeps the lint's raw-arith scan vacuous here).
+inline VecI vec_from_raw(const Int* gamma, std::size_t n) {
+  VecI out(n);
+  std::copy_n(gamma, n, out.begin());
+  return out;
+}
+
+/// Cached Theorem 3.1 decision over a NONZERO raw gamma (any nonzero
+/// multiple of the conflict ray; entries must not be INT64_MIN so the
+/// canonicalization cannot trap).  Bit-identical to the uncached screens:
+/// feasibility of the primitive gamma is the same boolean as their
+/// gcd-scaled Theorem 2.2 test, and the accept rule is the constant
+/// kThm31AcceptRule, so the cached outcome reproduces the verdict exactly.
+std::optional<ConflictVerdict> thm31_cached(const VecI& gamma_raw,
+                                            const model::IndexSet& set,
+                                            ConflictOracle oracle,
+                                            VerdictCache& cache) {
+  const mapping::ConflictKey key = mapping::canonical_gamma_key(
+      gamma_raw, set,
+      static_cast<std::int32_t>(oracle));  // SYSMAP_NARROWING_OK: tag 0..2.
+  if (std::optional<VerdictCache::Outcome> hit = cache.lookup(key)) {
+    if (!hit->conflict_free) return std::nullopt;
+    return mapping::detail::verdict(ConflictVerdict::Status::kConflictFree,
+                                    hit->rule);
+  }
+  // key.payload holds the extents, then the primitive sign-normalized
+  // gamma.  |g| > mu is tested negation-free (mu >= 1, so -mu never
+  // overflows and g itself is never negated -- INT64_MIN-safe).
+  const std::size_t n = set.dimension();
+  bool ray_feasible = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Int g = key.payload[n + i];
+    if (g > set.mu(i) || g < exact::neg_checked(set.mu(i))) {
+      ray_feasible = true;
+      break;
+    }
+  }
+  cache.insert(key, ray_feasible,
+               ray_feasible ? kThm31AcceptRule : std::string_view{});
+  if (!ray_feasible) return std::nullopt;
+  return mapping::detail::verdict(ConflictVerdict::Status::kConflictFree,
+                                  std::string(kThm31AcceptRule));
+}
+
+/// BigInt restart of thm31_cached; rays too wide for the int64 key are
+/// decided directly and simply skipped by the cache.
+std::optional<ConflictVerdict> thm31_cached(const VecZ& gamma_raw,
+                                            const model::IndexSet& set,
+                                            ConflictOracle oracle,
+                                            VerdictCache& cache) {
+  std::optional<mapping::ConflictKey> key = mapping::canonical_gamma_key(
+      gamma_raw, set,
+      static_cast<std::int32_t>(oracle));  // SYSMAP_NARROWING_OK: tag 0..2.
+  if (!key) {
+    const VecZ canon = lattice::make_primitive(gamma_raw);
+    if (!mapping::is_feasible_conflict_vector(canon, set)) return std::nullopt;
+    return mapping::detail::verdict(ConflictVerdict::Status::kConflictFree,
+                                    std::string(kThm31AcceptRule));
+  }
+  if (std::optional<VerdictCache::Outcome> hit = cache.lookup(*key)) {
+    if (!hit->conflict_free) return std::nullopt;
+    return mapping::detail::verdict(ConflictVerdict::Status::kConflictFree,
+                                    hit->rule);
+  }
+  // Negation-free |g| > mu: the narrowed payload CAN hold INT64_MIN here
+  // (it fits int64), so -g would be UB; -mu never overflows (mu >= 1).
+  const std::size_t n = set.dimension();
+  bool ray_feasible = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Int g = key->payload[n + i];
+    if (g > set.mu(i) || g < exact::neg_checked(set.mu(i))) {
+      ray_feasible = true;
+      break;
+    }
+  }
+  cache.insert(*key, ray_feasible,
+               ray_feasible ? kThm31AcceptRule : std::string_view{});
+  if (!ray_feasible) return std::nullopt;
+  return mapping::detail::verdict(ConflictVerdict::Status::kConflictFree,
+                                  std::string(kThm31AcceptRule));
+}
+
 /// Theorems 4.7/4.8/4.5 (kPaperTheorems) or the full exact ladder
 /// (kExact) over a warm-started HNF of T = [S; pi]; identical to the
 /// dispatch the seed performs after its from-scratch decomposition.
@@ -177,6 +309,42 @@ ConflictVerdict hnf_tail_verdict(ConflictOracle oracle,
     return mapping::detail::theorem_4_5_t(hnf, k, set);
   }
   return mapping::detail::decide_conflict_free_hnf_ladder_t(hnf, k, set);
+}
+
+/// Cached k <= n-2 accept over the warm-started HNF: the canonical kernel
+/// key is built from the u_{k+1..n} block BEFORE running the (expensive)
+/// verdict tail, so hits skip the theorem ladder / LLL / enumeration
+/// entirely.  Insertion follows the admission policy of verdict_cache.hpp;
+/// keys the int64 payload cannot represent simply bypass the cache.
+template <typename T>
+std::optional<ConflictVerdict> hnf_cached_accept(
+    ConflictOracle oracle, const lattice::BasicHnfResult<T>& hnf,
+    std::size_t k, std::size_t n, const model::IndexSet& set,
+    VerdictCache& cache) {
+  std::optional<mapping::ConflictKey> key = mapping::canonical_kernel_key(
+      hnf.u, k, set, k,
+      static_cast<std::int32_t>(oracle));  // SYSMAP_NARROWING_OK: tag 0..2.
+  if (key) {
+    if (std::optional<VerdictCache::Outcome> hit = cache.lookup(*key)) {
+      if (!hit->conflict_free) return std::nullopt;
+      return mapping::detail::verdict(ConflictVerdict::Status::kConflictFree,
+                                      hit->rule);
+    }
+  }
+  ConflictVerdict v = hnf_tail_verdict(oracle, hnf, k, n, set);
+  const bool cf = v.status == ConflictVerdict::Status::kConflictFree;
+  if (key) {
+    const bool admit =
+        oracle == ConflictOracle::kPaperTheorems
+            ? true
+            : (v.status == ConflictVerdict::Status::kHasConflict ||
+               (cf && exact_accept_rule_cacheable(v.rule)));
+    if (admit) {
+      cache.insert(*key, cf, cf ? std::string_view(v.rule) : std::string_view{});
+    }
+  }
+  if (!cf) return std::nullopt;
+  return v;
 }
 
 }  // namespace
@@ -315,9 +483,56 @@ bool FixedSpaceContext::has_full_rank(const VecI& pi) const {
 }
 
 std::optional<ConflictVerdict> FixedSpaceContext::accept(
-    ConflictOracle oracle, const VecI& pi) const {
+    ConflictOracle oracle, const VecI& pi, VerdictCache* cache) const {
   const Impl& im = *impl_;
   if (oracle != ConflictOracle::kBruteForce && im.k + 1 == im.n) {
+    if (cache != nullptr) {
+      // Memoized variant: gamma feeds the canonical-ray key first, then
+      // the same Theorem 2.2 decision; outcomes are bit-identical (see
+      // thm31_cached) so the cache is purely an observability/reuse layer.
+      if (im.cofactor_raw) {
+        Int gamma[kRawScreenMaxN];
+        if (cross_product_raw(*im.cofactor_raw, pi, gamma)) {
+          bool all_zero = true;
+          bool canon_safe = true;  // |INT64_MIN| would trap in gcd/negate
+          for (std::size_t i = 0; i < im.n; ++i) {
+            if (gamma[i] != 0) all_zero = false;
+            if (gamma[i] == INT64_MIN) canon_safe = false;
+          }
+          if (all_zero) {
+            throw std::domain_error("unique_conflict_vector: rank(T) < n-1");
+          }
+          if (canon_safe) {
+            return thm31_cached(vec_from_raw(gamma, im.n), im.set, oracle,
+                                *cache);
+          }
+        }
+      }
+      return exact::with_fallback(
+          [&]() -> std::optional<ConflictVerdict> {
+            if (!im.checked || !im.checked->cofactor) {
+              throw exact::OverflowError("fixed-space: no checked cofactor");
+            }
+            thread_local linalg::Vector<CheckedInt> gamma;
+            if (!cross_product_into(*im.checked->cofactor, pi, gamma)) {
+              throw std::domain_error(
+                  "unique_conflict_vector: rank(T) < n-1");
+            }
+            VecI raw(gamma.size());
+            for (std::size_t i = 0; i < gamma.size(); ++i) {
+              raw[i] = gamma[i].value();
+            }
+            return thm31_cached(raw, im.set, oracle, *cache);
+          },
+          [&]() -> std::optional<ConflictVerdict> {
+            linalg::Vector<BigInt> gamma;
+            if (!cross_product_into(*im.big().cofactor, pi, gamma)) {
+              throw std::domain_error(
+                  "unique_conflict_vector: rank(T) < n-1");
+            }
+            return thm31_cached(gamma, im.set, oracle, *cache);
+          });
+    }
     // Hot path of the gallery: Theorem 3.1 with the Prop 3.2 closed form.
     // Rejected candidates return nullopt WITHOUT materializing the rule
     // string or BigInt witness -- they dominate the sweep.
@@ -396,15 +611,85 @@ std::optional<ConflictVerdict> FixedSpaceContext::accept(
               "Theorem 3.1: unique conflict vector feasible");
         });
   }
+  if (cache != nullptr && oracle != ConflictOracle::kBruteForce &&
+      im.k + 2 <= im.n) {
+    // Memoized k <= n-2: the warm-started HNF still runs per candidate
+    // (it is what the key is extracted from), but a hit skips the whole
+    // verdict tail -- the theorem ladder under kPaperTheorems, LLL plus
+    // lattice enumeration under kExact.
+    const bool have_prefix = im.checked ? im.checked->prefix.has_value()
+                                        : im.big().prefix.has_value();
+    if (have_prefix) {
+      return exact::with_fallback(
+          [&]() -> std::optional<ConflictVerdict> {
+            if (!im.checked || !im.checked->prefix) {
+              throw exact::OverflowError("fixed-space: no checked HNF prefix");
+            }
+            lattice::BasicHnfResult<CheckedInt> hnf =
+                lattice::detail::hermite_extend_row_t(
+                    *im.checked->prefix, lift_vec<CheckedInt>(pi));
+            return hnf_cached_accept(oracle, hnf, im.k, im.n, im.set, *cache);
+          },
+          [&]() -> std::optional<ConflictVerdict> {
+            lattice::BasicHnfResult<BigInt> hnf =
+                lattice::detail::hermite_extend_row_t(*im.big().prefix,
+                                                      lift_vec<BigInt>(pi));
+            return hnf_cached_accept(oracle, hnf, im.k, im.n, im.set, *cache);
+          });
+    }
+  }
   ConflictVerdict v = verdict(oracle, pi);
   if (v.status != ConflictVerdict::Status::kConflictFree) return std::nullopt;
   return v;
 }
 
 std::optional<ConflictVerdict> FixedSpaceContext::screen(
-    ConflictOracle oracle, const VecI& pi) const {
+    ConflictOracle oracle, const VecI& pi, VerdictCache* cache) const {
   const Impl& im = *impl_;
   if (oracle != ConflictOracle::kBruteForce && im.k + 1 == im.n) {
+    if (cache != nullptr) {
+      // Memoized fused screen: identical decisions (see thm31_cached),
+      // with the rank reject (gamma = 0) handled before the cache since
+      // the zero ray has no canonical key.
+      if (im.cofactor_raw) {
+        Int gamma[kRawScreenMaxN];
+        if (cross_product_raw(*im.cofactor_raw, pi, gamma)) {
+          bool all_zero = true;
+          bool canon_safe = true;  // |INT64_MIN| would trap in gcd/negate
+          for (std::size_t i = 0; i < im.n; ++i) {
+            if (gamma[i] != 0) all_zero = false;
+            if (gamma[i] == INT64_MIN) canon_safe = false;
+          }
+          if (all_zero) return std::nullopt;
+          if (canon_safe) {
+            return thm31_cached(vec_from_raw(gamma, im.n), im.set, oracle,
+                                *cache);
+          }
+        }
+      }
+      return exact::with_fallback(
+          [&]() -> std::optional<ConflictVerdict> {
+            if (!im.checked || !im.checked->cofactor) {
+              throw exact::OverflowError("fixed-space: no checked cofactor");
+            }
+            thread_local linalg::Vector<CheckedInt> gamma;
+            if (!cross_product_into(*im.checked->cofactor, pi, gamma)) {
+              return std::nullopt;
+            }
+            VecI raw(gamma.size());
+            for (std::size_t i = 0; i < gamma.size(); ++i) {
+              raw[i] = gamma[i].value();
+            }
+            return thm31_cached(raw, im.set, oracle, *cache);
+          },
+          [&]() -> std::optional<ConflictVerdict> {
+            linalg::Vector<BigInt> gamma;
+            if (!cross_product_into(*im.big().cofactor, pi, gamma)) {
+              return std::nullopt;
+            }
+            return thm31_cached(gamma, im.set, oracle, *cache);
+          });
+    }
     // One cofactor product decides both Step 5(2) and 5(3): gamma = C pi
     // is zero exactly when rank([S; pi]) < k (the rank reject), and
     // otherwise the gcd-scaled Theorem 2.2 test decides conflict-freeness.
@@ -465,7 +750,133 @@ std::optional<ConflictVerdict> FixedSpaceContext::screen(
         });
   }
   if (!has_full_rank(pi)) return std::nullopt;
-  return accept(oracle, pi);
+  return accept(oracle, pi, cache);
+}
+
+bool FixedSpaceContext::screen_batch(
+    ConflictOracle oracle, const std::vector<VecI>& pis,
+    std::vector<std::optional<ConflictVerdict>>& out,
+    VerdictCache* cache) const {
+  return screen_batch(oracle, pis.data(), pis.size(), out, cache);
+}
+
+bool FixedSpaceContext::supports_batch(ConflictOracle oracle) const {
+  const Impl& im = *impl_;
+  return oracle != ConflictOracle::kBruteForce && im.k + 1 == im.n &&
+         im.cofactor_raw.has_value();
+}
+
+bool FixedSpaceContext::screen_batch(
+    ConflictOracle oracle, const VecI* pis, std::size_t count,
+    std::vector<std::optional<ConflictVerdict>>& out,
+    VerdictCache* cache) const {
+  const Impl& im = *impl_;
+  // Batching targets the Prop 3.2 closed form only; everything else keeps
+  // the scalar path (and kBruteForce never consults the context at all).
+  if (oracle == ConflictOracle::kBruteForce || im.k + 1 != im.n ||
+      !im.cofactor_raw) {
+    return false;
+  }
+  const std::size_t n = im.n;
+  const std::size_t b = count;
+  out.assign(b, std::nullopt);
+  if (b == 0) return true;
+
+  linalg::PanelI panel(n, b);
+  for (std::size_t j = 0; j < b; ++j) {
+    for (std::size_t i = 0; i < n; ++i) panel.at(i, j) = pis[j][i];
+  }
+  linalg::PanelI gammas(n, b);
+  // Whole-panel restart on overflow: the fast kernel either completes the
+  // ENTIRE block or reports failure without partial results, and the slow
+  // path recomputes every column over BigInt -- per-column outcomes are
+  // the same either way (one algorithm, two scalar substrates).
+  const bool raw_ok = exact::with_fallback(
+      [&] {
+        if (!linalg::gemm_panel_i64(*im.cofactor_raw, panel, gammas)) {
+          throw exact::OverflowError("batched cofactor panel");
+        }
+        return true;
+      },
+      [&] { return false; });
+
+  if (raw_ok) {
+    for (std::size_t j = 0; j < b; ++j) {
+      const auto* gamma = &gammas.at(0, j);
+      if (cache != nullptr) {
+        bool all_zero = true;
+        bool canon_safe = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (gamma[i] != 0) all_zero = false;
+          if (gamma[i] == INT64_MIN) canon_safe = false;
+        }
+        if (all_zero) continue;  // rank reject
+        if (!canon_safe) {
+          out[j] = screen(oracle, pis[j], cache);
+          continue;
+        }
+        out[j] = thm31_cached(vec_from_raw(gamma, n), im.set, oracle, *cache);
+        continue;
+      }
+      const std::optional<Thm31Screen> s = thm31_tail_raw(gamma, n, im.set);
+      if (!s) {
+        // |INT64_MIN| hazard in the tail: the scalar screen's BigInt
+        // restart decides this candidate.
+        out[j] = screen(oracle, pis[j], cache);
+        continue;
+      }
+      if (*s != Thm31Screen::kFeasible) continue;
+      out[j] = mapping::detail::verdict(
+          ConflictVerdict::Status::kConflictFree,
+          "Theorem 3.1: unique conflict vector feasible");
+    }
+  } else {
+    // BigInt panel: same product, same per-column Theorem 2.2 tail.
+    std::vector<BigInt> panel_z(n * b);
+    for (std::size_t j = 0; j < b; ++j) {
+      for (std::size_t i = 0; i < n; ++i) {
+        panel_z[j * n + i] = BigInt(pis[j][i]);
+      }
+    }
+    std::vector<BigInt> gammas_z;
+    linalg::gemm_panel_t(*im.big().cofactor, panel_z, b, gammas_z);
+    for (std::size_t j = 0; j < b; ++j) {
+      linalg::Vector<BigInt> gamma(gammas_z.begin() + j * n,
+                                   gammas_z.begin() + (j + 1) * n);
+      bool all_zero = true;
+      for (const BigInt& g : gamma) {
+        if (!g.is_zero()) {
+          all_zero = false;
+          break;
+        }
+      }
+      if (all_zero) continue;  // rank reject
+      if (cache != nullptr) {
+        out[j] = thm31_cached(gamma, im.set, oracle, *cache);
+        continue;
+      }
+      const VecZ canon = lattice::make_primitive_t(std::move(gamma));
+      if (!mapping::is_feasible_conflict_vector(canon, im.set)) continue;
+      out[j] = mapping::detail::verdict(
+          ConflictVerdict::Status::kConflictFree,
+          "Theorem 3.1: unique conflict vector feasible");
+    }
+  }
+#if SYSMAP_CONTRACTS_ACTIVE
+  for (std::size_t j = 0; j < b; ++j) {
+    // Batch-vs-scalar parity: every column must reproduce the scalar
+    // screen bit for bit (status, rule; accepts carry no witness).
+    const std::optional<ConflictVerdict> scalar = screen(oracle, pis[j]);
+    SYSMAP_CONTRACT(out[j].has_value() == scalar.has_value(),
+                    "batched screen accept/reject diverges from scalar");
+    if (out[j] && scalar) {
+      SYSMAP_CONTRACT(out[j]->status == scalar->status &&
+                          out[j]->rule == scalar->rule,
+                      "batched screen verdict diverges from scalar");
+    }
+  }
+#endif
+  return true;
 }
 
 ConflictVerdict FixedSpaceContext::verdict(ConflictOracle oracle,

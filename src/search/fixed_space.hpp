@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "linalg/types.hpp"
 #include "mapping/conflict.hpp"
@@ -33,6 +34,8 @@
 #include "search/procedure51.hpp"
 
 namespace sysmap::search {
+
+class VerdictCache;
 
 class FixedSpaceContext {
  public:
@@ -58,17 +61,47 @@ class FixedSpaceContext {
   /// `has_full_rank(pi) ? accept(oracle, pi) : nullopt`, but for k = n-1
   /// one cofactor product C pi decides both screens (the cross product of
   /// an (n-1) x n matrix is nonzero exactly when it has full rank), so the
-  /// echelon replay is skipped on the sweep's hottest path.
-  std::optional<mapping::ConflictVerdict> screen(ConflictOracle oracle,
-                                                 const VecI& pi) const;
+  /// echelon replay is skipped on the sweep's hottest path.  With a
+  /// non-null `cache`, outcomes are memoized by canonical conflict form
+  /// under the admission policy of verdict_cache.hpp -- results stay
+  /// bit-identical; only the hit/miss counters observe the cache.
+  std::optional<mapping::ConflictVerdict> screen(
+      ConflictOracle oracle, const VecI& pi,
+      VerdictCache* cache = nullptr) const;
+
+  /// Batched Step 5(2)+(3) for k = n-1: equivalent to screen(oracle, pi,
+  /// cache) per element of `pis` (same order, same verdicts bit for bit)
+  /// but evaluated as ONE cofactor matrix-matrix product
+  /// C . [pi_1 ... pi_B] (linalg::gemm_panel_i64, whole-panel BigInt
+  /// restart on overflow) with the Theorem 2.2 tail run per nonzero
+  /// column.  Returns false -- leaving `out` untouched -- when batching
+  /// does not apply (k != n-1, brute-force oracle, or no raw cofactor);
+  /// callers then fall back to the scalar screen.
+  bool screen_batch(ConflictOracle oracle, const std::vector<VecI>& pis,
+                    std::vector<std::optional<mapping::ConflictVerdict>>& out,
+                    VerdictCache* cache = nullptr) const;
+
+  /// Pointer/count flavor of screen_batch for callers that recycle their
+  /// candidate buffers (the streaming driver keeps per-worker chunk
+  /// storage alive across draws, so `count` may be smaller than the
+  /// buffer); identical semantics otherwise.
+  bool screen_batch(ConflictOracle oracle, const VecI* pis, std::size_t count,
+                    std::vector<std::optional<mapping::ConflictVerdict>>& out,
+                    VerdictCache* cache = nullptr) const;
+
+  /// True when screen_batch would actually batch for `oracle` (k = n-1,
+  /// raw cofactor available, non-brute oracle) -- lets callers skip the
+  /// panel packing when the answer is a constant false for this context.
+  bool supports_batch(ConflictOracle oracle) const;
 
   /// The per-candidate accept screen: nullopt when the candidate is NOT
   /// conflict-free under `oracle` (no rule string or witness is
   /// materialized -- rejected candidates dominate the sweep), otherwise
   /// the full accepting verdict, bit-identical to the seed path's.
   /// Precondition as in Procedure 5.1: has_full_rank(pi) already passed.
-  std::optional<mapping::ConflictVerdict> accept(ConflictOracle oracle,
-                                                 const VecI& pi) const;
+  std::optional<mapping::ConflictVerdict> accept(
+      ConflictOracle oracle, const VecI& pi,
+      VerdictCache* cache = nullptr) const;
 
   /// The full verdict for pi under `oracle`, bit-identical (status, rule,
   /// witness) to what the seed search computes for T = [S; pi].  Throws

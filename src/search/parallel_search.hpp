@@ -1,21 +1,37 @@
-// Shared-memory parallel Procedure 5.1.
+// Shared-memory parallel Procedure 5.1: a streaming work-stealing
+// pipeline.
 //
-// Each objective level f is embarrassingly parallel: candidates at the
-// level are independent, and optimality only needs the best candidate of
-// the first non-empty level.  The parallel driver materializes each
-// level's candidate list, partitions it across the workers of ONE
-// persistent thread pool (search/thread_pool.hpp, constructed once per
-// search and reused by every level), and reduces to the winner with the
-// smallest level position -- each worker records the position of its first
-// hit, so the reduction is a plain min.  The result, including the
-// candidates_tested / candidates_passed_dependence statistics, is
-// IDENTICAL to the serial scan regardless of thread count or interleaving
-// -- determinism is part of the contract and is tested.
+// The sweep is one totally-ordered candidate stream (levels f in
+// increasing objective order, lexicographic order within a level -- the
+// exact serial order, with a global position per candidate).  A shared
+// FEED hands out chunk-sized batches of consecutive candidates to the
+// workers of ONE persistent thread pool (search/thread_pool.hpp): a
+// worker that finishes its chunk immediately draws the next batch from
+// wherever the stream currently stands, so nobody idles at a level
+// boundary and no level-sized vector is ever materialized (the feed pulls
+// lazily from a resumable ScheduleEnumerator, search/enumerate.hpp).
 //
-// Thread safety: workers share the immutable inputs (algorithm, space
-// matrix, options) plus one atomic pruning bound; each builds its own
-// HNFs and verdicts.  No locks -- per-thread results are reduced after
-// the pool's fork-join barrier.
+// Early exit is an atomic first-hit position bound: a hit at global
+// position p lowers the bound to p, the feed refuses chunks at or past
+// the bound, and in-flight workers stop at the first candidate beyond it.
+// The winner is the hit with the SMALLEST global position -- exactly the
+// candidate the serial scan meets first -- so results are bit-identical
+// regardless of thread count, chunk size or interleaving.  Statistics are
+// exact by construction: chunks are disjoint position ranges, the bound
+// never drops below the final winner position P, so every chunk below P
+// is fully screened and the per-chunk dependence tallies reduce to the
+// serial counts (candidates_tested = P+1, passed = tallies at positions
+// <= P).  Determinism is part of the contract and is stress-tested across
+// thread counts and chunk sizes (tests/streaming_search_test.cpp).
+//
+// For k = n-1 the dependence-passing candidates of each chunk are
+// screened as ONE batched cofactor product C . [pi_1 ... pi_B]
+// (FixedSpaceContext::screen_batch over linalg::gemm_panel_i64) instead
+// of B matrix-vector products.
+//
+// Thread safety: workers share the immutable inputs, the feed mutex, the
+// optional VerdictCache (internally sharded) and one atomic pruning
+// bound; per-worker chunk records are reduced after the pool joins.
 #pragma once
 
 #include <cstddef>
@@ -24,11 +40,13 @@
 
 namespace sysmap::search {
 
-/// Procedure 5.1 with `num_threads` workers (0 = hardware concurrency).
+/// Procedure 5.1 with `num_threads` workers (0 = hardware concurrency)
+/// drawing `chunk_size` candidates per feed visit (0 = default, 32).
 /// Returns exactly what procedure_5_1 returns for the same inputs,
-/// statistics included.
+/// statistics included (plus the streaming-only chunks_stolen counter).
 SearchResult procedure_5_1_parallel(
     const model::UniformDependenceAlgorithm& algo, const MatI& space,
-    const SearchOptions& options = {}, std::size_t num_threads = 0);
+    const SearchOptions& options = {}, std::size_t num_threads = 0,
+    std::size_t chunk_size = 0);
 
 }  // namespace sysmap::search

@@ -9,6 +9,7 @@
 #include "mapping/theorems.hpp"
 #include "search/enumerate.hpp"
 #include "search/fixed_space.hpp"
+#include "search/verdict_cache.hpp"
 #include "support/contracts.hpp"
 
 namespace sysmap::search {
@@ -72,9 +73,25 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
 
   // The fixed-S context hoists every per-candidate invariant of S out of
   // the sweep (echelon rank replay, Prop 3.2 cofactors, HNF warm start);
-  // its verdicts are bit-identical to the from-scratch path below.
+  // its verdicts are bit-identical to the from-scratch path below.  Brute
+  // force consults none of the precomputes (its screen degenerates to the
+  // plain rank test), so the context is skipped there outright.
   std::optional<FixedSpaceContext> ctx;
-  if (options.use_fixed_space_context) ctx.emplace(set, space);
+  if (options.use_fixed_space_context &&
+      options.oracle != ConflictOracle::kBruteForce) {
+    ctx.emplace(set, space);
+  }
+
+  // The cache is consulted through the context only; counter deltas are
+  // reported per search even when the cache object is shared by several.
+  VerdictCache* cache = ctx ? options.verdict_cache : nullptr;
+  std::uint64_t cache_hits0 = 0;
+  std::uint64_t cache_misses0 = 0;
+  if (cache != nullptr) {
+    const VerdictCache::Stats s = cache->stats();
+    cache_hits0 = s.hits;
+    cache_misses0 = s.misses;
+  }
 
   // Skip objective levels no Pi can land on: sum |pi_i| mu_i is always a
   // multiple of gcd_i mu_i.
@@ -96,7 +113,7 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
         // product itself for k = n-1) plus the conflict oracle; rejected
         // candidates skip verdict materialization entirely.
         std::optional<mapping::ConflictVerdict> v =
-            ctx->screen(options.oracle, pi);
+            ctx->screen(options.oracle, pi, cache);
         if (!v) return true;
         verdict = std::move(*v);
       } else {
@@ -127,6 +144,11 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
       return false;  // abort the scan: first hit at minimal f is optimal
     });
     if (found_at_level) break;
+  }
+  if (cache != nullptr) {
+    const VerdictCache::Stats s = cache->stats();
+    result.cache_hits = s.hits - cache_hits0;
+    result.cache_misses = s.misses - cache_misses0;
   }
 #if SYSMAP_CONTRACTS_ACTIVE
   if (result.found) {

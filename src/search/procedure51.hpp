@@ -23,6 +23,8 @@
 
 namespace sysmap::search {
 
+class VerdictCache;
+
 /// Which conflict oracle Step 5(3) uses.
 enum class ConflictOracle {
   kPaperTheorems,  ///< Theorems 3.1/4.7/4.8/4.5 exactly as published
@@ -44,8 +46,15 @@ struct SearchOptions {
   /// Amortize per-candidate work with search::FixedSpaceContext (default).
   /// The context path is bit-identical to the from-scratch path (same
   /// verdicts, witnesses and statistics); disabling it exists for the
-  /// search_throughput ablation and parity tests.
+  /// search_throughput ablation and parity tests.  Under kBruteForce the
+  /// context is never constructed regardless -- brute force consults none
+  /// of its precomputes, so building one is pure overhead.
   bool use_fixed_space_context = true;
+  /// Optional canonical-form verdict cache (see search/verdict_cache.hpp).
+  /// Shareable across searches (multi-S sweeps) and across the parallel
+  /// driver's workers; results stay bit-identical -- only the hit/miss
+  /// counters below observe it.  Never consulted under kBruteForce.
+  VerdictCache* verdict_cache = nullptr;
 };
 
 struct SearchResult {
@@ -57,6 +66,14 @@ struct SearchResult {
   std::optional<schedule::Routing> routing;  ///< when target was given
   std::uint64_t candidates_tested = 0;
   std::uint64_t candidates_passed_dependence = 0;
+  /// Verdict-cache traffic attributable to this search (deltas of the
+  /// shared cache's counters).  NOT part of the bit-identical result
+  /// contract: parallel interleaving makes per-run counts nondeterministic.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Streaming scheduler only: chunks drawn from the shared feed beyond
+  /// each worker's first draw (the work-stealing metric; 0 when serial).
+  std::uint64_t chunks_stolen = 0;
 };
 
 /// Runs Procedure 5.1 for algorithm (J, D) and space mapping S.

@@ -8,6 +8,8 @@
 #include "exact/checked.hpp"
 #include "lattice/kernel.hpp"
 #include "linalg/ops.hpp"
+#include "search/fixed_space.hpp"
+#include "search/verdict_cache.hpp"
 
 namespace sysmap::search {
 
@@ -113,13 +115,32 @@ SpaceSearchResult space_optimal_mapping(
   }
 
   SpaceSearchResult best;
+  VerdictCache* cache = options.verdict_cache;
+  std::uint64_t cache_hits0 = 0;
+  std::uint64_t cache_misses0 = 0;
+  if (cache != nullptr) {
+    const VerdictCache::Stats s = cache->stats();
+    cache_hits0 = s.hits;
+    cache_misses0 = s.misses;
+  }
   for (const MatI& space : candidate_spaces(n, options)) {
     ++best.candidates_tested;
-    mapping::MappingMatrix t(space, pi);
-    if (!t.has_full_rank()) continue;
-    mapping::ConflictVerdict verdict =
-        mapping::decide_conflict_free(t, algo.index_set());
-    if (!verdict.conflict_free()) continue;
+    mapping::ConflictVerdict verdict;
+    if (cache != nullptr) {
+      // Cached path: the fixed-S context's fused rank+conflict screen is
+      // bit-identical to the scratch pair below, and its canonical keys
+      // let verdicts flow between S candidates sharing a conflict form.
+      FixedSpaceContext ctx(algo.index_set(), space);
+      std::optional<mapping::ConflictVerdict> v =
+          ctx.screen(ConflictOracle::kExact, pi, cache);
+      if (!v) continue;
+      verdict = std::move(*v);
+    } else {
+      mapping::MappingMatrix t(space, pi);
+      if (!t.has_full_rank()) continue;
+      verdict = mapping::decide_conflict_free(t, algo.index_set());
+      if (!verdict.conflict_free()) continue;
+    }
     ArrayCost cost = evaluate_array_cost(algo, space);
     if (!best.found || cost.total() < best.cost.total() ||
         (cost.total() == best.cost.total() &&
@@ -129,6 +150,11 @@ SpaceSearchResult space_optimal_mapping(
       best.cost = cost;
       best.verdict = verdict;
     }
+  }
+  if (cache != nullptr) {
+    const VerdictCache::Stats s = cache->stats();
+    best.cache_hits = s.hits - cache_hits0;
+    best.cache_misses = s.misses - cache_misses0;
   }
   return best;
 }

@@ -27,12 +27,20 @@
 
 namespace sysmap::search {
 
+class VerdictCache;
+
 struct SpaceSearchOptions {
   Int max_entry = 1;            ///< |s_ij| bound for candidate rows
   std::size_t array_dims = 1;   ///< k - 1
   /// Skip candidates whose processor count cannot be evaluated within this
   /// many index points (guards |J| blowup; boxes here are small).
   std::uint64_t enumeration_budget = 2'000'000;
+  /// Optional canonical-form verdict cache (search/verdict_cache.hpp).
+  /// The Problem 6.1 sweep holds Pi fixed and varies S, so distinct
+  /// candidates frequently share a canonical conflict form (e.g. scaled or
+  /// permuted rows) -- exactly the cross-S reuse the cache keys capture.
+  /// Results stay bit-identical; only the counters below observe it.
+  VerdictCache* verdict_cache = nullptr;
 };
 
 struct ArrayCost {
@@ -47,6 +55,10 @@ struct SpaceSearchResult {
   ArrayCost cost;
   mapping::ConflictVerdict verdict;
   std::uint64_t candidates_tested = 0;
+  /// Verdict-cache traffic attributable to this sweep (counter deltas);
+  /// zero when no cache was supplied.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 /// Problem 6.1: best S for a fixed Pi.  Minimizes processors + wire among

@@ -1,0 +1,78 @@
+#include "search/verdict_cache.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace sysmap::search {
+
+struct VerdictCache::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<mapping::ConflictKey, Outcome, mapping::ConflictKeyHash>
+      map;
+};
+
+VerdictCache::VerdictCache(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      shards_(new Shard[shard_count == 0 ? 1 : shard_count]) {}
+
+VerdictCache::~VerdictCache() = default;
+
+std::size_t VerdictCache::shard_for(
+    const mapping::ConflictKey& key) const noexcept {
+  // The FNV mix already avalanches; fold the high bits in so shard choice
+  // is not just the hash-table bucket bits again.
+  const std::size_t h = key.hash();
+  return (h ^ (h >> 16)) % shard_count_;
+}
+
+std::optional<VerdictCache::Outcome> VerdictCache::lookup(
+    const mapping::ConflictKey& key) const {
+  Shard& shard = shards_[shard_for(key)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void VerdictCache::insert(const mapping::ConflictKey& key, bool conflict_free,
+                          std::string_view rule) {
+  Shard& shard = shards_[shard_for(key)];
+  Outcome outcome;
+  outcome.conflict_free = conflict_free;
+  outcome.rule.assign(rule);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.emplace(key, std::move(outcome)).second) {
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+VerdictCache::Stats VerdictCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    out.entries += shards_[s].map.size();
+  }
+  return out;
+}
+
+void VerdictCache::clear() {
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    shards_[s].map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace sysmap::search

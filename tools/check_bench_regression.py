@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Soft throughput gate for the search bench.
+
+Compares a freshly produced BENCH_search.json against the committed
+baseline, keyed by (case, oracle, mode), on candidates_per_sec.  CI runner
+timing is far too noisy for a hard gate, so a drop beyond the threshold
+emits a GitHub Actions ::warning:: annotation (visible on the job summary)
+and the exit code stays 0 either way; the committed baseline is only
+refreshed deliberately, by rerunning the bench in full mode on a quiet
+machine.
+
+Usage: check_bench_regression.py BASELINE CURRENT [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Keyed throughput rows from a JSON-lines bench file.
+
+    Summary objects (speedup lines, the multi-S sweep) carry no
+    candidates_per_sec and are skipped; unparsable lines are reported but
+    never fatal -- this gate must not brick CI over formatting drift.
+    """
+    rows = {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line_no, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    print(f"note: {path}:{line_no}: unparsable line skipped")
+                    continue
+                if "candidates_per_sec" not in obj:
+                    continue
+                key = (obj.get("case"), obj.get("oracle"), obj.get("mode"))
+                if None in key:
+                    continue
+                rows[key] = float(obj["candidates_per_sec"])
+    except OSError as err:
+        print(f"note: cannot read {path}: {err}")
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional slowdown that triggers a warning")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+    if not baseline or not current:
+        print("bench-regression: nothing to compare "
+              f"({len(baseline)} baseline rows, {len(current)} current rows)")
+        return 0
+
+    compared = 0
+    regressions = []
+    for key, base_cps in sorted(baseline.items()):
+        cur_cps = current.get(key)
+        if cur_cps is None or base_cps <= 0:
+            continue
+        compared += 1
+        ratio = cur_cps / base_cps
+        if ratio < 1.0 - args.threshold:
+            regressions.append((key, base_cps, cur_cps, ratio))
+
+    for (case, oracle, mode), base_cps, cur_cps, ratio in regressions:
+        print(f"::warning title=search bench regression::"
+              f"{case}/{oracle}/{mode}: {cur_cps:,.0f} cand/s vs baseline "
+              f"{base_cps:,.0f} ({ratio:.2f}x)")
+    print(f"bench-regression: compared {compared} rows, "
+          f"{len(regressions)} beyond the {args.threshold:.0%} threshold"
+          + (" (warnings only, job not failed)" if regressions else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
