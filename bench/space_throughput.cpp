@@ -1,0 +1,291 @@
+// SPACE-THROUGHPUT -- ablation of the Problem 6.1/6.2 sweep engines.
+//
+// Runs the space-optimal search (fixed Pi, sweep all candidate S) end to
+// end for each gallery workload, across four modes:
+//   seed            the original serial std::set engine, verbatim
+//   incremental     fast engine, packed-image incremental counting only
+//                   (orbit cache and branch-and-bound off, one thread)
+//   incr_orbit_bnb  fast engine, counting + orbit-canonical count reuse +
+//                   wire-first branch-and-bound (one thread)
+//   parallel        incr_orbit_bnb fanned over the thread pool
+// All modes are bit-identical by construction in (found, space, cost,
+// verdict, candidates_tested) -- this harness asserts that before
+// reporting any number.  A final Problem 6.2 section holds the fast
+// Pareto sweep equal to its seed the same way.
+//
+// Output: a human-readable table on stdout and JSON lines (one object per
+// case/mode plus per-case speedup summaries) written to
+// $SYSMAP_BENCH_JSON or BENCH_space.json.  Set SYSMAP_BENCH_SMOKE=1 for a
+// single-rep quick pass (CI smoke); pass --threads N to size the parallel
+// mode (default 4).
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "search/space_optimal.hpp"
+#include "sysmap.hpp"
+
+using namespace sysmap;
+
+namespace {
+
+struct Case {
+  std::string name;
+  model::UniformDependenceAlgorithm algo;
+  VecI pi;
+  Int max_entry;
+  std::size_t array_dims;
+};
+
+struct Timing {
+  double ms = 0;
+  search::SpaceSearchResult result;
+};
+
+enum class Mode { kSeed, kIncremental, kIncrOrbitBnb, kParallel };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kSeed:
+      return "seed";
+    case Mode::kIncremental:
+      return "incremental";
+    case Mode::kIncrOrbitBnb:
+      return "incr_orbit_bnb";
+    case Mode::kParallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+search::SpaceSearchOptions mode_options(const Case& c, Mode mode,
+                                        std::size_t threads) {
+  search::SpaceSearchOptions opts;
+  opts.max_entry = c.max_entry;
+  opts.array_dims = c.array_dims;
+  switch (mode) {
+    case Mode::kSeed:
+      break;  // flags ignored by the seed engine
+    case Mode::kIncremental:
+      opts.num_threads = 1;
+      opts.use_incremental_count = true;
+      opts.use_orbit_cache = false;
+      opts.use_branch_and_bound = false;
+      break;
+    case Mode::kIncrOrbitBnb:
+      opts.num_threads = 1;
+      opts.use_incremental_count = true;
+      opts.use_orbit_cache = true;
+      opts.use_branch_and_bound = true;
+      break;
+    case Mode::kParallel:
+      opts.num_threads = threads;
+      opts.use_incremental_count = true;
+      opts.use_orbit_cache = true;
+      opts.use_branch_and_bound = true;
+      break;
+  }
+  return opts;
+}
+
+Timing run_mode(const Case& c, Mode mode, int reps, std::size_t threads) {
+  const search::SpaceSearchOptions opts = mode_options(c, mode, threads);
+  Timing best;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    search::SpaceSearchResult r =
+        mode == Mode::kSeed ? search::space_optimal_mapping_seed(c.algo, c.pi, opts)
+                            : search::space_optimal_mapping(c.algo, c.pi, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best.ms) {
+      best.ms = ms;
+      best.result = std::move(r);
+    }
+  }
+  return best;
+}
+
+bool identical(const search::SpaceSearchResult& a,
+               const search::SpaceSearchResult& b) {
+  return a.found == b.found && a.space == b.space &&
+         a.cost.processors == b.cost.processors &&
+         a.cost.wire_length == b.cost.wire_length &&
+         a.verdict.status == b.verdict.status && a.verdict.rule == b.verdict.rule &&
+         a.candidates_tested == b.candidates_tested;
+}
+
+void emit_json(std::ostream& json, const Case& c, Mode mode, const Timing& t,
+               std::size_t threads) {
+  double cps =
+      t.ms > 0
+          ? 1000.0 * static_cast<double>(t.result.candidates_tested) / t.ms
+          : 0;
+  json << "{\"case\":\"" << c.name << "\""
+       << ",\"n\":" << c.algo.index_set().dimension()
+       << ",\"k\":" << (c.array_dims + 1)
+       << ",\"oracle\":\"kExact\""
+       << ",\"mode\":\"" << mode_name(mode) << "\""
+       << ",\"threads\":" << (mode == Mode::kParallel ? threads : 1)
+       << ",\"ms\":" << t.ms
+       << ",\"candidates_tested\":" << t.result.candidates_tested
+       << ",\"candidates_per_sec\":" << cps
+       << ",\"orbit_hits\":" << t.result.orbit_hits
+       << ",\"bnb_pruned\":" << t.result.bnb_pruned
+       << ",\"walks_early_exited\":" << t.result.walks_early_exited
+       << ",\"injective_shortcuts\":" << t.result.injective_shortcuts
+       << ",\"found\":" << (t.result.found ? "true" : "false")
+       << ",\"cost\":"
+       << (t.result.found ? t.result.cost.total() : Int{0}) << "}\n";
+}
+
+bool pareto_identical(const search::DesignSpaceResult& a,
+                      const search::DesignSpaceResult& b) {
+  if (a.spaces_tested != b.spaces_tested ||
+      a.feasible_spaces != b.feasible_spaces ||
+      a.pareto.size() != b.pareto.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+    const search::DesignPoint& p = a.pareto[i];
+    const search::DesignPoint& q = b.pareto[i];
+    if (!(p.space == q.space) || !(p.pi == q.pi) || p.makespan != q.makespan ||
+        p.cost.processors != q.cost.processors ||
+        p.cost.wire_length != q.cost.wire_length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("SYSMAP_BENCH_SMOKE") != nullptr;
+  std::size_t threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (threads == 0) threads = 1;
+    } else {
+      std::cerr << "usage: space_throughput [--threads N]\n";
+      return 2;
+    }
+  }
+  const char* path = std::getenv("SYSMAP_BENCH_JSON");
+  std::ofstream json(path ? path : "BENCH_space.json");
+
+  // The mu=12..16 cases make the per-candidate image walk the dominant
+  // cost (|J| = mu^3 points per candidate, hundreds of candidates), which
+  // is the regime the incremental counter and the orbit cache target.
+  // The k=2 case exercises rank filtering plus two-row packing; the
+  // convolution case is 2-D with a long skewed box.  Smoke keeps the two
+  // cheapest cases only.
+  std::vector<Case> cases;
+  cases.push_back({"matmul_mu12_e2", model::matmul(12), VecI{1, 12, 1}, 2, 1});
+  cases.push_back({"transitive_closure_mu12_e2", model::transitive_closure(12),
+                   VecI{5, 2, 1}, 2, 1});
+  if (!smoke) {
+    cases.push_back(
+        {"lu_decomposition_mu12_e2", model::lu_decomposition(12),
+         VecI{1, 12, 1}, 2, 1});
+    cases.push_back({"matmul_mu16_e3", model::matmul(16), VecI{1, 16, 1}, 3, 1});
+    cases.push_back({"convolution_mu96_e3", model::convolution(96, 64),
+                     VecI{1, 1}, 3, 1});
+    cases.push_back(
+        {"matmul_mu10_k2_e1", model::matmul(10), VecI{1, 10, 1}, 1, 2});
+  }
+
+  std::cout << "SPACE-THROUGHPUT: Problem 6.1 sweep engines (" << threads
+            << " parallel threads)\n";
+  std::cout << "case                        cands   seed_ms   incr_ms  "
+               "orbit_ms  par_ms   orbit/seed  orbit_hits  pruned\n";
+
+  bool all_parity_ok = true;
+  for (const Case& c : cases) {
+    int reps = 1;
+    if (!smoke) {
+      // Calibrate on one incremental run so every mode repeats long
+      // enough to time stably, then keep the count identical across
+      // modes.  The seed mode is the slow one, so this stays affordable.
+      Timing probe = run_mode(c, Mode::kIncremental, 1, threads);
+      reps = probe.ms >= 50 ? 3 : static_cast<int>(50 / (probe.ms + 0.01)) + 3;
+    }
+    Timing seed = run_mode(c, Mode::kSeed, smoke ? 1 : 3, threads);
+    Timing incr = run_mode(c, Mode::kIncremental, reps, threads);
+    Timing orbit = run_mode(c, Mode::kIncrOrbitBnb, reps, threads);
+    Timing par = run_mode(c, Mode::kParallel, reps, threads);
+    bool ok = identical(seed.result, incr.result) &&
+              identical(seed.result, orbit.result) &&
+              identical(seed.result, par.result);
+    if (!ok) {
+      std::cerr << "PARITY VIOLATION in " << c.name << "\n";
+      all_parity_ok = false;
+      continue;
+    }
+    double incr_speedup = incr.ms > 0 ? seed.ms / incr.ms : 0;
+    double orbit_speedup = orbit.ms > 0 ? seed.ms / orbit.ms : 0;
+    double par_speedup = par.ms > 0 ? seed.ms / par.ms : 0;
+
+    std::ostringstream row;
+    row.setf(std::ios::fixed);
+    row.precision(3);
+    row << c.name;
+    for (std::size_t p = c.name.size(); p < 28; ++p) row << ' ';
+    row << seed.result.candidates_tested << "  " << seed.ms << "  " << incr.ms
+        << "  " << orbit.ms << "  " << par.ms << "  ";
+    row.precision(2);
+    row << orbit_speedup << "x  " << orbit.result.orbit_hits << "  "
+        << orbit.result.bnb_pruned << "+" << orbit.result.walks_early_exited;
+    std::cout << row.str() << "\n";
+
+    emit_json(json, c, Mode::kSeed, seed, threads);
+    emit_json(json, c, Mode::kIncremental, incr, threads);
+    emit_json(json, c, Mode::kIncrOrbitBnb, orbit, threads);
+    emit_json(json, c, Mode::kParallel, par, threads);
+    json << "{\"case\":\"" << c.name << "\",\"threads\":" << threads
+         << ",\"incremental_vs_seed\":" << incr_speedup
+         << ",\"incr_orbit_bnb_vs_seed\":" << orbit_speedup
+         << ",\"parallel_vs_seed\":" << par_speedup << "}\n";
+    json.flush();
+  }
+
+  // Problem 6.2: the fast Pareto sweep against its seed.  One modest case
+  // -- each candidate S costs a full Procedure 5.1 run here, so the sweep
+  // is schedule-search-bound and the win is the parallel fan plus the
+  // fast cost evaluation, not the counter.
+  {
+    model::UniformDependenceAlgorithm algo =
+        smoke ? model::matmul(3) : model::matmul(6);
+    search::SpaceSearchOptions opts;
+    opts.max_entry = 1;
+    auto t0 = std::chrono::steady_clock::now();
+    search::DesignSpaceResult slow = search::explore_design_space_seed(algo, opts);
+    auto t1 = std::chrono::steady_clock::now();
+    opts.num_threads = threads;
+    search::DesignSpaceResult fast = search::explore_design_space(algo, opts);
+    auto t2 = std::chrono::steady_clock::now();
+    double seed_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double fast_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    bool ok = pareto_identical(slow, fast);
+    std::cout << "pareto_matmul               " << slow.spaces_tested
+              << " spaces, " << slow.pareto.size() << " frontier points, seed "
+              << seed_ms << " ms, fast " << fast_ms << " ms\n";
+    json << "{\"case\":\"pareto_matmul\",\"oracle\":\"kExact\""
+         << ",\"mode\":\"pareto\",\"threads\":" << threads
+         << ",\"seed_ms\":" << seed_ms << ",\"fast_ms\":" << fast_ms
+         << ",\"spaces_tested\":" << slow.spaces_tested
+         << ",\"frontier\":" << slow.pareto.size()
+         << ",\"parity\":" << (ok ? "true" : "false") << "}\n";
+    if (!ok) {
+      std::cerr << "PARITY VIOLATION in pareto_matmul\n";
+      all_parity_ok = false;
+    }
+  }
+  return all_parity_ok ? 0 : 1;
+}

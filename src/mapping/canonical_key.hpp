@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "exact/bigint.hpp"
+#include "exact/checked.hpp"
 #include "lattice/kernel.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/types.hpp"
@@ -45,6 +46,7 @@ struct ConflictKey {
   enum class Kind : std::uint8_t {
     kConflictRay = 0,   ///< k = n-1: primitive sign-normalized gamma
     kKernelBasis = 1,   ///< k <= n-2: canonicalized u_{k+1..n} block
+    kSpaceOrbit = 2,    ///< cost orbit of a space matrix S over a box
   };
 
   Kind kind = Kind::kConflictRay;
@@ -169,6 +171,121 @@ std::optional<ConflictKey> canonical_kernel_key(const linalg::Matrix<T>& u,
   for (const VecI& col : columns) {
     key.payload.insert(key.payload.end(), col.begin(), col.end());
   }
+  return key;
+}
+
+/// Canonical form of the PROCESSOR-COUNT orbit of a space matrix S over
+/// the index box: the key is equal for two candidates exactly when this
+/// routine can prove |{S j : j in J}| = |{S' j : j in J}|.  Three moves
+/// generate the orbit:
+///   1. negating a row r (the image is reflected in coordinate r --
+///      a bijection of image sets);
+///   2. permuting rows (permutes image coordinates -- a bijection);
+///   3. permuting COLUMNS c, c' with equal extents mu_c = mu_c'
+///      ({S P j : j in J} = {S j' : j' in P^{-1} J} = {S j' : j' in J}
+///      because the box is invariant under the axis swap -- the image
+///      SETS are literally equal).
+/// Wire length is invariant under 1-2 but NOT under 3 (the dependence
+/// columns are not permuted), and the conflict verdict of [S; Pi] is not
+/// invariant under 3 either (Pi is not permuted) -- so callers may only
+/// attribute processor counts across a kSpaceOrbit key, never costs or
+/// verdicts.  The canonical form is the lexicographic minimum, over every
+/// equal-mu column permutation, of S with each row sign-normalized
+/// (first nonzero positive) and rows sorted; when the equal-mu groups
+/// admit more than `max_arrangements` permutations only the identity
+/// arrangement is tried (still canonical in moves 1-2, just a coarser
+/// orbit -- soundness never depends on hitting the full orbit).
+inline ConflictKey canonical_space_orbit_key(
+    const MatI& space, const model::IndexSet& set,
+    std::size_t max_arrangements = 720) {
+  const std::size_t m = space.rows();
+  const std::size_t n = space.cols();
+
+  // Column arrangements: identity, then every within-group permutation of
+  // equal-mu column groups (composed across groups) while the running
+  // count stays under the cap.
+  std::vector<std::vector<std::size_t>> arrangements;
+  {
+    std::vector<std::size_t> identity(n);
+    for (std::size_t c = 0; c < n; ++c) identity[c] = c;
+    arrangements.push_back(identity);
+    // Group columns by extent; count the full orbit first so a blown cap
+    // degrades to the identity arrangement instead of a truncated (and
+    // therefore representative-dependent) orbit slice.
+    std::size_t orbit = 1;
+    std::vector<bool> grouped(n, false);
+    std::vector<std::vector<std::size_t>> groups;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (grouped[c]) continue;
+      std::vector<std::size_t> group{c};
+      grouped[c] = true;
+      for (std::size_t d = c + 1; d < n; ++d) {
+        if (!grouped[d] && set.mu(d) == set.mu(c)) {
+          group.push_back(d);
+          grouped[d] = true;
+        }
+      }
+      for (std::size_t f = 2; f <= group.size(); ++f) {
+        orbit *= f;
+        if (orbit > max_arrangements) break;
+      }
+      if (orbit > max_arrangements) break;
+      if (group.size() > 1) groups.push_back(std::move(group));
+    }
+    if (orbit <= max_arrangements) {
+      for (const std::vector<std::size_t>& group : groups) {
+        std::vector<std::size_t> order(group.begin(), group.end());
+        const std::size_t fixed = arrangements.size();
+        // Compose every non-identity ordering of this group with every
+        // arrangement accumulated so far.
+        while (std::next_permutation(order.begin(), order.end())) {
+          for (std::size_t a = 0; a < fixed; ++a) {
+            std::vector<std::size_t> perm = arrangements[a];
+            for (std::size_t g = 0; g < group.size(); ++g) {
+              perm[group[g]] = arrangements[a][order[g]];
+            }
+            arrangements.push_back(std::move(perm));
+          }
+        }
+        std::sort(order.begin(), order.end());  // restore for reuse
+      }
+    }
+  }
+
+  std::vector<Int> best;
+  std::vector<VecI> rows(m, VecI(n, 0));
+  for (const std::vector<std::size_t>& perm : arrangements) {
+    for (std::size_t r = 0; r < m; ++r) {
+      VecI& row = rows[r];
+      for (std::size_t c = 0; c < n; ++c) row[c] = space(r, perm[c]);
+      // Sign-normalize: first nonzero entry positive.
+      for (std::size_t c = 0; c < n; ++c) {
+        if (row[c] == 0) continue;
+        if (row[c] < 0) {
+          for (std::size_t d = c; d < n; ++d) {
+            row[d] = exact::neg_checked(row[d]);
+          }
+        }
+        break;
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    std::vector<Int> flat;
+    flat.reserve(m * n);
+    for (const VecI& row : rows) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    if (best.empty() || flat < best) best = std::move(flat);
+  }
+
+  ConflictKey key;
+  key.kind = ConflictKey::Kind::kSpaceOrbit;
+  key.oracle_tag = 0;
+  key.n = static_cast<std::uint32_t>(n);
+  key.k = static_cast<std::uint32_t>(m);
+  key.payload.reserve(set.dimension() + best.size());
+  detail::append_extents(set, key.payload);
+  key.payload.insert(key.payload.end(), best.begin(), best.end());
   return key;
 }
 

@@ -1,19 +1,32 @@
 #include "search/space_optimal.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "core/mapper.hpp"
 #include "exact/checked.hpp"
 #include "lattice/kernel.hpp"
 #include "linalg/ops.hpp"
+#include "mapping/canonical_key.hpp"
 #include "search/fixed_space.hpp"
+#include "search/thread_pool.hpp"
 #include "search/verdict_cache.hpp"
+#include "support/flat_image_set.hpp"
 
 namespace sysmap::search {
 
 namespace {
+
+constexpr Int kNoIncumbent = std::numeric_limits<Int>::max();
+constexpr std::size_t kChunk = 16;
+/// Below this many index points the kernel-lattice injectivity test costs
+/// more than the packed walk it would replace.
+constexpr std::uint64_t kInjectivityMinPoints = 4096;
 
 // All candidate rows: nonzero vectors in [-max_entry, max_entry]^n with
 // positive first nonzero entry (a row and its negation give mirrored
@@ -21,7 +34,9 @@ namespace {
 // processor count).
 std::vector<VecI> candidate_rows(std::size_t n, Int max_entry) {
   std::vector<VecI> rows;
-  VecI v(n, -max_entry);
+  if (max_entry <= 0) return rows;
+  const Int low = exact::neg_checked(max_entry);
+  VecI v(n, low);
   for (;;) {
     bool nonzero = false;
     for (Int x : v) {
@@ -46,61 +61,22 @@ std::vector<VecI> candidate_rows(std::size_t n, Int max_entry) {
         ++v[i];
         break;
       }
-      v[i] = -max_entry;
+      v[i] = low;
     }
     if (i == n) break;
   }
   return rows;
 }
 
-void build_spaces(const std::vector<VecI>& rows, std::size_t dims,
-                  std::size_t start, MatI& current, std::size_t filled,
-                  std::vector<MatI>& out) {
-  if (filled == dims) {
-    if (linalg::rank(to_bigint(current)) == dims) out.push_back(current);
-    return;
-  }
-  for (std::size_t i = start; i < rows.size(); ++i) {
-    for (std::size_t c = 0; c < current.cols(); ++c) {
-      current(filled, c) = rows[i][c];
-    }
-    build_spaces(rows, dims, i + 1, current, filled + 1, out);
-  }
-}
-
-}  // namespace
-
-std::vector<MatI> candidate_spaces(std::size_t n,
-                                   const SpaceSearchOptions& options) {
-  std::vector<VecI> rows = candidate_rows(n, options.max_entry);
-  std::vector<MatI> out;
-  MatI current(options.array_dims, n);
-  build_spaces(rows, options.array_dims, 0, current, 0, out);
-  return out;
-}
-
-ArrayCost evaluate_array_cost(const model::UniformDependenceAlgorithm& algo,
-                              const MatI& space) {
-  ArrayCost cost;
-  std::set<VecI> processors;
-  algo.index_set().for_each(
-      [&](const VecI& j) { processors.insert(space * j); });
-  cost.processors = static_cast<Int>(processors.size());
-  const MatI displacement = space * algo.dependence_matrix();
-  for (std::size_t c = 0; c < displacement.cols(); ++c) {
-    for (std::size_t r = 0; r < displacement.rows(); ++r) {
-      cost.wire_length = exact::add_checked(
-          cost.wire_length, exact::abs_checked(displacement(r, c)));
-    }
-  }
-  return cost;
-}
-
-SpaceSearchResult space_optimal_mapping(
-    const model::UniformDependenceAlgorithm& algo, const VecI& pi,
-    const SpaceSearchOptions& options) {
-  const std::size_t n = algo.dimension();
-  if (pi.size() != n) {
+// Shared input validation: Pi must have width n and respect Pi D > 0, and
+// the index set must fit the enumeration budget.  The budget comparison is
+// carried out in unsigned 64-bit; an index set whose size does not even
+// fit int64 is over budget for every representable budget (the processor
+// count is an Int).
+void validate_problem61_inputs(const model::UniformDependenceAlgorithm& algo,
+                               const VecI& pi,
+                               const SpaceSearchOptions& options) {
+  if (pi.size() != algo.dimension()) {
     throw std::invalid_argument("space_optimal_mapping: Pi width");
   }
   schedule::LinearSchedule sched(pi);
@@ -108,11 +84,443 @@ SpaceSearchResult space_optimal_mapping(
     throw std::invalid_argument(
         "space_optimal_mapping: Pi violates Pi D > 0");
   }
-  if (algo.index_set().size() >
-      exact::BigInt(static_cast<Int>(options.enumeration_budget))) {
+  bool over_budget = false;
+  try {
+    over_budget = algo.index_set().size_u64() > options.enumeration_budget;
+  } catch (const exact::OverflowError&) {
+    over_budget = true;
+  }
+  if (over_budget) {
     throw std::invalid_argument(
         "space_optimal_mapping: index set exceeds enumeration budget");
   }
+}
+
+// BigInt restart for the wire-length sum: recomputes sum_i L1(S d_i) in
+// arbitrary precision and narrows, so callers only see OverflowError when
+// the TRUE total does not fit int64 (all terms are nonnegative, so an
+// intermediate int64 overflow implies the final value overflows too).
+Int wire_length_bigint(const MatI& space, const MatI& dependence) {
+  exact::BigInt acc(0);
+  for (std::size_t c = 0; c < dependence.cols(); ++c) {
+    for (std::size_t r = 0; r < space.rows(); ++r) {
+      exact::BigInt dot(0);
+      for (std::size_t j = 0; j < space.cols(); ++j) {
+        dot += exact::BigInt(space(r, j)) * exact::BigInt(dependence(j, c));
+      }
+      acc += dot.abs();
+    }
+  }
+  return acc.to_int64();
+}
+
+// SYSMAP_RAW_FASTPATH(fallback: wire_length_bigint)
+// Fused displacement product + L1 accumulation for the wire-length term,
+// one __builtin overflow check per operation; any overflow restarts the
+// whole sum through the BigInt path above.  (The seed computed the
+// displacement matrix with unchecked operator* -- this path also closes
+// that latent overflow hole.)
+Int wire_length_sum(const MatI& space, const MatI& dependence) {
+  Int acc = 0;
+  for (std::size_t c = 0; c < dependence.cols(); ++c) {
+    for (std::size_t r = 0; r < space.rows(); ++r) {
+      Int dot = 0;
+      for (std::size_t j = 0; j < space.cols(); ++j) {
+        Int term = 0;
+        if (__builtin_mul_overflow(space(r, j), dependence(j, c), &term) ||
+            __builtin_add_overflow(dot, term, &dot)) {
+          return wire_length_bigint(space, dependence);
+        }
+      }
+      if (dot == std::numeric_limits<Int>::min()) {
+        return wire_length_bigint(space, dependence);
+      }
+      const Int mag = dot < 0 ? -dot : dot;
+      if (__builtin_add_overflow(acc, mag, &acc)) {
+        return wire_length_bigint(space, dependence);
+      }
+    }
+  }
+  return acc;
+}
+
+// SYSMAP_RAW_FASTPATH(bounded: every sum that could overflow is guarded by
+// a __builtin overflow check whose trip SATURATES the bound -- a saturated
+// lower bound is still a valid lower bound, never an unsound one)
+//
+// Per-row processor lower bound.  Walking the box along a Hamiltonian
+// snake path changes each image coordinate by at most amax_r =
+// max_j |s_rj| per step, so row r's image is amax_r-dense in
+// [min_r, max_r]: the row alone already has at least
+// ceil(range_r / amax_r) + 1 distinct values, and the full image has at
+// least max_r of these (a projection cannot have more points than its
+// source).  Used to prune candidates whose wire + bound already exceeds
+// the incumbent strictly.
+Int processor_lower_bound(const MatI& space, const model::IndexSet& set) {
+  Int best = 1;
+  for (std::size_t r = 0; r < space.rows(); ++r) {
+    Int lo = 0;
+    Int hi = 0;
+    Int amax = 0;
+    bool ok = true;
+    for (std::size_t j = 0; j < space.cols() && ok; ++j) {
+      const Int s = space(r, j);
+      if (s == std::numeric_limits<Int>::min()) {
+        ok = false;
+        break;
+      }
+      const Int mag = s < 0 ? -s : s;
+      if (mag > amax) amax = mag;
+      Int term = 0;
+      if (__builtin_mul_overflow(s, set.mu(j), &term)) {
+        ok = false;
+        break;
+      }
+      if (s < 0) {
+        ok = __builtin_add_overflow(lo, term, &lo) ? false : ok;
+      } else if (s > 0) {
+        ok = __builtin_add_overflow(hi, term, &hi) ? false : ok;
+      }
+    }
+    if (!ok || amax == 0) continue;
+    Int range = 0;
+    if (__builtin_sub_overflow(hi, lo, &range)) continue;
+    const Int q = range / amax;
+    Int bound = 0;
+    if (__builtin_add_overflow(q, range % amax != 0 ? Int{2} : Int{1},
+                               &bound)) {
+      bound = std::numeric_limits<Int>::max();
+    }
+    if (bound > best) best = bound;
+  }
+  return best;
+}
+
+// SYSMAP_RAW_FASTPATH(bounded: a + b of two nonnegative cost terms; the
+// overflow branch reports "exceeds" which is exact for nonnegative terms)
+bool exceeds_strictly(Int a, Int b, Int bound) {
+  Int sum = 0;
+  if (__builtin_add_overflow(a, b, &sum)) return true;
+  return sum > bound;
+}
+
+// std::set reference walk (the seed's processor counter).
+Int count_images_generic(const model::IndexSet& set, const MatI& space) {
+  std::set<VecI> images;
+  set.for_each([&](const VecI& j) { images.insert(space * j); });
+  return static_cast<Int>(images.size());
+}
+
+// SYSMAP_RAW_FASTPATH(bounded: all image-key arithmetic is uint64 modulo
+// 2^64 by design -- the packed keys are exact values below
+// packing.product, so wrapping sums of packed deltas land on the exact
+// packed key; see support/flat_image_set.hpp for the argument)
+//
+// Incremental packed-image walk: odometer over the box in axis order,
+// where stepping axis i adds column i of S to the image point -- and,
+// because packing is linear, adds ONE precomputed uint64 delta to the
+// packed key.  No mat-vec, no image vector, no per-point allocation.
+// Returns the exact count, or -1 when `exit_above >= 0` and the running
+// count exceeded it (the caller's incumbent bound proves the candidate
+// strictly loses, so the exact value is irrelevant).
+Int count_images_packed(const model::IndexSet& set, const MatI& space,
+                        const support::ImagePacking& packing,
+                        support::FlatImageSet& images, Int exit_above) {
+  const std::size_t n = set.dimension();
+  const std::size_t m = space.rows();
+  images.clear();
+  std::vector<std::uint64_t> step(n, 0);
+  std::vector<std::uint64_t> back(n, 0);
+  VecI col(m, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < m; ++r) col[r] = space(r, i);
+    step[i] = packing.pack_delta(col);
+    // Carrying axis i from mu_i back to 0 subtracts mu_i steps (wrapping).
+    back[i] = std::uint64_t{0} -
+              static_cast<std::uint64_t>(set.mu(i)) * step[i];
+  }
+  const VecI origin(m, 0);  // image of j = 0
+  std::uint64_t key = packing.pack(origin);
+  images.insert(key);
+  Int count = 1;
+  if (exit_above >= 0 && count > exit_above) return -1;
+  VecI v(n, 0);
+  for (;;) {
+    std::size_t i = 0;
+    while (i < n && v[i] == set.mu(i)) {
+      key += back[i];
+      v[i] = 0;
+      ++i;
+    }
+    if (i == n) break;
+    ++v[i];
+    key += step[i];
+    if (images.insert(key)) {
+      ++count;
+      if (exit_above >= 0 && count > exit_above) return -1;
+    }
+  }
+  return count;
+}
+
+// True when S is injective on the box, i.e. no nonzero integer kernel
+// vector of S lies in the difference box [-mu, mu]^n -- then the image
+// count is |J| with no enumeration at all.  False means "not proven"
+// (genuinely non-injective, kernel machinery unavailable, or over its
+// enumeration budget); callers fall back to the walk either way, so this
+// is a pure shortcut with no correctness weight.
+bool injective_on_box(const model::IndexSet& set, const MatI& space) {
+  const std::size_t n = set.dimension();
+  if (space.rows() >= n) return true;  // square full-rank candidate
+  MatZ kernel;
+  try {
+    kernel = lattice::kernel_basis(space);
+  } catch (const std::exception&) {
+    return false;
+  }
+  // A basis column already inside the difference box certifies
+  // NON-injectivity without any enumeration.
+  for (std::size_t c = 0; c < kernel.cols(); ++c) {
+    bool inside = true;
+    for (std::size_t r = 0; r < n && inside; ++r) {
+      if (kernel(r, c).abs() > exact::BigInt(set.mu(r))) inside = false;
+    }
+    if (inside) return false;
+  }
+  return mapping::decide_conflict_free_over_basis(kernel, set)
+      .conflict_free();
+}
+
+// Advisory per-worker statistics (summed after the join; deterministic in
+// the serial sweep, interleaving-dependent in the parallel one -- both
+// excluded from the bit-identical contract).
+struct SweepStats {
+  std::uint64_t orbit_hits = 0;
+  std::uint64_t bnb_pruned = 0;
+  std::uint64_t walks_early_exited = 0;
+  std::uint64_t injective_shortcuts = 0;
+};
+
+// Per-worker processor-count evaluator: orbit-cache lookup, injectivity
+// shortcut, packed incremental walk (one reused flat table), std::set
+// fallback.  Every path computes the same exact count; only speed and the
+// advisory stats differ.
+class ProcessorCounter {
+ public:
+  ProcessorCounter(const model::IndexSet& set, const SpaceSearchOptions& opt,
+                   std::uint64_t points, bool points_known,
+                   ImageCountCache* counts)
+      : set_(&set),
+        options_(&opt),
+        points_(points),
+        points_known_(points_known),
+        counts_(counts),
+        images_(points_known ? static_cast<std::size_t>(
+                                   std::min<std::uint64_t>(points, 1u << 20))
+                             : 64) {}
+
+  /// Exact |{S j}|, or nullopt when `exit_above >= 0` and the walk proved
+  /// count > exit_above (candidate strictly loses).
+  std::optional<Int> count(const MatI& space, Int exit_above,
+                           SweepStats& stats) {
+    std::optional<mapping::ConflictKey> orbit_key;
+    if (counts_ != nullptr) {
+      orbit_key = mapping::canonical_space_orbit_key(space, *set_);
+      if (std::optional<Int> hit = counts_->lookup(*orbit_key)) {
+        ++stats.orbit_hits;
+        return *hit;
+      }
+    }
+    Int exact_count = -1;
+    if (options_->use_incremental_count) {
+      const std::optional<support::ImagePacking> packing =
+          support::ImagePacking::build(space, *set_);
+      if (packing && points_known_ && points_ >= kInjectivityMinPoints &&
+          packing->product >= points_ && injective_on_box(*set_, space)) {
+        ++stats.injective_shortcuts;
+        exact_count = static_cast<Int>(points_);
+      } else if (packing) {
+        exact_count =
+            count_images_packed(*set_, space, *packing, images_, exit_above);
+        if (exact_count < 0) return std::nullopt;  // early exit: loses
+      }
+    }
+    if (exact_count < 0) exact_count = count_images_generic(*set_, space);
+    if (counts_ != nullptr) counts_->insert(*orbit_key, exact_count);
+    return exact_count;
+  }
+
+ private:
+  const model::IndexSet* set_;
+  const SpaceSearchOptions* options_;
+  std::uint64_t points_;
+  bool points_known_;
+  ImageCountCache* counts_;
+  support::FlatImageSet images_;
+};
+
+void atomic_fetch_min(std::atomic<Int>& target, Int value) {
+  Int cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+// A contiguous slice of the global candidate stream; `base` is the global
+// position of spaces[0].  Buffers persist across draws.
+struct SpaceChunk {
+  std::uint64_t base = 0;
+  std::size_t len = 0;
+  std::vector<MatI> spaces;
+};
+
+// The shared lazy candidate source: one SpaceEnumerator behind a mutex,
+// handing out chunks with consecutive global positions -- the exact order
+// the serial sweep visits.
+class SpaceFeed {
+ public:
+  SpaceFeed(std::size_t n, const SpaceSearchOptions& options)
+      : enumerator_(n, options) {}
+
+  bool draw(std::size_t chunk_size, SpaceChunk& out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.base = enumerator_.produced();
+    out.len = 0;
+    if (out.spaces.size() < chunk_size) out.spaces.resize(chunk_size);
+    while (out.len < chunk_size) {
+      if (!enumerator_.next(out.spaces[out.len])) break;
+      ++out.len;
+    }
+    return out.len > 0;
+  }
+
+  /// Total candidates handed out; call only after the sweep has joined.
+  std::uint64_t produced() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enumerator_.produced();
+  }
+
+ private:
+  std::mutex mu_;
+  SpaceEnumerator enumerator_;
+};
+
+// One worker's running incumbent: the lexicographic minimum of
+// (total, processors, global position) over the feasible candidates it
+// evaluated -- exactly the seed's "strictly better total, or equal total
+// with strictly fewer processors, first seen wins" update order.
+struct LocalBest {
+  bool found = false;
+  Int total = 0;
+  std::uint64_t pos = 0;
+  MatI space;
+  ArrayCost cost;
+  mapping::ConflictVerdict verdict;
+  SweepStats stats;
+
+  bool better_than(const LocalBest& other) const {
+    if (total != other.total) return total < other.total;
+    if (cost.processors != other.cost.processors) {
+      return cost.processors < other.cost.processors;
+    }
+    return pos < other.pos;
+  }
+};
+
+}  // namespace
+
+// ---- lazy candidate enumeration -------------------------------------------
+
+SpaceEnumerator::SpaceEnumerator(std::size_t n,
+                                 const SpaceSearchOptions& options)
+    : rows_(candidate_rows(n, options.max_entry)),
+      n_(n),
+      dims_(options.array_dims),
+      idx_(options.array_dims, 0) {
+  for (std::size_t p = 0; p < dims_; ++p) idx_[p] = p;
+  if (dims_ > rows_.size()) done_ = true;
+}
+
+bool SpaceEnumerator::advance_indices() {
+  // Next strictly-increasing combination in lexicographic order (the order
+  // the seed's recursive builder visits).
+  if (dims_ == 0) return false;  // the single empty combination is spent
+  std::size_t p = dims_;
+  while (p > 0) {
+    --p;
+    if (idx_[p] + 1 <= rows_.size() - (dims_ - p)) {
+      ++idx_[p];
+      for (std::size_t q = p + 1; q < dims_; ++q) idx_[q] = idx_[q - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SpaceEnumerator::next(MatI& out) {
+  if (done_) return false;
+  for (;;) {
+    if (started_) {
+      if (!advance_indices()) {
+        done_ = true;
+        return false;
+      }
+    } else {
+      started_ = true;
+    }
+    MatI candidate(dims_, n_);
+    for (std::size_t r = 0; r < dims_; ++r) {
+      for (std::size_t c = 0; c < n_; ++c) {
+        candidate(r, c) = rows_[idx_[r]][c];
+      }
+    }
+    // Rank filter identical to the seed's: rows are nonzero and primitive,
+    // so a single row always has rank 1; taller stacks get the exact
+    // BigInt rank.
+    if (dims_ > 1 &&
+        linalg::rank(to_bigint(candidate)) != dims_) {
+      continue;
+    }
+    out = std::move(candidate);
+    ++produced_;
+    return true;
+  }
+}
+
+std::vector<MatI> candidate_spaces(std::size_t n,
+                                   const SpaceSearchOptions& options) {
+  SpaceEnumerator enumerator(n, options);
+  std::vector<MatI> out;
+  MatI candidate;
+  while (enumerator.next(candidate)) out.push_back(candidate);
+  return out;
+}
+
+// ---- cost model ------------------------------------------------------------
+
+ArrayCost evaluate_array_cost(const model::UniformDependenceAlgorithm& algo,
+                              const MatI& space) {
+  ArrayCost cost;
+  cost.processors = count_images_generic(algo.index_set(), space);
+  cost.wire_length = wire_length_sum(space, algo.dependence_matrix());
+  return cost;
+}
+
+Int count_processor_images(const model::IndexSet& set, const MatI& space) {
+  const std::optional<support::ImagePacking> packing =
+      support::ImagePacking::build(space, set);
+  if (!packing) return count_images_generic(set, space);
+  support::FlatImageSet images(64);
+  return count_images_packed(set, space, *packing, images, /*exit_above=*/-1);
+}
+
+// ---- Problem 6.1: seed engine (parity oracle) ------------------------------
+
+SpaceSearchResult space_optimal_mapping_seed(
+    const model::UniformDependenceAlgorithm& algo, const VecI& pi,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  validate_problem61_inputs(algo, pi, options);
 
   SpaceSearchResult best;
   VerdictCache* cache = options.verdict_cache;
@@ -159,7 +567,147 @@ SpaceSearchResult space_optimal_mapping(
   return best;
 }
 
-DesignSpaceResult explore_design_space(
+// ---- Problem 6.1: fast engine ----------------------------------------------
+
+SpaceSearchResult space_optimal_mapping(
+    const model::UniformDependenceAlgorithm& algo, const VecI& pi,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  validate_problem61_inputs(algo, pi, options);
+  const model::IndexSet& set = algo.index_set();
+  const std::uint64_t points = set.size_u64();  // fits: budget-checked
+
+  VerdictCache* cache = options.verdict_cache;
+  std::uint64_t cache_hits0 = 0;
+  std::uint64_t cache_misses0 = 0;
+  if (cache != nullptr) {
+    const VerdictCache::Stats s = cache->stats();
+    cache_hits0 = s.hits;
+    cache_misses0 = s.misses;
+  }
+
+  ImageCountCache counts;
+  ImageCountCache* counts_ptr =
+      options.use_orbit_cache ? &counts : nullptr;
+  SpaceFeed feed(n, options);
+  std::atomic<Int> best_total{kNoIncumbent};
+  const std::size_t workers =
+      options.num_threads <= 1 ? 1 : options.num_threads;
+  std::vector<LocalBest> locals(workers);
+
+  auto body = [&](std::size_t w) {
+    LocalBest& local = locals[w];
+    ProcessorCounter counter(set, options, points, /*points_known=*/true,
+                             counts_ptr);
+    SpaceChunk chunk;
+    while (feed.draw(kChunk, chunk)) {
+      for (std::size_t i = 0; i < chunk.len; ++i) {
+        const MatI& space = chunk.spaces[i];
+        const std::uint64_t pos = chunk.base + i;
+        const Int wire = wire_length_sum(space, algo.dependence_matrix());
+
+        // Branch-and-bound gate 1: wire plus a per-row processor lower
+        // bound already beats the incumbent STRICTLY (never on ties, so
+        // the fewer-processors tie-break survives).  The bound only ever
+        // holds totals of fully verified candidates, so a pruned
+        // candidate can never be the lexicographic winner.
+        if (options.use_branch_and_bound) {
+          const Int bound = best_total.load(std::memory_order_relaxed);
+          if (bound != kNoIncumbent &&
+              exceeds_strictly(wire, processor_lower_bound(space, set),
+                               bound)) {
+            ++local.stats.bnb_pruned;
+            continue;
+          }
+        }
+
+        // Conflict screen -- branch-for-branch the seed's.
+        mapping::ConflictVerdict verdict;
+        if (cache != nullptr) {
+          FixedSpaceContext ctx(set, space);
+          std::optional<mapping::ConflictVerdict> v =
+              ctx.screen(ConflictOracle::kExact, pi, cache);
+          if (!v) continue;
+          verdict = std::move(*v);
+        } else {
+          mapping::MappingMatrix t(space, pi);
+          if (!t.has_full_rank()) continue;
+          verdict = mapping::decide_conflict_free(t, set);
+          if (!verdict.conflict_free()) continue;
+        }
+
+        // Branch-and-bound gate 2: cut the image walk once the running
+        // distinct-image count alone loses strictly.
+        Int exit_above = -1;
+        if (options.use_branch_and_bound) {
+          const Int bound = best_total.load(std::memory_order_relaxed);
+          if (bound != kNoIncumbent) {
+            exit_above =
+                bound >= wire ? exact::sub_checked(bound, wire) : Int{0};
+          }
+        }
+        const std::optional<Int> procs =
+            counter.count(space, exit_above, local.stats);
+        if (!procs) {
+          ++local.stats.walks_early_exited;
+          continue;
+        }
+        ArrayCost cost;
+        cost.processors = *procs;
+        cost.wire_length = wire;
+        const Int total = exact::add_checked(cost.processors,
+                                             cost.wire_length);
+        atomic_fetch_min(best_total, total);
+        LocalBest candidate;
+        candidate.found = true;
+        candidate.total = total;
+        candidate.pos = pos;
+        candidate.space = space;
+        candidate.cost = cost;
+        candidate.verdict = std::move(verdict);
+        if (!local.found || candidate.better_than(local)) {
+          candidate.stats = local.stats;
+          local = std::move(candidate);
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    body(0);
+  } else {
+    ThreadPool pool(workers);
+    pool.run(body);
+  }
+
+  SpaceSearchResult best;
+  best.candidates_tested = feed.produced();
+  const LocalBest* winner = nullptr;
+  for (const LocalBest& local : locals) {
+    best.orbit_hits += local.stats.orbit_hits;
+    best.bnb_pruned += local.stats.bnb_pruned;
+    best.walks_early_exited += local.stats.walks_early_exited;
+    best.injective_shortcuts += local.stats.injective_shortcuts;
+    if (!local.found) continue;
+    if (winner == nullptr || local.better_than(*winner)) winner = &local;
+  }
+  if (winner != nullptr) {
+    best.found = true;
+    best.space = winner->space;
+    best.cost = winner->cost;
+    best.verdict = winner->verdict;
+  }
+  if (cache != nullptr) {
+    const VerdictCache::Stats s = cache->stats();
+    best.cache_hits = s.hits - cache_hits0;
+    best.cache_misses = s.misses - cache_misses0;
+  }
+  return best;
+}
+
+// ---- Problem 6.2: seed engine (parity oracle) ------------------------------
+
+DesignSpaceResult explore_design_space_seed(
     const model::UniformDependenceAlgorithm& algo,
     const SpaceSearchOptions& options) {
   const std::size_t n = algo.dimension();
@@ -196,6 +744,105 @@ DesignSpaceResult explore_design_space(
   for (auto& p : points) {
     if (first || p.cost.total() < best_cost) {
       // Skip duplicates at identical (makespan, cost).
+      if (!result.pareto.empty() &&
+          result.pareto.back().makespan == p.makespan &&
+          result.pareto.back().cost.total() == p.cost.total()) {
+        continue;
+      }
+      best_cost = p.cost.total();
+      first = false;
+      result.pareto.push_back(std::move(p));
+    }
+  }
+  return result;
+}
+
+// ---- Problem 6.2: fast engine ----------------------------------------------
+
+DesignSpaceResult explore_design_space(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  const model::IndexSet& set = algo.index_set();
+  std::uint64_t points_count = 0;
+  bool points_known = true;
+  try {
+    points_count = set.size_u64();
+  } catch (const exact::OverflowError&) {
+    points_known = false;  // disables the injectivity compare only
+  }
+
+  ImageCountCache counts;
+  ImageCountCache* counts_ptr =
+      options.use_orbit_cache ? &counts : nullptr;
+  SpaceFeed feed(n, options);
+  const std::size_t workers =
+      options.num_threads <= 1 ? 1 : options.num_threads;
+  const core::Mapper mapper;  // stateless; shared across workers
+  std::vector<std::vector<std::pair<std::uint64_t, DesignPoint>>> accepted(
+      workers);
+
+  auto body = [&](std::size_t w) {
+    ProcessorCounter counter(set, options, points_count, points_known,
+                             counts_ptr);
+    SpaceChunk chunk;
+    while (feed.draw(kChunk, chunk)) {
+      for (std::size_t i = 0; i < chunk.len; ++i) {
+        const MatI& space = chunk.spaces[i];
+        core::MappingSolution solution;
+        try {
+          solution = mapper.find_time_optimal(algo, space);
+        } catch (const std::exception&) {
+          continue;  // defensive: skip degenerate candidates
+        }
+        if (!solution.found) continue;
+        SweepStats scratch;
+        DesignPoint point;
+        point.space = space;
+        point.pi = solution.pi;
+        point.makespan = solution.makespan;
+        point.cost.processors =
+            *counter.count(space, /*exit_above=*/-1, scratch);
+        point.cost.wire_length =
+            wire_length_sum(space, algo.dependence_matrix());
+        accepted[w].emplace_back(chunk.base + i, std::move(point));
+      }
+    }
+  };
+
+  if (workers == 1) {
+    body(0);
+  } else {
+    ThreadPool pool(workers);
+    pool.run(body);
+  }
+
+  DesignSpaceResult result;
+  result.spaces_tested = feed.produced();
+  std::vector<std::pair<std::uint64_t, DesignPoint>> merged;
+  for (auto& worker_points : accepted) {
+    for (auto& entry : worker_points) merged.push_back(std::move(entry));
+  }
+  // Restore the serial visit order before the (unstable) Pareto sort so
+  // the sort sees the exact input sequence the seed engine feeds it --
+  // that, not stability, is what makes tied orderings bit-identical.
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  result.feasible_spaces = merged.size();
+  std::vector<DesignPoint> points;
+  points.reserve(merged.size());
+  for (auto& entry : merged) points.push_back(std::move(entry.second));
+
+  // Pareto filter on (makespan, cost.total()) -- verbatim the seed's.
+  std::sort(points.begin(), points.end(),
+            [](const DesignPoint& a, const DesignPoint& b) {
+              if (a.makespan != b.makespan) return a.makespan < b.makespan;
+              return a.cost.total() < b.cost.total();
+            });
+  Int best_cost = 0;
+  bool first = true;
+  for (auto& p : points) {
+    if (first || p.cost.total() < best_cost) {
       if (!result.pareto.empty() &&
           result.pareto.back().makespan == p.makespan &&
           result.pareto.back().cost.total() == p.cost.total()) {

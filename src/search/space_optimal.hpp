@@ -15,6 +15,20 @@
 // Candidate S matrices enumerate all (k-1) x n integer matrices with
 // entries in [-max_entry, max_entry], full row rank, first nonzero of each
 // row positive (projective dedup), rows pairwise non-parallel.
+//
+// ENGINES.  space_optimal_mapping / explore_design_space run the fast
+// engine: lazy candidate enumeration (SpaceEnumerator), incremental
+// packed-image counting (support/flat_image_set.hpp), a closed-form
+// injectivity shortcut via the kernel lattice, orbit-canonical processor
+// count reuse (mapping::canonical_space_orbit_key), wire-first
+// branch-and-bound pruning and an optional deterministic parallel sweep.
+// space_optimal_mapping_seed / explore_design_space_seed preserve the
+// original serial std::set engines verbatim.  The two are BIT-IDENTICAL
+// in (found, space, cost, verdict, candidates_tested) respectively
+// (pareto, spaces_tested, feasible_spaces) for every option combination
+// and thread count -- tests/space_search_test.cpp holds the pair equal
+// case by case.  Only the advisory counters (cache/orbit/prune stats) may
+// differ between engines, modes and interleavings.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +47,9 @@ struct SpaceSearchOptions {
   Int max_entry = 1;            ///< |s_ij| bound for candidate rows
   std::size_t array_dims = 1;   ///< k - 1
   /// Skip candidates whose processor count cannot be evaluated within this
-  /// many index points (guards |J| blowup; boxes here are small).
+  /// many index points (guards |J| blowup; boxes here are small).  The
+  /// comparison happens in unsigned 64-bit; index sets whose size does not
+  /// fit int64 are over budget for every representable budget value.
   std::uint64_t enumeration_budget = 2'000'000;
   /// Optional canonical-form verdict cache (search/verdict_cache.hpp).
   /// The Problem 6.1 sweep holds Pi fixed and varies S, so distinct
@@ -41,6 +57,25 @@ struct SpaceSearchOptions {
   /// permuted rows) -- exactly the cross-S reuse the cache keys capture.
   /// Results stay bit-identical; only the counters below observe it.
   VerdictCache* verdict_cache = nullptr;
+
+  /// Workers for the candidate sweep; <= 1 runs the sweep inline on the
+  /// caller thread.  Results are bit-identical for every thread count:
+  /// the parallel reduction reproduces the serial incumbent order.
+  std::size_t num_threads = 1;
+  /// Count processors by the incremental packed-image walk (plus the
+  /// kernel-lattice injectivity shortcut) instead of the std::set walk.
+  /// Both are exact; this is purely a speed switch for benchmarking.
+  bool use_incremental_count = true;
+  /// Reuse processor counts across candidates in the same cost orbit
+  /// (mapping::canonical_space_orbit_key).  Exact by the orbit-invariance
+  /// argument documented there.
+  bool use_orbit_cache = true;
+  /// Wire-first branch-and-bound: skip candidates whose wire length plus
+  /// a per-row processor lower bound already exceeds the incumbent total
+  /// strictly, and cut image walks short once the running count alone
+  /// loses strictly.  Never fires on ties, so the seed tie-break order
+  /// (fewer processors at equal total, then first-seen) is preserved.
+  bool use_branch_and_bound = true;
 };
 
 struct ArrayCost {
@@ -59,11 +94,29 @@ struct SpaceSearchResult {
   /// zero when no cache was supplied.
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Advisory fast-engine statistics, EXCLUDED from the bit-identical
+  /// contract (they depend on mode flags and parallel interleaving):
+  /// processor counts served by the orbit cache, candidates skipped by the
+  /// wire+lower-bound prune, image walks cut short by the incumbent bound,
+  /// and processor counts decided by the closed-form injectivity test.
+  std::uint64_t orbit_hits = 0;
+  std::uint64_t bnb_pruned = 0;
+  std::uint64_t walks_early_exited = 0;
+  std::uint64_t injective_shortcuts = 0;
 };
 
 /// Problem 6.1: best S for a fixed Pi.  Minimizes processors + wire among
-/// conflict-free full-rank T = [S; Pi].
+/// conflict-free full-rank T = [S; Pi].  Fast engine; bit-identical to
+/// space_optimal_mapping_seed in (found, space, cost, verdict,
+/// candidates_tested).
 SpaceSearchResult space_optimal_mapping(
+    const model::UniformDependenceAlgorithm& algo, const VecI& pi,
+    const SpaceSearchOptions& options = {});
+
+/// The original serial engine, preserved verbatim as the parity oracle
+/// for tests and the "seed" bench mode.  Ignores the fast-engine option
+/// flags (num_threads, use_*).
+SpaceSearchResult space_optimal_mapping_seed(
     const model::UniformDependenceAlgorithm& algo, const VecI& pi,
     const SpaceSearchOptions& options = {});
 
@@ -85,16 +138,73 @@ struct DesignSpaceResult {
 
 /// Problem 6.2: sweep candidate S, find each one's time-optimal
 /// conflict-free Pi (Procedure 5.1 / ILP via the Mapper), and keep the
-/// Pareto frontier of (makespan, array cost).
+/// Pareto frontier of (makespan, array cost).  Fast engine (parallel
+/// sweep + fast cost evaluation); bit-identical to
+/// explore_design_space_seed.
 DesignSpaceResult explore_design_space(
     const model::UniformDependenceAlgorithm& algo,
     const SpaceSearchOptions& options = {});
 
+/// The original serial Problem 6.2 engine, preserved as parity oracle.
+DesignSpaceResult explore_design_space_seed(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options = {});
+
+/// Paper-facing name for the Problem 6.2 frontier sweep.
+inline DesignSpaceResult pareto_front(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options = {}) {
+  return explore_design_space(algo, options);
+}
+
 /// Exact array cost of a given S on J (exposed for tests and benches).
+/// std::set reference walk -- the oracle the incremental counter is
+/// tested against.
 ArrayCost evaluate_array_cost(const model::UniformDependenceAlgorithm& algo,
                               const MatI& space);
 
-/// Enumerates candidate space matrices per the dedup rules above.
+/// Exact |{S j : j in J}| via the incremental packed-image walk (falls
+/// back to the reference walk when the image box does not pack into
+/// uint64).  Exposed for the randomized oracle test and the bench.
+Int count_processor_images(const model::IndexSet& set, const MatI& space);
+
+/// Lazy resumable enumerator over candidate space matrices, in the exact
+/// order candidate_spaces() returns them: combinations of the dedup'd row
+/// pool with strictly increasing pool indices (lexicographic), filtered
+/// to full row rank.  Only the row pool (O((2*max_entry+1)^n)) is ever
+/// materialized -- never the combination set, whose size is
+/// C(pool, array_dims); the parallel feed and the regression test in
+/// tests/space_search_test.cpp rely on draws staying O(pool) while the
+/// combination count is astronomically large.
+class SpaceEnumerator {
+ public:
+  SpaceEnumerator(std::size_t n, const SpaceSearchOptions& options);
+
+  /// Copies the next candidate into `out` (resized to array_dims x n) and
+  /// returns true; false once exhausted.
+  bool next(MatI& out);
+
+  bool exhausted() const { return done_; }
+  /// Candidates produced so far (rank-passing only, matching the serial
+  /// sweep's candidate count).
+  std::uint64_t produced() const { return produced_; }
+  /// Size of the materialized row pool (the only O(pool) allocation).
+  std::size_t pool_size() const { return rows_.size(); }
+
+ private:
+  bool advance_indices();
+
+  std::vector<VecI> rows_;
+  std::size_t n_ = 0;
+  std::size_t dims_ = 0;
+  std::vector<std::size_t> idx_;
+  bool started_ = false;
+  bool done_ = false;
+  std::uint64_t produced_ = 0;
+};
+
+/// Enumerates candidate space matrices per the dedup rules above
+/// (materialized; thin wrapper over SpaceEnumerator).
 std::vector<MatI> candidate_spaces(std::size_t n,
                                    const SpaceSearchOptions& options);
 

@@ -75,4 +75,53 @@ void VerdictCache::clear() {
   insertions_.store(0, std::memory_order_relaxed);
 }
 
+struct ImageCountCache::Shard {
+  mutable std::mutex mu;
+  std::unordered_map<mapping::ConflictKey, Int, mapping::ConflictKeyHash> map;
+};
+
+ImageCountCache::ImageCountCache(std::size_t shard_count)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      shards_(new Shard[shard_count == 0 ? 1 : shard_count]) {}
+
+ImageCountCache::~ImageCountCache() = default;
+
+std::size_t ImageCountCache::shard_for(
+    const mapping::ConflictKey& key) const noexcept {
+  const std::size_t h = key.hash();
+  return (h ^ (h >> 16)) % shard_count_;
+}
+
+std::optional<Int> ImageCountCache::lookup(
+    const mapping::ConflictKey& key) const {
+  Shard& shard = shards_[shard_for(key)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return std::nullopt;
+}
+
+void ImageCountCache::insert(const mapping::ConflictKey& key, Int count) {
+  Shard& shard = shards_[shard_for(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.emplace(key, count);
+}
+
+ImageCountCache::Stats ImageCountCache::stats() const {
+  Stats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mu);
+    out.entries += shards_[s].map.size();
+  }
+  return out;
+}
+
 }  // namespace sysmap::search
