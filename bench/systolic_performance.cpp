@@ -2,13 +2,37 @@
 // substrate behind FIG23 and every "clean simulation" verdict): structural
 // and value-level simulation of matmul arrays across problem sizes, plus
 // conflict-decision microbenchmarks.
+//
+// Besides the console table, every run appends JSON lines (one object per
+// benchmark, keyed case/oracle/mode with a points_per_sec rate where the
+// benchmark processes index points) to $SYSMAP_BENCH_JSON or
+// BENCH_systolic_performance.jsonl, the format tools/
+// check_bench_regression.py consumes.  SYSMAP_BENCH_SMOKE=1 keeps only
+// the smallest problem size per benchmark and trims the min time (CI
+// smoke).
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "sysmap.hpp"
 
 using namespace sysmap;
 
 namespace {
+
+const bool kSmoke = std::getenv("SYSMAP_BENCH_SMOKE") != nullptr;
+
+void points_rate(benchmark::State& state, std::uint64_t points_per_iter) {
+  const double total =
+      static_cast<double>(state.iterations()) *
+      static_cast<double>(points_per_iter);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["points_per_sec"] =
+      benchmark::Counter(total, benchmark::Counter::kIsRate);
+}
 
 void BM_Simulate_Matmul(benchmark::State& state) {
   const Int mu = state.range(0);
@@ -21,10 +45,36 @@ void BM_Simulate_Matmul(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
     if (!r.clean()) state.SkipWithError("unexpected conflicts");
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<std::int64_t>(algo.index_set().size_u64()));
+  points_rate(state, algo.index_set().size_u64());
 }
-BENCHMARK(BM_Simulate_Matmul)->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+BENCHMARK(BM_Simulate_Matmul)->Apply([](benchmark::internal::Benchmark* b) {
+  if (kSmoke) {
+    b->Arg(4);
+  } else {
+    b->Arg(4)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+  }
+});
+
+void BM_Simulate_Matmul_Seed(benchmark::State& state) {
+  const Int mu = state.range(0);
+  model::UniformDependenceAlgorithm algo = model::matmul(mu);
+  mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{2, 1, mu - 1});
+  systolic::ArrayDesign design = systolic::design_dedicated_array(algo, t);
+  for (auto _ : state) {
+    systolic::SimulationReport r = systolic::simulate_seed(algo, design);
+    benchmark::DoNotOptimize(r);
+    if (!r.clean()) state.SkipWithError("unexpected conflicts");
+  }
+  points_rate(state, algo.index_set().size_u64());
+}
+BENCHMARK(BM_Simulate_Matmul_Seed)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      if (kSmoke) {
+        b->Arg(4);
+      } else {
+        b->Arg(4)->Arg(16)->Arg(32);
+      }
+    });
 
 void BM_Simulate_MatmulValues(benchmark::State& state) {
   const Int mu = state.range(0);
@@ -44,11 +94,16 @@ void BM_Simulate_MatmulValues(benchmark::State& state) {
     benchmark::DoNotOptimize(r);
     if (!r.values_match) state.SkipWithError("value mismatch");
   }
-  state.SetItemsProcessed(
-      state.iterations() *
-      static_cast<std::int64_t>(sem.structure.index_set().size_u64()));
+  points_rate(state, sem.structure.index_set().size_u64());
 }
-BENCHMARK(BM_Simulate_MatmulValues)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+BENCHMARK(BM_Simulate_MatmulValues)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      if (kSmoke) {
+        b->Arg(4);
+      } else {
+        b->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+      }
+    });
 
 void BM_Decide_ConflictFree(benchmark::State& state) {
   const Int mu = state.range(0);
@@ -59,20 +114,32 @@ void BM_Decide_ConflictFree(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
 }
-BENCHMARK(BM_Decide_ConflictFree)->Arg(4)->Arg(32)->Arg(256)->Arg(4096);
+BENCHMARK(BM_Decide_ConflictFree)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      if (kSmoke) {
+        b->Arg(4);
+      } else {
+        b->Arg(4)->Arg(32)->Arg(256)->Arg(4096);
+      }
+    });
 
 void BM_Decide_BruteForce(benchmark::State& state) {
   const Int mu = state.range(0);
   model::IndexSet set = model::IndexSet::cube(3, mu);
-  model::UniformDependenceAlgorithm algo = model::matmul(mu);
   mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{2, 1, mu - 1});
   for (auto _ : state) {
     mapping::ConflictVerdict v = baseline::brute_force_conflicts(t, set);
     benchmark::DoNotOptimize(v);
   }
-  (void)algo;
 }
-BENCHMARK(BM_Decide_BruteForce)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_Decide_BruteForce)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      if (kSmoke) {
+        b->Arg(4);
+      } else {
+        b->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+      }
+    });
 
 void BM_Decide_5D_SignPattern(benchmark::State& state) {
   const Int mu = state.range(0);
@@ -88,8 +155,58 @@ void BM_Decide_5D_SignPattern(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
 }
-BENCHMARK(BM_Decide_5D_SignPattern)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_Decide_5D_SignPattern)
+    ->Apply([](benchmark::internal::Benchmark* b) {
+      if (kSmoke) {
+        b->Arg(2);
+      } else {
+        b->Arg(2)->Arg(4)->Arg(8);
+      }
+    });
+
+// Console table plus JSON lines in the regression-gate row format: the
+// benchmark name doubles as the case key, oracle/mode are fixed tags so
+// (case, oracle, mode) matches across runs.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesReporter(const std::string& path) : out_(path) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      out_ << "{\"case\":\"" << run.benchmark_name() << "\""
+           << ",\"oracle\":\"sim\",\"mode\":\"gbench\""
+           << ",\"iterations\":" << run.iterations
+           << ",\"real_time_ns\":" << run.GetAdjustedRealTime()
+           << ",\"cpu_time_ns\":" << run.GetAdjustedCPUTime();
+      for (const auto& [counter_name, counter] : run.counters) {
+        out_ << ",\"" << counter_name << "\":" << counter.value;
+      }
+      out_ << "}\n";
+    }
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // In smoke mode trim the per-benchmark min time as well as the arg
+  // sweeps; an explicit --benchmark_min_time on the command line wins
+  // because later flags override earlier ones.
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.02";
+  if (kSmoke) args.insert(args.begin() + 1, min_time.data());
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  const char* path = std::getenv("SYSMAP_BENCH_JSON");
+  JsonLinesReporter reporter(path ? path : "BENCH_systolic_performance.jsonl");
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,120 +3,27 @@
 //
 // The expensive half of the array-cost model is processors = |{S j : j in
 // J}|.  The seed counted it with a std::set<VecI>, paying one heap-allocating
-// mat-vec plus one tree insert per index point.  The image of the box under
-// one row s_r of S is confined to the interval [min_r, max_r] with
-//   min_r = sum_j min(0, s_rj) * mu_j,   max_r = sum_j max(0, s_rj) * mu_j,
-// so the whole image embeds into the mixed-radix box prod_r (range_r + 1)
-// and -- whenever that product fits in uint64 -- every image point packs
-// into ONE machine word:
-//   key(y) = sum_r (y_r - min_r) * stride_r,  stride_r = prod_{r'<r} (range_{r'}+1).
-// Crucially the packing is LINEAR in y, so the incremental walk of
-// space_optimal.cpp (S(j + e_i) = S j + s_i) updates the packed key with a
-// single wrapping uint64 add per index point and never materializes y at
-// all.  The set itself is a power-of-two open-addressing table with linear
-// probing and Fibonacci hashing: one cache line per probe, no allocation
-// per insert, ~20-50x cheaper than the std::set path it replaces
+// mat-vec plus one tree insert per index point.  The mixed-radix uint64
+// packing that makes the flat walk possible lives in support/packed_coord.hpp
+// (ImagePacking) -- it is shared with the systolic execution engine, which
+// packs PE and wire coordinates the same way.  Crucially the packing is
+// LINEAR in y, so the incremental walk of space_optimal.cpp
+// (S(j + e_i) = S j + s_i) updates the packed key with a single wrapping
+// uint64 add per index point and never materializes y at all.  The set
+// itself is a power-of-two open-addressing table with linear probing and
+// Fibonacci hashing: one cache line per probe, no allocation per insert,
+// ~20-50x cheaper than the std::set path it replaces
 // (tests/space_search_test.cpp holds the two counts equal on random
 // space/box pairs).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
-#include "exact/checked.hpp"
-#include "linalg/matrix.hpp"
-#include "linalg/types.hpp"
-#include "model/index_set.hpp"
+#include "support/packed_coord.hpp"
 
 namespace sysmap::support {
-
-/// Mixed-radix packing of the image box of S over an index set.  Builders
-/// return nullopt when a bound or the radix product leaves uint64 range;
-/// callers then fall back to counting un-packed image vectors.
-struct ImagePacking {
-  /// Per-row image minimum min_r (the packing subtracts it).
-  VecI row_min;
-  /// Per-row radix range_r + 1 = max_r - min_r + 1.
-  std::vector<std::uint64_t> radix;
-  /// Per-row stride, stride_0 = 1, stride_r = stride_{r-1} * radix_{r-1}.
-  std::vector<std::uint64_t> stride;
-  /// prod_r radix_r; every packed key is < product <= UINT64_MAX, so
-  /// UINT64_MAX itself is free to serve as the table's empty sentinel.
-  std::uint64_t product = 1;
-
-  /// Packs one image vector.  Precondition: y is inside the image box.
-  std::uint64_t pack(const VecI& y) const noexcept {
-    // SYSMAP_RAW_FASTPATH(bounded: y_r lies in [min_r, max_r] by the
-    // builder's definition of the image box, so y_r - min_r < radix_r and
-    // the mixed-radix accumulation stays below `product`, which fits u64)
-    std::uint64_t key = 0;
-    for (std::size_t r = 0; r < radix.size(); ++r) {
-      key += static_cast<std::uint64_t>(y[r] - row_min[r]) * stride[r];
-    }
-    return key;
-  }
-
-  /// The packed-key increment of an image-space step `delta` (the linearity
-  /// of pack(): pack(y + delta) = pack(y) + pack_delta(delta) mod 2^64).
-  std::uint64_t pack_delta(const VecI& delta) const noexcept {
-    // SYSMAP_RAW_FASTPATH(bounded: computed modulo 2^64 on purpose -- both
-    // packed keys are exact values below `product`, so their wrapping
-    // difference is the exact wrapping increment)
-    std::uint64_t key = 0;
-    for (std::size_t r = 0; r < radix.size(); ++r) {
-      key += static_cast<std::uint64_t>(delta[r]) * stride[r];
-    }
-    return key;
-  }
-
-  /// Builds the packing for `space` over `set`: per-row image bounds from
-  /// the signed parts of each row, checked arithmetic throughout.  Returns
-  /// nullopt when any bound or the radix product does not fit.
-  static std::optional<ImagePacking> build(const MatI& space,
-                                           const model::IndexSet& set) {
-    const std::size_t m = space.rows();
-    const std::size_t n = space.cols();
-    if (n != set.dimension()) return std::nullopt;
-    ImagePacking p;
-    p.row_min.resize(m);
-    p.radix.resize(m);
-    p.stride.resize(m);
-    p.product = 1;
-    try {
-      for (std::size_t r = 0; r < m; ++r) {
-        Int lo = 0;
-        Int hi = 0;
-        for (std::size_t j = 0; j < n; ++j) {
-          const Int s = space(r, j);
-          const Int term = exact::mul_checked(s, set.mu(j));
-          if (s < 0) {
-            lo = exact::add_checked(lo, term);
-          } else if (s > 0) {
-            hi = exact::add_checked(hi, term);
-          }
-        }
-        p.row_min[r] = lo;
-        const std::uint64_t range =
-            static_cast<std::uint64_t>(exact::sub_checked(hi, lo));
-        if (range == UINT64_MAX) return std::nullopt;  // radix would wrap
-        p.radix[r] = range + 1;
-        p.stride[r] = p.product;
-        // u64 product with overflow detection (the packing must be a
-        // bijection into [0, product)).
-        std::uint64_t next = 0;
-        if (__builtin_mul_overflow(p.product, p.radix[r], &next)) {
-          return std::nullopt;
-        }
-        p.product = next;
-      }
-    } catch (const exact::OverflowError&) {
-      return std::nullopt;
-    }
-    return p;
-  }
-};
 
 /// Open-addressing hash set of uint64 keys (linear probing, power-of-two
 /// capacity, Fibonacci hashing).  Keys must never equal UINT64_MAX (the

@@ -1,3 +1,13 @@
+// Seed simulator and public entry points.  The original sort-and-map
+// implementation lives here verbatim as simulate_seed (the parity oracle
+// and the flat engine's fallback); the high-throughput engine itself is in
+// systolic/engine.cpp.  The only changes to the seed since PR 0 are the
+// event-total counters of SimulationReport (the stored event lists were
+// capped at kMaxEvents while summary() printed their size as if it were
+// the total -- the totals now keep counting past the cap) and the hoisting
+// of the per-computation VecI scratch allocations out of the link and
+// value loops (they allocated m * |J| times); neither changes any reported
+// value.
 #include "systolic/simulator.hpp"
 
 #include <algorithm>
@@ -44,9 +54,18 @@ std::vector<std::size_t> hop_sequence(const MatI& k, std::size_t dep) {
   return hops;
 }
 
-SimulationReport simulate_impl(const model::UniformDependenceAlgorithm& algo,
-                               const ArrayDesign& design,
-                               const model::SemanticAlgorithm* semantic) {
+}  // namespace
+
+namespace detail {
+
+// SYSMAP_RAW_FASTPATH(bounded: every time value is a schedule product
+// Pi j over the enumeration-bounded box J, and the +-1 / +-h adjustments
+// move it by at most the total hop count of one dependence, so all cycle
+// arithmetic stays far inside int64 for any index set whose size fits the
+// simulator's uint64 point count; level/usage counters are bounded by |J|)
+SimulationReport simulate_seed_impl(
+    const model::UniformDependenceAlgorithm& algo, const ArrayDesign& design,
+    const model::SemanticAlgorithm* semantic) {
   const model::IndexSet& set = algo.index_set();
   const MatI& d = algo.dependence_matrix();
   const std::size_t n = set.dimension();
@@ -62,13 +81,20 @@ SimulationReport simulate_impl(const model::UniformDependenceAlgorithm& algo,
     report.makespan = report.last_cycle - report.first_cycle + 1;
   }
 
+  // Reusable per-computation scratch (hoisted out of the loops below; the
+  // seed allocated a fresh VecI per operand).
+  VecI src(n);
+
   // -- computational conflicts ------------------------------------------
   {
     std::map<std::pair<VecI, Int>, const Computation*> seen;
     for (const Computation& c : computations) {
       auto [it, inserted] = seen.emplace(std::make_pair(c.pe, c.time), &c);
-      if (!inserted && report.conflicts.size() < kMaxEvents) {
-        report.conflicts.push_back({it->second->j, c.j, c.pe, c.time});
+      if (!inserted) {
+        ++report.total_conflicts;
+        if (report.conflicts.size() < kMaxEvents) {
+          report.conflicts.push_back({it->second->j, c.j, c.pe, c.time});
+        }
       }
     }
   }
@@ -85,7 +111,6 @@ SimulationReport simulate_impl(const model::UniformDependenceAlgorithm& algo,
 
     for (const Computation& c : computations) {
       for (std::size_t i = 0; i < m; ++i) {
-        VecI src(n);
         for (std::size_t r = 0; r < n; ++r) src[r] = c.j[r] - d(r, i);
         if (!set.contains(src)) continue;  // boundary input, no on-array hop
         Int t0 = design.t.time(src);
@@ -106,8 +131,11 @@ SimulationReport simulate_impl(const model::UniformDependenceAlgorithm& algo,
           Int cycle = t1 - h + 1 + hop;
           int& usage = wires[{pos, prim, i, cycle}];
           ++usage;
-          if (usage == 2 && report.collisions.size() < kMaxEvents) {
-            report.collisions.push_back({pos, prim, i, cycle});
+          if (usage == 2) {
+            ++report.total_collisions;
+            if (report.collisions.size() < kMaxEvents) {
+              report.collisions.push_back({pos, prim, i, cycle});
+            }
           }
           for (std::size_t r = 0; r < design.p.rows(); ++r) {
             pos[r] = exact::add_checked(pos[r], design.p(r, prim));
@@ -133,11 +161,10 @@ SimulationReport simulate_impl(const model::UniformDependenceAlgorithm& algo,
     std::vector<Int> reference = model::evaluate_reference(*semantic);
     std::vector<Int> value(reference.size(), 0);
     std::vector<char> done(reference.size(), 0);
+    std::vector<Int> inputs(m, 0);
     bool causal = true;
     for (const Computation& c : computations) {
-      std::vector<Int> inputs(m, 0);
       for (std::size_t i = 0; i < m; ++i) {
-        VecI src(n);
         for (std::size_t r = 0; r < n; ++r) src[r] = c.j[r] - d(r, i);
         if (set.contains(src)) {
           std::size_t ord = model::lexicographic_ordinal(set, src);
@@ -154,17 +181,24 @@ SimulationReport simulate_impl(const model::UniformDependenceAlgorithm& algo,
     }
     report.values_match = causal && value == reference;
   }
+  report.truncated_events =
+      report.total_conflicts > report.conflicts.size() ||
+      report.total_collisions > report.collisions.size();
   return report;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::string SimulationReport::summary() const {
   std::ostringstream os;
   os << "cycles [" << first_cycle << ", " << last_cycle << "] makespan "
      << makespan << ", " << computations << " computations on "
-     << num_processors << " PEs, " << conflicts.size() << " conflicts, "
-     << collisions.size() << " link collisions";
+     << num_processors << " PEs, " << total_conflicts << " conflicts, "
+     << total_collisions << " link collisions";
+  if (truncated_events) {
+    os << " (" << conflicts.size() << "+" << collisions.size()
+       << " events stored)";
+  }
   if (values_checked) {
     os << ", values " << (values_match ? "MATCH" : "MISMATCH");
   }
@@ -173,12 +207,35 @@ std::string SimulationReport::summary() const {
 
 SimulationReport simulate(const model::UniformDependenceAlgorithm& algo,
                           const ArrayDesign& design) {
-  return simulate_impl(algo, design, nullptr);
+  return detail::simulate_engine(algo, design, nullptr, SimulationOptions{});
+}
+
+SimulationReport simulate(const model::UniformDependenceAlgorithm& algo,
+                          const ArrayDesign& design,
+                          const SimulationOptions& options) {
+  return detail::simulate_engine(algo, design, nullptr, options);
 }
 
 SimulationReport simulate(const model::SemanticAlgorithm& algo,
                           const ArrayDesign& design) {
-  return simulate_impl(algo.structure, design, &algo);
+  return detail::simulate_engine(algo.structure, design, &algo,
+                                 SimulationOptions{});
+}
+
+SimulationReport simulate(const model::SemanticAlgorithm& algo,
+                          const ArrayDesign& design,
+                          const SimulationOptions& options) {
+  return detail::simulate_engine(algo.structure, design, &algo, options);
+}
+
+SimulationReport simulate_seed(const model::UniformDependenceAlgorithm& algo,
+                               const ArrayDesign& design) {
+  return detail::simulate_seed_impl(algo, design, nullptr);
+}
+
+SimulationReport simulate_seed(const model::SemanticAlgorithm& algo,
+                               const ArrayDesign& design) {
+  return detail::simulate_seed_impl(algo.structure, design, &algo);
 }
 
 }  // namespace sysmap::systolic

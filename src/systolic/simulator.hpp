@@ -18,6 +18,21 @@
 // busy during cycle t1 - h + c), waiting in the link buffer beforehand.
 // This "arrive just in time" discipline matches the buffer accounting of
 // Example 5.1 (three buffers on the A link for Pi d = 4, one hop).
+//
+// ENGINES.  simulate() runs the high-throughput engine (systolic/engine.cpp):
+// time-major bucketing computed directly from the affine schedule (no
+// comparator sort), flat mixed-radix uint64 packing of PE and wire
+// coordinates (support/packed_coord.hpp) with open-addressing occupancy
+// tables, O(1) amortized lexicographic ordinals along the index-set
+// odometer walk, and optionally parallel conflict/link/buffer passes with
+// a deterministic (cycle, lexicographic j) merge.  simulate_seed()
+// preserves the original map-and-sort implementation; the two produce
+// BIT-IDENTICAL SimulationReports (all fields, event order, buffer
+// high-water marks, value check) for every design and thread count --
+// tests/simulator_parity_test.cpp holds the pair equal case by case.
+// When a coordinate box does not pack into uint64 (or the index set or
+// cycle range leaves the flat regime), the engine transparently falls
+// back to the seed path, so simulate() never changes meaning.
 #pragma once
 
 #include <cstdint>
@@ -48,8 +63,19 @@ struct SimulationReport {
   Int makespan = 0;  ///< last_cycle - first_cycle + 1
   std::uint64_t computations = 0;
   std::size_t num_processors = 0;
+  /// The first few offending events, for diagnostics; capped (see
+  /// truncated_events).  The COUNTS below are never capped.
   std::vector<ConflictEvent> conflicts;
   std::vector<CollisionEvent> collisions;
+  /// Total number of computational conflicts (every computation beyond the
+  /// first mapped to an occupied PE-cycle counts one), past any event cap.
+  std::uint64_t total_conflicts = 0;
+  /// Total number of collided wire-cycles (a directed wire carrying two or
+  /// more data of one dependence class in one cycle counts once, at the
+  /// moment the second datum arrives), past any event cap.
+  std::uint64_t total_collisions = 0;
+  /// Set when conflicts/collisions hold fewer events than the totals.
+  bool truncated_events = false;
   /// Observed buffer high-water mark per dependence.
   VecI buffer_high_water;
   /// Set when a SemanticAlgorithm was simulated: do the array's results
@@ -57,7 +83,7 @@ struct SimulationReport {
   bool values_checked = false;
   bool values_match = false;
 
-  bool clean() const { return conflicts.empty() && collisions.empty(); }
+  bool clean() const { return total_conflicts == 0 && total_collisions == 0; }
 
   /// Fraction of PE-cycles doing useful work: |J| / (PEs * makespan) --
   /// the classic systolic efficiency metric.  0 when nothing ran.
@@ -71,12 +97,50 @@ struct SimulationReport {
   std::string summary() const;
 };
 
+/// Tuning knobs for the high-throughput engine.  Every setting is
+/// result-invariant: reports are bit-identical across all values.
+struct SimulationOptions {
+  /// Workers for the conflict/link/buffer passes (search::ThreadPool).
+  /// 1 keeps everything on the calling thread.
+  std::size_t num_threads = 1;
+  /// Skip the packed flat path and run the tree-map fallback (the seed
+  /// algorithm); used by the parity tests to exercise the fallback oracle.
+  bool force_fallback = false;
+};
+
 /// Structural simulation (no values).
 SimulationReport simulate(const model::UniformDependenceAlgorithm& algo,
                           const ArrayDesign& design);
+SimulationReport simulate(const model::UniformDependenceAlgorithm& algo,
+                          const ArrayDesign& design,
+                          const SimulationOptions& options);
 
 /// Value-level simulation + verification against evaluate_reference.
 SimulationReport simulate(const model::SemanticAlgorithm& algo,
                           const ArrayDesign& design);
+SimulationReport simulate(const model::SemanticAlgorithm& algo,
+                          const ArrayDesign& design,
+                          const SimulationOptions& options);
+
+/// The original sort-and-map implementation, preserved verbatim as the
+/// parity oracle for the engine above (the *_seed pattern of the search
+/// and space-sweep layers).
+SimulationReport simulate_seed(const model::UniformDependenceAlgorithm& algo,
+                               const ArrayDesign& design);
+SimulationReport simulate_seed(const model::SemanticAlgorithm& algo,
+                               const ArrayDesign& design);
+
+namespace detail {
+/// Shared seed implementation, also the engine's fallback when a box does
+/// not pack (simulate() documents the regime).  `semantic` may be null.
+SimulationReport simulate_seed_impl(
+    const model::UniformDependenceAlgorithm& algo, const ArrayDesign& design,
+    const model::SemanticAlgorithm* semantic);
+/// The flat engine proper; lives in systolic/engine.cpp.
+SimulationReport simulate_engine(const model::UniformDependenceAlgorithm& algo,
+                                 const ArrayDesign& design,
+                                 const model::SemanticAlgorithm* semantic,
+                                 const SimulationOptions& options);
+}  // namespace detail
 
 }  // namespace sysmap::systolic

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Soft throughput gate for the search bench.
 
-Compares a freshly produced BENCH_search.json against the committed
-baseline, keyed by (case, oracle, mode), on candidates_per_sec.  CI runner
+Compares a freshly produced bench JSON-lines file (BENCH_search.json,
+BENCH_sim.json, ...) against the committed baseline, keyed by
+(case, oracle, mode), on candidates_per_sec or points_per_sec.  CI runner
 timing is far too noisy for a hard gate, so a drop beyond the threshold
 emits a GitHub Actions ::warning:: annotation (visible on the job summary)
 and the exit code stays 0 either way; the committed baseline is only
@@ -17,11 +18,14 @@ import json
 import sys
 
 
+METRICS = ("candidates_per_sec", "points_per_sec")
+
+
 def load_rows(path):
     """Keyed throughput rows from a JSON-lines bench file.
 
     Summary objects (speedup lines, the multi-S sweep) carry no
-    candidates_per_sec and are skipped; unparsable lines are reported but
+    throughput metric and are skipped; unparsable lines are reported but
     never fatal -- this gate must not brick CI over formatting drift.
     """
     rows = {}
@@ -36,12 +40,13 @@ def load_rows(path):
                 except json.JSONDecodeError:
                     print(f"note: {path}:{line_no}: unparsable line skipped")
                     continue
-                if "candidates_per_sec" not in obj:
+                metric = next((m for m in METRICS if m in obj), None)
+                if metric is None:
                     continue
                 key = (obj.get("case"), obj.get("oracle"), obj.get("mode"))
                 if None in key:
                     continue
-                rows[key] = float(obj["candidates_per_sec"])
+                rows[key] = float(obj[metric])
     except OSError as err:
         print(f"note: cannot read {path}: {err}")
     return rows
@@ -74,8 +79,8 @@ def main():
             regressions.append((key, base_cps, cur_cps, ratio))
 
     for (case, oracle, mode), base_cps, cur_cps, ratio in regressions:
-        print(f"::warning title=search bench regression::"
-              f"{case}/{oracle}/{mode}: {cur_cps:,.0f} cand/s vs baseline "
+        print(f"::warning title=bench regression::"
+              f"{case}/{oracle}/{mode}: {cur_cps:,.0f} rows/s vs baseline "
               f"{base_cps:,.0f} ({ratio:.2f}x)")
     print(f"bench-regression: compared {compared} rows, "
           f"{len(regressions)} beyond the {args.threshold:.0%} threshold"
