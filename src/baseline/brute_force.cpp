@@ -1,58 +1,18 @@
 #include "baseline/brute_force.hpp"
 
-#include <map>
-#include <utility>
-
-#include "lattice/kernel.hpp"
+#include "mapping/enum_oracle.hpp"
 #include "search/procedure51.hpp"
 
 namespace sysmap::baseline {
 
 mapping::ConflictVerdict brute_force_conflicts(const mapping::MappingMatrix& t,
                                                const model::IndexSet& set) {
-  mapping::ConflictVerdict out;
-  out.rule = "brute force: full index-set scan";
-  std::map<VecI, VecI> image;  // tau(j) -> first j mapped there
-  bool conflict = false;
-  set.for_each_while([&](const VecI& j) {
-    VecI key = t.apply(j);
-    auto [it, inserted] = image.emplace(std::move(key), j);
-    if (!inserted) {
-      VecI diff(j.size());
-      for (std::size_t i = 0; i < j.size(); ++i) {
-        diff[i] = j[i] - it->second[i];
-      }
-      out.status = mapping::ConflictVerdict::Status::kHasConflict;
-      out.witness = lattice::make_primitive(to_bigint(diff));
-      conflict = true;
-      return false;
-    }
-    return true;
-  });
-  if (!conflict) out.status = mapping::ConflictVerdict::Status::kConflictFree;
-  return out;
+  return mapping::enumeration_conflicts(t, set);
 }
 
 mapping::ConflictVerdict brute_force_conflicts_polyhedral(
     const mapping::MappingMatrix& t, const model::PolyhedralIndexSet& set) {
-  mapping::ConflictVerdict out;
-  out.rule = "brute force: full polyhedral scan";
-  out.status = mapping::ConflictVerdict::Status::kConflictFree;
-  std::map<VecI, VecI> image;
-  set.for_each([&](const VecI& j) {
-    if (out.status == mapping::ConflictVerdict::Status::kHasConflict) return;
-    VecI key = t.apply(j);
-    auto [it, inserted] = image.emplace(std::move(key), j);
-    if (!inserted) {
-      VecI diff(j.size());
-      for (std::size_t i = 0; i < j.size(); ++i) {
-        diff[i] = j[i] - it->second[i];
-      }
-      out.status = mapping::ConflictVerdict::Status::kHasConflict;
-      out.witness = lattice::make_primitive(to_bigint(diff));
-    }
-  });
-  return out;
+  return mapping::enumeration_conflicts_polyhedral(t, set);
 }
 
 BruteForceOptimum brute_force_optimal_schedule(

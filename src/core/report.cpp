@@ -6,7 +6,7 @@
 #include "core/validate.hpp"
 #include "linalg/matrix_io.hpp"
 #include "schedule/bounds.hpp"
-#include "schedule/collision.hpp"
+#include "systolic/collision.hpp"
 #include "systolic/diagram.hpp"
 #include "systolic/io_schedule.hpp"
 #include "systolic/simulator.hpp"
@@ -39,8 +39,8 @@ std::string render_report(const model::UniformDependenceAlgorithm& algo,
   os << validate_mapping(algo, t).summary() << "\n\n";
 
   os << "## Array\n\n" << systolic::link_diagram(algo, design) << "\n";
-  schedule::CollisionAnalysis collisions =
-      schedule::analyze_link_collisions(algo, design);
+  systolic::CollisionAnalysis collisions =
+      systolic::analyze_link_collisions(algo, design);
   os << "link collisions: "
      << (collisions.possible ? "POSSIBLE" : "none") << " [" << collisions.rule
      << "]\n\n";

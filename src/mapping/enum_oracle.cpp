@@ -1,0 +1,63 @@
+#include "mapping/enum_oracle.hpp"
+
+#include <map>
+#include <utility>
+
+#include "lattice/kernel.hpp"
+
+namespace sysmap::mapping {
+
+// SYSMAP_RAW_FASTPATH(bounded: index points live in the machine-int box
+// of the index set, so coordinate differences of two in-box points cannot
+// overflow int64)
+ConflictVerdict enumeration_conflicts(const MappingMatrix& t,
+                                      const model::IndexSet& set) {
+  ConflictVerdict out;
+  out.rule = "brute force: full index-set scan";
+  std::map<VecI, VecI> image;  // tau(j) -> first j mapped there
+  bool conflict = false;
+  set.for_each_while([&](const VecI& j) {
+    VecI key = t.apply(j);
+    auto [it, inserted] = image.emplace(std::move(key), j);
+    if (!inserted) {
+      VecI diff(j.size());
+      for (std::size_t i = 0; i < j.size(); ++i) {
+        diff[i] = j[i] - it->second[i];
+      }
+      out.status = ConflictVerdict::Status::kHasConflict;
+      out.witness = lattice::make_primitive(to_bigint(diff));
+      conflict = true;
+      return false;
+    }
+    return true;
+  });
+  if (!conflict) out.status = ConflictVerdict::Status::kConflictFree;
+  return out;
+}
+
+// SYSMAP_RAW_FASTPATH(bounded: polyhedral index points live in the
+// machine-int bounding box of the polyhedron, so coordinate differences
+// of two in-box points cannot overflow int64)
+ConflictVerdict enumeration_conflicts_polyhedral(
+    const MappingMatrix& t, const model::PolyhedralIndexSet& set) {
+  ConflictVerdict out;
+  out.rule = "brute force: full polyhedral scan";
+  out.status = ConflictVerdict::Status::kConflictFree;
+  std::map<VecI, VecI> image;
+  set.for_each([&](const VecI& j) {
+    if (out.status == ConflictVerdict::Status::kHasConflict) return;
+    VecI key = t.apply(j);
+    auto [it, inserted] = image.emplace(std::move(key), j);
+    if (!inserted) {
+      VecI diff(j.size());
+      for (std::size_t i = 0; i < j.size(); ++i) {
+        diff[i] = j[i] - it->second[i];
+      }
+      out.status = ConflictVerdict::Status::kHasConflict;
+      out.witness = lattice::make_primitive(to_bigint(diff));
+    }
+  });
+  return out;
+}
+
+}  // namespace sysmap::mapping

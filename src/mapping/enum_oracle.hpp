@@ -1,0 +1,28 @@
+// Full-enumeration conflict oracles.
+//
+// Conflict detection by scanning every computation of the algorithm (the
+// approach of [23]) is the ground truth the closed-form Section 3/4
+// verdicts are validated against, and the kBruteForce oracle the search
+// drivers fall back to on request.  The scans depend only on the mapping
+// matrix and the index-set walk, so they live here in mapping/ -- below
+// the search layer that consumes them and the baseline layer that
+// packages them as the paper's "before" comparison.
+#pragma once
+
+#include "mapping/conflict.hpp"
+#include "model/algorithm.hpp"
+
+namespace sysmap::mapping {
+
+/// Scans tau(j) over all of J and reports a duplicate as a conflict.  The
+/// witness is the index-point difference (a genuine non-feasible conflict
+/// vector after primitivization).  Exact, O(|J|) time and memory.
+ConflictVerdict enumeration_conflicts(const MappingMatrix& t,
+                                      const model::IndexSet& set);
+
+/// Full-scan conflict oracle over a polyhedral index set (ground truth for
+/// the decide_conflict_free_polyhedral extension).
+ConflictVerdict enumeration_conflicts_polyhedral(
+    const MappingMatrix& t, const model::PolyhedralIndexSet& set);
+
+}  // namespace sysmap::mapping

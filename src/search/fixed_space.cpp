@@ -9,7 +9,7 @@
 #include <utility>
 #include <vector>
 
-#include "baseline/brute_force.hpp"
+#include "mapping/enum_oracle.hpp"
 #include "exact/bigint.hpp"
 #include "exact/checked_int.hpp"
 #include "exact/fastpath.hpp"
@@ -883,7 +883,7 @@ ConflictVerdict FixedSpaceContext::verdict(ConflictOracle oracle,
                                            const VecI& pi) const {
   const Impl& im = *impl_;
   if (oracle == ConflictOracle::kBruteForce) {
-    return baseline::brute_force_conflicts(
+    return mapping::enumeration_conflicts(
         mapping::MappingMatrix(im.space, pi), im.set);
   }
   if (im.k == im.n) {

@@ -13,7 +13,7 @@
 #include "exact/checked.hpp"
 #include "search/enumerate.hpp"
 #include "search/fixed_space.hpp"
-#include "search/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 #include "search/verdict_cache.hpp"
 #include "support/contracts.hpp"
 
@@ -163,7 +163,7 @@ SearchResult procedure_5_1_parallel(
 
   // One pool for the whole search; workers draw from the feed until it
   // refuses, so nobody idles at level boundaries.
-  ThreadPool pool(num_threads);
+  support::ThreadPool pool(num_threads);
 
   // One immutable fixed-S context shared by every worker; skipped under
   // brute force exactly as in the serial driver.

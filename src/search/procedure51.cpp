@@ -4,7 +4,7 @@
 #include <optional>
 #include <stdexcept>
 
-#include "baseline/brute_force.hpp"
+#include "mapping/enum_oracle.hpp"
 #include "exact/checked.hpp"
 #include "mapping/theorems.hpp"
 #include "search/enumerate.hpp"
@@ -35,7 +35,7 @@ mapping::ConflictVerdict run_conflict_oracle(ConflictOracle oracle,
       return mapping::theorem_4_5(t, set);
     }
     case ConflictOracle::kBruteForce:
-      return baseline::brute_force_conflicts(t, set);
+      return mapping::enumeration_conflicts(t, set);
     case ConflictOracle::kExact:
     default:
       return mapping::decide_conflict_free(t, set);

@@ -8,13 +8,15 @@
 #include <stdexcept>
 #include <utility>
 
+// SYSMAP_LAYERING_OK(scoring candidate spaces reuses the mapper facade's
+// end-to-end pipeline; tracked as the search-to-core inversion in ROADMAP.md)
 #include "core/mapper.hpp"
 #include "exact/checked.hpp"
 #include "lattice/kernel.hpp"
 #include "linalg/ops.hpp"
 #include "mapping/canonical_key.hpp"
 #include "search/fixed_space.hpp"
-#include "search/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 #include "search/verdict_cache.hpp"
 #include "support/flat_image_set.hpp"
 
@@ -676,7 +678,7 @@ SpaceSearchResult space_optimal_mapping(
   if (workers == 1) {
     body(0);
   } else {
-    ThreadPool pool(workers);
+    support::ThreadPool pool(workers);
     pool.run(body);
   }
 
@@ -813,7 +815,7 @@ DesignSpaceResult explore_design_space(
   if (workers == 1) {
     body(0);
   } else {
-    ThreadPool pool(workers);
+    support::ThreadPool pool(workers);
     pool.run(body);
   }
 

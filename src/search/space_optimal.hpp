@@ -81,6 +81,8 @@ struct SpaceSearchOptions {
 struct ArrayCost {
   Int processors = 0;
   Int wire_length = 0;
+  // SYSMAP_RAW_FASTPATH(bounded: both terms are counts accumulated over one
+  // candidate's image walk, orders of magnitude below the 63-bit line)
   Int total() const { return processors + wire_length; }
 };
 

@@ -1,8 +1,8 @@
-#include "search/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace sysmap::search {
+namespace sysmap::support {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
@@ -60,4 +60,4 @@ void ThreadPool::run(const std::function<void(std::size_t)>& job) {
   if (err) std::rethrow_exception(err);
 }
 
-}  // namespace sysmap::search
+}  // namespace sysmap::support

@@ -23,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-namespace sysmap::search {
+namespace sysmap::support {
 
 class ThreadPool {
  public:
@@ -85,4 +85,4 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
-}  // namespace sysmap::search
+}  // namespace sysmap::support

@@ -1,4 +1,4 @@
-#include "schedule/collision.hpp"
+#include "systolic/collision.hpp"
 
 #include <algorithm>
 
@@ -7,7 +7,7 @@
 #include "lattice/kernel.hpp"
 #include "linalg/ops.hpp"
 
-namespace sysmap::schedule {
+namespace sysmap::systolic {
 
 using exact::BigInt;
 
@@ -198,4 +198,4 @@ CollisionAnalysis analyze_link_collisions(
   return out;
 }
 
-}  // namespace sysmap::schedule
+}  // namespace sysmap::systolic

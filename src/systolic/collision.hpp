@@ -31,7 +31,7 @@
 #include "model/algorithm.hpp"
 #include "systolic/array.hpp"
 
-namespace sysmap::schedule {
+namespace sysmap::systolic {
 
 struct CollisionFinding {
   std::size_t dep = 0;        ///< dependence class
@@ -53,4 +53,4 @@ CollisionAnalysis analyze_link_collisions(
     const model::UniformDependenceAlgorithm& algo,
     const systolic::ArrayDesign& design, std::uint64_t budget = 10'000'000);
 
-}  // namespace sysmap::schedule
+}  // namespace sysmap::systolic

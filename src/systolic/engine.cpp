@@ -31,7 +31,7 @@
 //
 //  * DETERMINISTIC PARALLELISM.  The conflict and link passes fan out over
 //    cycle-range chunks and the buffer pass over dependence links on
-//    search::ThreadPool.  Conflicts partition exactly by cycle; wire-cycle
+//    support::ThreadPool.  Conflicts partition exactly by cycle; wire-cycle
 //    keys partition exactly by cycle too, so every occupancy key is owned
 //    by one worker and the uncapped totals are exact sums.  Stored events
 //    carry their global (position, dep, hop) sequence tag and are merged
@@ -51,7 +51,7 @@
 
 #include "exact/bigint.hpp"
 #include "exact/checked.hpp"
-#include "search/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 #include "support/packed_coord.hpp"
 
 namespace sysmap::systolic {
@@ -626,7 +626,7 @@ SimulationReport run_flat(const FlatPlan& plan, const ArrayDesign& design,
   report.makespan = static_cast<Int>(plan.cycles);
 
   const std::size_t workers = std::max<std::size_t>(1, options.num_threads);
-  std::optional<search::ThreadPool> pool;
+  std::optional<support::ThreadPool> pool;
   if (workers > 1) pool.emplace(workers);
   // ThreadPool::run's join (invariant I3) fences the workers' writes into
   // the caller-owned per-worker slots below.

@@ -100,7 +100,7 @@ struct SimulationReport {
 /// Tuning knobs for the high-throughput engine.  Every setting is
 /// result-invariant: reports are bit-identical across all values.
 struct SimulationOptions {
-  /// Workers for the conflict/link/buffer passes (search::ThreadPool).
+  /// Workers for the conflict/link/buffer passes (support::ThreadPool).
   /// 1 keeps everything on the calling thread.
   std::size_t num_threads = 1;
   /// Skip the packed flat path and run the tree-map fallback (the seed

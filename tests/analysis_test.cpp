@@ -8,7 +8,7 @@
 #include "core/validate.hpp"
 #include "model/gallery.hpp"
 #include "schedule/bounds.hpp"
-#include "schedule/collision.hpp"
+#include "systolic/collision.hpp"
 #include "search/procedure51.hpp"
 #include "systolic/simulator.hpp"
 
@@ -142,8 +142,8 @@ TEST(Collision, SingleHopRemark) {
   model::UniformDependenceAlgorithm algo = model::matmul(4);
   mapping::MappingMatrix t(MatI{{1, 1, -1}}, VecI{1, 4, 1});
   systolic::ArrayDesign design = systolic::design_dedicated_array(algo, t);
-  schedule::CollisionAnalysis a =
-      schedule::analyze_link_collisions(algo, design);
+  systolic::CollisionAnalysis a =
+      systolic::analyze_link_collisions(algo, design);
   EXPECT_FALSE(a.possible);
   EXPECT_NE(a.rule.find("single-hop"), std::string::npos);
 }
@@ -174,8 +174,8 @@ TEST(Collision, AnalysisMatchesSimulatorOnMultiHop) {
     }
     if (!multi) continue;
     ++multi_hop_cases;
-    schedule::CollisionAnalysis predicted =
-        schedule::analyze_link_collisions(algo, *design);
+    systolic::CollisionAnalysis predicted =
+        systolic::analyze_link_collisions(algo, *design);
     systolic::SimulationReport simulated = systolic::simulate(algo, *design);
     EXPECT_EQ(predicted.possible, !simulated.collisions.empty())
         << "S=" << s(0, 0) << "," << s(0, 1) << "," << s(0, 2)
@@ -197,8 +197,8 @@ TEST(Collision, FindingsCarryValidWitness) {
       systolic::design_on_interconnect(
           algo, t, schedule::Interconnect::nearest_neighbor(1));
   if (!design) GTEST_SKIP() << "unroutable on this interconnect";
-  schedule::CollisionAnalysis a =
-      schedule::analyze_link_collisions(algo, *design);
+  systolic::CollisionAnalysis a =
+      systolic::analyze_link_collisions(algo, *design);
   systolic::SimulationReport sim = systolic::simulate(algo, *design);
   EXPECT_EQ(a.possible, !sim.collisions.empty());
   for (const auto& f : a.findings) {

@@ -1,4 +1,4 @@
-// Positive fixture: kernel_lint MUST accept this file.
+// Positive fixture: sysmap_analyze MUST accept this file.
 //
 // Exercises every way kernel code is allowed to touch machine words: the
 // CheckedInt wrapper, *_checked helpers, an annotated fast path naming its

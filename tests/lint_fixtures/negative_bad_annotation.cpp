@@ -1,4 +1,4 @@
-// Negative fixture: kernel_lint MUST reject this file.
+// Negative fixture: sysmap_analyze MUST reject this file.
 //
 // A fast-path marker that names a fallback which does not exist: the raw
 // path would have nowhere to restart on overflow.  Never compiled.

@@ -1,8 +1,8 @@
-// Negative fixture: kernel_lint MUST reject this file.
+// Negative fixture: sysmap_analyze MUST reject this file.
 //
 // A deliberately unguarded raw-int64 multiply of the kind that silently
 // corrupts a Theorem 2.2 conflict verdict when |gamma_i| * g overflows.
-// The ctest entry running kernel_lint over this file carries WILL_FAIL, so
+// The ctest entry running the analyzer over this file carries WILL_FAIL, so
 // the suite fails if the lint ever stops catching it.  Never compiled.
 #include <cstdint>
 

@@ -1,0 +1,30 @@
+// Negative fixture: the guards pass MUST reject this file.
+//
+// Two fallback-discipline breaches: a plain caller that invokes a
+// fallback-guarded fast path with no restart in reach
+// (unguarded-fastpath-call), and a bounded fast path that does the same
+// while claiming overflow-freedom (bounded-breach).  Never compiled.
+#include <cstdint>
+
+namespace fixture {
+
+std::int64_t screen_exact(std::int64_t a, std::int64_t b);
+
+// SYSMAP_RAW_FASTPATH(fallback: screen_exact)
+std::int64_t screen_raw(std::int64_t a, std::int64_t b) {
+  return a * b;  // restart lives in screen_exact
+}
+
+// Nothing in this body can reach screen_exact, so the overflow signal from
+// the fast path would be dropped on the floor.
+std::int64_t driver(std::int64_t a, std::int64_t b) {
+  return screen_raw(a, b);
+}
+
+// SYSMAP_RAW_FASTPATH(bounded: operands are digit counts below sixty four)
+// Claims overflow-freedom, yet invokes a fast path that restarts.
+std::int64_t bounded_driver(std::int64_t a, std::int64_t b) {
+  return screen_raw(a, b);
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Negative fixture: the determinism pass MUST reject this file.
+//
+// Building report output by walking an unordered_map directly: the row
+// order is hash- and libstdc++-version-dependent, so two runs of the same
+// binary can emit differently ordered reports.  Never compiled.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::vector<std::string> report_rows(
+    const std::unordered_map<std::string, unsigned>& stats) {
+  std::vector<std::string> rows;
+  for (const auto& entry : stats) {  // nondet-unordered-iter
+    rows.push_back(entry.first);
+  }
+  return rows;
+}
+
+unsigned first_key(const std::unordered_map<std::string, unsigned>& stats) {
+  auto it = stats.begin();  // nondet-unordered-iter
+  return it == stats.end() ? 0u : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Negative fixture: the layering pass MUST reject this file.
+//
+// mapping/ reaching UP into search/: the conflict layer must not know who
+// drives it, or the include DAG stops being a DAG.  Never compiled.
+#include "mapping/conflict.hpp"
+#include "search/fixed_space.hpp"
+
+namespace fixture {}

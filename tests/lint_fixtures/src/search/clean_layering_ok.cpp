@@ -1,0 +1,14 @@
+// Positive fixture: the layering pass MUST accept this file.
+//
+// A search-layer file reaching down its allowed spine, plus one deliberate
+// upward include carrying the annotation that documents why.  Never
+// compiled.
+#include "exact/checked.hpp"
+#include "mapping/conflict.hpp"
+#include "systolic/collision.hpp"
+
+// SYSMAP_LAYERING_OK(fixture: scoring candidate spaces needs the mapper
+// facade; tracked as the search-to-core inversion in ROADMAP.md)
+#include "core/mapper.hpp"
+
+namespace fixture {}

@@ -1,0 +1,8 @@
+// Negative fixture: the layering pass MUST reject this file.
+//
+// support/ including lattice/ closes a module cycle: lattice already sits
+// on top of support.  Never compiled.
+#include "lattice/hermite.hpp"
+#include "support/packed_coord.hpp"
+
+namespace fixture {}

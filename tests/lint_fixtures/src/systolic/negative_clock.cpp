@@ -1,0 +1,15 @@
+// Negative fixture: the determinism pass MUST reject this file.
+//
+// Sits under a src/systolic path on purpose: wall-clock reads are only
+// policed inside engine code, where a time-derived value can leak into a
+// result.  Never compiled.
+#include <chrono>
+
+namespace fixture {
+
+unsigned jitter_seed() {
+  const auto now = std::chrono::steady_clock::now();  // nondet-clock
+  return static_cast<unsigned>(now.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -2,18 +2,17 @@
 // ThreadSanitizer: the stress cases drive many generations through the
 // pool so TSan can observe the generation-counter handshake (invariants
 // I1-I5 in thread_pool.hpp) under real contention.
-#include "search/thread_pool.hpp"
+#include "support/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
-namespace sysmap::search {
+namespace sysmap::support {
 namespace {
 
 TEST(ThreadPoolTest, RunsJobOnEveryWorker) {
@@ -29,9 +28,9 @@ TEST(ThreadPoolTest, RunsJobOnEveryWorker) {
 TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
-  int ran = 0;
+  std::atomic<int> ran{0};
   pool.run([&](std::size_t) { ++ran; });
-  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(ran.load(), 1);
 }
 
 // I3: per-worker slots written by workers are visible to the caller after
@@ -91,13 +90,9 @@ TEST(ThreadPoolTest, AllWorkersThrowingKeepsFirstOnly) {
                  throw std::runtime_error("fail " + std::to_string(w));
                }),
                std::runtime_error);
-  int ran = 0;
-  std::mutex m;
-  pool.run([&](std::size_t) {
-    std::lock_guard<std::mutex> lock(m);
-    ++ran;
-  });
-  EXPECT_EQ(ran, static_cast<int>(pool.size()));
+  std::atomic<int> ran{0};
+  pool.run([&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), static_cast<int>(pool.size()));
 }
 
 // Destruction with no job ever submitted, and destruction immediately
@@ -112,4 +107,4 @@ TEST(ThreadPoolTest, CleanShutdownIdleAndBusy) {
 }
 
 }  // namespace
-}  // namespace sysmap::search
+}  // namespace sysmap::support

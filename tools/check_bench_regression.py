@@ -1,16 +1,23 @@
 #!/usr/bin/env python3
-"""Soft throughput gate for the search bench.
+"""Soft throughput gate for the bench suites.
 
-Compares a freshly produced bench JSON-lines file (BENCH_search.json,
-BENCH_sim.json, ...) against the committed baseline, keyed by
+Compares freshly produced bench JSON-lines files (BENCH_search.json,
+BENCH_sim.json, ...) against their committed baselines, keyed by
 (case, oracle, mode), on candidates_per_sec or points_per_sec.  CI runner
 timing is far too noisy for a hard gate, so a drop beyond the threshold
 emits a GitHub Actions ::warning:: annotation (visible on the job summary)
-and the exit code stays 0 either way; the committed baseline is only
+and the exit code stays 0 either way; the committed baselines are only
 refreshed deliberately, by rerunning the bench in full mode on a quiet
 machine.
 
-Usage: check_bench_regression.py BASELINE CURRENT [--threshold 0.30]
+Usage:
+  check_bench_regression.py BASELINE CURRENT [BASELINE CURRENT ...]
+                            [--threshold 0.30] [--summary out.json]
+
+Positional arguments form (baseline, current) pairs, so a single
+invocation covers every suite and --summary consolidates all of them
+into one machine-readable artifact.  The original two-argument form is
+unchanged.
 """
 
 import argparse
@@ -52,39 +59,96 @@ def load_rows(path):
     return rows
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.30,
-                        help="fractional slowdown that triggers a warning")
-    args = parser.parse_args()
-
-    baseline = load_rows(args.baseline)
-    current = load_rows(args.current)
-    if not baseline or not current:
-        print("bench-regression: nothing to compare "
-              f"({len(baseline)} baseline rows, {len(current)} current rows)")
-        return 0
-
-    compared = 0
-    regressions = []
+def compare_pair(baseline_path, current_path, threshold):
+    """One suite's comparison, as a JSON-ready dict."""
+    baseline = load_rows(baseline_path)
+    current = load_rows(current_path)
+    result = {
+        "baseline": baseline_path,
+        "current": current_path,
+        "baseline_rows": len(baseline),
+        "current_rows": len(current),
+        "compared": 0,
+        "regressions": [],
+    }
     for key, base_cps in sorted(baseline.items()):
         cur_cps = current.get(key)
         if cur_cps is None or base_cps <= 0:
             continue
-        compared += 1
+        result["compared"] += 1
         ratio = cur_cps / base_cps
-        if ratio < 1.0 - args.threshold:
-            regressions.append((key, base_cps, cur_cps, ratio))
+        if ratio < 1.0 - threshold:
+            case, oracle, mode = key
+            result["regressions"].append({
+                "case": case,
+                "oracle": oracle,
+                "mode": mode,
+                "baseline_rows_per_sec": base_cps,
+                "current_rows_per_sec": cur_cps,
+                "ratio": ratio,
+            })
+    return result
 
-    for (case, oracle, mode), base_cps, cur_cps, ratio in regressions:
-        print(f"::warning title=bench regression::"
-              f"{case}/{oracle}/{mode}: {cur_cps:,.0f} rows/s vs baseline "
-              f"{base_cps:,.0f} ({ratio:.2f}x)")
-    print(f"bench-regression: compared {compared} rows, "
-          f"{len(regressions)} beyond the {args.threshold:.0%} threshold"
-          + (" (warnings only, job not failed)" if regressions else ""))
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+                        help="one or more (baseline, current) file pairs")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="fractional slowdown that triggers a warning")
+    parser.add_argument("--summary", metavar="OUT.json",
+                        help="write a consolidated JSON report here")
+    args = parser.parse_args()
+
+    if len(args.files) % 2 != 0:
+        parser.error("arguments must form (baseline, current) pairs")
+    pairs = list(zip(args.files[0::2], args.files[1::2]))
+
+    results = [compare_pair(b, c, args.threshold) for b, c in pairs]
+
+    total_compared = 0
+    total_regressions = 0
+    for res in results:
+        total_compared += res["compared"]
+        total_regressions += len(res["regressions"])
+        if res["compared"] == 0:
+            print(f"bench-regression: nothing to compare for "
+                  f"{res['baseline']} vs {res['current']} "
+                  f"({res['baseline_rows']} baseline rows, "
+                  f"{res['current_rows']} current rows)")
+            continue
+        for reg in res["regressions"]:
+            print(f"::warning title=bench regression::"
+                  f"{reg['case']}/{reg['oracle']}/{reg['mode']}: "
+                  f"{reg['current_rows_per_sec']:,.0f} rows/s vs baseline "
+                  f"{reg['baseline_rows_per_sec']:,.0f} "
+                  f"({reg['ratio']:.2f}x)")
+        print(f"bench-regression: {res['baseline']}: "
+              f"compared {res['compared']} rows, "
+              f"{len(res['regressions'])} beyond the "
+              f"{args.threshold:.0%} threshold")
+
+    print(f"bench-regression: total {total_compared} rows across "
+          f"{len(pairs)} suite(s), {total_regressions} regression(s)"
+          + (" (warnings only, job not failed)" if total_regressions else ""))
+
+    if args.summary:
+        report = {
+            "tool": "check_bench_regression",
+            "threshold": args.threshold,
+            "total_compared": total_compared,
+            "total_regressions": total_regressions,
+            "suites": results,
+        }
+        try:
+            with open(args.summary, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"bench-regression: summary written to {args.summary}")
+        except OSError as err:
+            print(f"note: cannot write {args.summary}: {err}")
     return 0
 
 

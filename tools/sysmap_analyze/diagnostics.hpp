@@ -1,0 +1,19 @@
+// Shared diagnostic record for every sysmap_analyze pass.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sysmap::lint {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string pass;      ///< guards | determinism | layering
+  std::string rule;      ///< e.g. raw-arith, nondet-unordered-iter, layering
+  std::string message;
+  std::string function;  ///< best-effort enclosing function name
+};
+
+}  // namespace sysmap::lint

@@ -1,0 +1,564 @@
+#include "file_model.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace sysmap::lint {
+
+namespace {
+
+// C++ keywords that can never be an operand identifier.
+const std::set<std::string, std::less<>>& keywords() {
+  static const std::set<std::string, std::less<>> kw = {
+      "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+      "class", "concept", "const", "consteval", "constexpr", "constinit",
+      "const_cast", "continue", "co_await", "co_return", "co_yield",
+      "decltype", "default", "delete", "do", "double", "dynamic_cast", "else",
+      "enum", "explicit", "export", "extern", "false", "float", "for",
+      "friend", "goto", "if", "inline", "int", "long", "mutable", "namespace",
+      "new", "noexcept", "nullptr", "operator", "private", "protected",
+      "public", "register", "reinterpret_cast", "requires", "return", "short",
+      "signed", "sizeof", "static", "static_assert", "static_cast", "struct",
+      "switch", "template", "this", "throw", "true", "try", "typedef",
+      "typeid", "typename", "union", "unsigned", "using", "virtual", "void",
+      "volatile", "while"};
+  return kw;
+}
+
+struct MarkerSpec {
+  const char* text;
+  AnnotationKind kind;
+};
+
+constexpr std::array<MarkerSpec, 4> kMarkers = {{
+    {"SYSMAP_RAW_FASTPATH", AnnotationKind::kRawFastpath},
+    {"SYSMAP_ORDER_INDEPENDENT", AnnotationKind::kOrderIndependent},
+    {"SYSMAP_LAYERING_OK", AnnotationKind::kLayeringOk},
+    {"SYSMAP_NARROWING_OK", AnnotationKind::kNarrowingOk},
+}};
+
+std::string trim(std::string s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t");
+  return b == std::string::npos ? std::string() : s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+bool FileModel::is_keyword(std::string_view text) const {
+  return keywords().count(text) != 0;
+}
+
+FileModel::FileModel(std::string path, const std::string& source)
+    : path_(std::move(path)), all_(tokenize(source)) {
+  code_.reserve(all_.size());
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    if (all_[i].kind != TokenKind::kComment &&
+        all_[i].kind != TokenKind::kPreprocessor) {
+      code_.push_back(i);
+    }
+    if (all_[i].kind == TokenKind::kIdentifier) {
+      identifiers_.insert(all_[i].text);
+    }
+  }
+  find_functions();
+  collect_annotations();
+  collect_declarations();
+}
+
+std::size_t FileModel::match_open_back(std::size_t close_ci,
+                                       std::string_view open,
+                                       std::string_view close) const {
+  std::size_t depth = 1;
+  std::size_t j = close_ci;
+  while (j > 0 && depth > 0) {
+    --j;
+    if (is_punct(j, close)) ++depth;
+    if (is_punct(j, open)) --depth;
+  }
+  return depth == 0 ? j : close_ci;
+}
+
+std::size_t FileModel::match_close(std::size_t open_ci, std::string_view open,
+                                   std::string_view close) const {
+  std::size_t depth = 1;
+  std::size_t j = open_ci;
+  while (j + 1 < ntok() && depth > 0) {
+    ++j;
+    if (is_punct(j, open)) ++depth;
+    if (is_punct(j, close)) --depth;
+  }
+  return depth == 0 ? j : ntok();
+}
+
+// ---- structure: function bodies ---------------------------------------------
+
+/// True when the '{' at code index bi opens a function (or lambda) body.
+/// Walks backwards over signature trailer tokens looking for the closing
+/// ')' of a parameter list.
+bool FileModel::brace_opens_function(std::size_t bi,
+                                     std::size_t& out_name) const {
+  static const std::set<std::string, std::less<>> disallowed = {
+      "namespace", "struct", "class", "enum", "union", "else", "do", "try",
+      "export", "extern", "return", "new"};
+  std::size_t steps = 0;
+  std::size_t i = bi;
+  while (i > 0 && steps < 40) {
+    --i;
+    ++steps;
+    const Token& t = tok(i);
+    if (t.kind == TokenKind::kPunct && t.text == ")") {
+      std::size_t j = match_open_back(i, "(", ")");
+      if (j == i || j == 0) return false;
+      const Token& before = tok(j - 1);
+      if (before.kind == TokenKind::kIdentifier) {
+        static const std::set<std::string, std::less<>> ctrl = {
+            "if", "for", "while", "switch", "catch", "alignas",
+            "static_assert", "decltype", "sizeof", "noexcept"};
+        if (ctrl.count(before.text)) return false;
+        out_name = j - 1;
+        return true;
+      }
+      if (before.kind == TokenKind::kPunct &&
+          (before.text == "]" || before.text == ">")) {
+        out_name = j - 1;  // lambda or templated operator; name best-effort
+        return true;
+      }
+      return false;
+    }
+    if (t.kind == TokenKind::kIdentifier) {
+      if (disallowed.count(t.text)) return false;
+      continue;  // qualifier, type name of trailing return, init name...
+    }
+    if (t.kind == TokenKind::kPunct) {
+      static const std::set<std::string, std::less<>> ok = {
+          "::", "<", ">", "&", "*", "->", ",", ":", "]", "[", "..."};
+      if (ok.count(t.text)) continue;
+      return false;  // ';', '}', '=', '{' ... : plain block or initializer
+    }
+    return false;
+  }
+  return false;
+}
+
+void FileModel::find_functions() {
+  std::vector<std::size_t> stack;
+  for (std::size_t ci = 0; ci < ntok(); ++ci) {
+    if (is_punct(ci, "{")) {
+      stack.push_back(ci);
+    } else if (is_punct(ci, "}") && !stack.empty()) {
+      std::size_t open = stack.back();
+      stack.pop_back();
+      std::size_t name_ci = 0;
+      if (brace_opens_function(open, name_ci)) {
+        FunctionBody fb;
+        fb.sig_start = name_ci;
+        fb.open = open;
+        fb.close = ci;
+        fb.name = tok(name_ci).kind == TokenKind::kIdentifier
+                      ? tok(name_ci).text
+                      : std::string("<lambda>");
+        functions_.push_back(fb);
+      }
+    }
+  }
+  std::sort(functions_.begin(), functions_.end(),
+            [](const FunctionBody& a, const FunctionBody& b) {
+              return a.open < b.open;
+            });
+}
+
+const FunctionBody* FileModel::enclosing_function(std::size_t ci) const {
+  const std::size_t pos = code_[ci];
+  const FunctionBody* best = nullptr;
+  for (const FunctionBody& f : functions_) {
+    if (code_[f.open] <= pos && pos <= code_[f.close]) {
+      best = &f;  // innermost wins: functions sorted by open position
+    }
+  }
+  return best;
+}
+
+std::string FileModel::enclosing_function_name(std::size_t ci) const {
+  const FunctionBody* f = enclosing_function(ci);
+  return f ? f->name : std::string();
+}
+
+bool FileModel::in_fastpath_function(std::size_t ci) const {
+  const std::size_t pos = code_[ci];
+  for (const FunctionBody& f : functions_) {
+    if (f.fastpath && code_[f.open] <= pos && pos <= code_[f.close]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- annotations ------------------------------------------------------------
+
+void FileModel::parse_annotation(Annotation& a) {
+  // NARROWING_OK is the legacy line-scoped escape: free-text reason after
+  // the marker, no parenthesized clause.
+  if (a.kind == AnnotationKind::kNarrowingOk) {
+    a.well_formed = true;
+    return;
+  }
+  std::size_t open = a.clause.find('(');
+  std::size_t close = a.clause.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    a.error = std::string(kMarkers[static_cast<std::size_t>(a.kind)].text) +
+              " must carry a parenthesized clause";
+    if (a.kind == AnnotationKind::kRawFastpath) {
+      a.error += ": (fallback: <symbol>) or (bounded: <reason>)";
+    } else {
+      a.error += ": (<reason>, at least 10 characters)";
+    }
+    return;
+  }
+  std::string clause = a.clause.substr(open + 1, close - open - 1);
+  if (a.kind == AnnotationKind::kOrderIndependent ||
+      a.kind == AnnotationKind::kLayeringOk) {
+    if (trim(clause).size() < 10) {
+      a.error = std::string(kMarkers[static_cast<std::size_t>(a.kind)].text) +
+                " needs a real justification (>= 10 characters)";
+      return;
+    }
+    a.well_formed = true;
+    return;
+  }
+  // RAW_FASTPATH: fallback: <symbol> | bounded: <reason>.
+  if (clause.rfind("fallback:", 0) == 0) {
+    std::string symbol = trim(clause.substr(9));
+    if (symbol.empty()) {
+      a.error = "SYSMAP_RAW_FASTPATH fallback clause names no symbol";
+      return;
+    }
+    std::size_t sep = symbol.rfind("::");
+    std::string leaf =
+        sep == std::string::npos ? symbol : symbol.substr(sep + 2);
+    std::size_t lt = leaf.find('<');
+    if (lt != std::string::npos) leaf = leaf.substr(0, lt);
+    a.fallback_symbol = leaf;
+    a.well_formed = true;
+    return;
+  }
+  if (clause.rfind("bounded:", 0) == 0) {
+    if (trim(clause.substr(8)).size() < 10) {
+      a.error = "SYSMAP_RAW_FASTPATH bounded clause needs a real "
+                "justification (>= 10 characters)";
+      return;
+    }
+    a.bounded = true;
+    a.well_formed = true;
+    return;
+  }
+  a.error = "SYSMAP_RAW_FASTPATH clause must start with 'fallback:' or "
+            "'bounded:'";
+}
+
+void FileModel::collect_annotations() {
+  for (std::size_t i = 0; i < all_.size(); ++i) {
+    // Markers live in comments; LAYERING_OK may also trail an #include,
+    // where the lexer folds the whole line (comment included) into one
+    // preprocessor token.
+    const bool comment = all_[i].kind == TokenKind::kComment;
+    const bool preproc = all_[i].kind == TokenKind::kPreprocessor;
+    if (!comment && !preproc) continue;
+    const std::string& text = all_[i].text;
+    for (const MarkerSpec& spec : kMarkers) {
+      std::size_t at = text.find(spec.text);
+      if (at == std::string::npos) continue;
+      if (preproc && spec.kind != AnnotationKind::kLayeringOk) continue;
+      Annotation a;
+      a.kind = spec.kind;
+      a.token_index = i;
+      a.line = all_[i].line;
+      a.end_line = all_[i].line;
+      a.col = all_[i].col;
+      a.clause = text.substr(at);
+      // The clause may wrap onto continuation comment lines; splice
+      // consecutive comment tokens until the closing paren shows up.
+      if (comment) {
+        for (std::size_t j = i + 1;
+             j < all_.size() && a.clause.find(')') == std::string::npos &&
+             all_[j].kind == TokenKind::kComment &&
+             all_[j].line <= all_[i].line + 4;
+             ++j) {
+          a.clause += ' ';
+          a.clause += all_[j].text;
+          a.end_line = all_[j].line;
+        }
+      }
+      parse_annotation(a);
+      // A well-formed RAW_FASTPATH attaches to the enclosing function, or
+      // to the first function body opening after it.
+      if (a.kind == AnnotationKind::kRawFastpath && a.well_formed) {
+        FunctionBody* target = nullptr;
+        for (FunctionBody& f : functions_) {
+          if (code_[f.open] <= i && i <= code_[f.close]) target = &f;
+        }
+        if (!target) {
+          for (FunctionBody& f : functions_) {
+            if (code_[f.open] > i) {
+              target = &f;
+              break;
+            }
+          }
+        }
+        if (target) {
+          // A malformed marker must NOT suppress the raw-arith checks in
+          // its function; only a validated annotation earns the exemption.
+          target->fastpath = true;
+          target->fastpath_bounded = a.bounded;
+          target->fastpath_fallback = !a.fallback_symbol.empty();
+          target->fallback_symbol = a.fallback_symbol;
+        } else {
+          a.well_formed = false;
+          a.error = "SYSMAP_RAW_FASTPATH annotation is attached to no "
+                    "function definition";
+        }
+      }
+      annotations_.push_back(std::move(a));
+    }
+  }
+}
+
+bool FileModel::suppressed_at(std::size_t line, AnnotationKind kind) const {
+  for (const Annotation& a : annotations_) {
+    if (a.kind != kind || !a.well_formed) continue;
+    if (a.line <= line && line <= a.end_line + 1) return true;
+  }
+  return false;
+}
+
+// ---- declarations -----------------------------------------------------------
+
+std::size_t match_raw_type(const FileModel& m, std::size_t ci) {
+  if (ci >= m.ntok()) return 0;
+  if (m.is_ident(ci, "Int") || m.is_ident(ci, "int64_t")) return 1;
+  if (m.is_ident(ci, "std") && ci + 2 < m.ntok() && m.is_punct(ci + 1, "::") &&
+      m.is_ident(ci + 2, "int64_t")) {
+    return 3;
+  }
+  if (m.is_ident(ci, "sysmap") && ci + 2 < m.ntok() &&
+      m.is_punct(ci + 1, "::") && m.is_ident(ci + 2, "Int")) {
+    return 3;
+  }
+  if (m.is_ident(ci, "long") && ci + 1 < m.ntok() &&
+      m.is_ident(ci + 1, "long")) {
+    return (ci + 2 < m.ntok() && m.is_ident(ci + 2, "int")) ? 3 : 2;
+  }
+  return 0;
+}
+
+std::size_t match_container_type(const FileModel& m, std::size_t ci) {
+  if (ci < m.ntok() && (m.is_ident(ci, "MatI") || m.is_ident(ci, "VecI"))) {
+    return 1;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Matches `unordered_map` / `unordered_set` / `atomic` type heads with an
+/// optional `std ::` prefix.  Returns tokens consumed to reach the head
+/// identifier (the template argument list is skipped by the caller).
+std::size_t match_named_template_head(const FileModel& m, std::size_t ci,
+                                      std::string_view a, std::string_view b) {
+  if (ci < m.ntok() && (m.is_ident(ci, a) || (!b.empty() && m.is_ident(ci, b)))) {
+    return 1;
+  }
+  if (ci + 2 < m.ntok() && m.is_ident(ci, "std") && m.is_punct(ci + 1, "::") &&
+      (m.is_ident(ci + 2, a) || (!b.empty() && m.is_ident(ci + 2, b)))) {
+    return 3;
+  }
+  return 0;
+}
+
+/// Skips a balanced template argument list starting at the `<` at ci.
+/// Returns the code index one past the closing `>` (handles `>>`), or ci
+/// when there is no list.
+std::size_t skip_template_args(const FileModel& m, std::size_t ci) {
+  if (ci >= m.ntok() || !m.is_punct(ci, "<")) return ci;
+  std::size_t depth = 0;
+  std::size_t j = ci;
+  while (j < m.ntok()) {
+    const Token& t = m.tok(j);
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "<") ++depth;
+      if (t.text == ">") {
+        if (depth == 0) break;
+        --depth;
+        if (depth == 0) return j + 1;
+      }
+      if (t.text == ">>") {
+        if (depth <= 2) return j + 1;
+        depth -= 2;
+      }
+      if (t.text == ";" || t.text == "{") break;  // malformed; bail out
+    }
+    ++j;
+  }
+  return ci;
+}
+
+}  // namespace
+
+void FileModel::insert_var(std::size_t ci, const std::string& name,
+                           std::set<std::string> FunctionBody::* member,
+                           std::set<std::string>& file_scope) {
+  FunctionBody* target = nullptr;
+  for (FunctionBody& f : functions_) {  // sorted by open: last hit = innermost
+    if (f.sig_start <= ci && ci <= f.close) target = &f;
+  }
+  if (target) {
+    (target->*member).insert(name);
+  } else {
+    file_scope.insert(name);
+  }
+}
+
+bool FileModel::name_is_raw_at(std::size_t ci, const std::string& name) const {
+  if (raw_vars_.count(name)) return true;
+  for (const FunctionBody& f : functions_) {
+    if (f.sig_start <= ci && ci <= f.close && f.raw_vars.count(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FileModel::name_is_container_at(std::size_t ci,
+                                     const std::string& name) const {
+  if (container_vars_.count(name)) return true;
+  for (const FunctionBody& f : functions_) {
+    if (f.sig_start <= ci && ci <= f.close && f.container_vars.count(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FileModel::name_is_unordered_at(std::size_t ci,
+                                     const std::string& name) const {
+  if (unordered_vars_.count(name)) return true;
+  for (const FunctionBody& f : functions_) {
+    if (f.sig_start <= ci && ci <= f.close && f.unordered_vars.count(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FileModel::name_is_atomic_at(std::size_t ci,
+                                  const std::string& name) const {
+  if (atomic_vars_.count(name)) return true;
+  for (const FunctionBody& f : functions_) {
+    if (f.sig_start <= ci && ci <= f.close && f.atomic_vars.count(name)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FileModel::collect_declarations() {
+  for (std::size_t ci = 0; ci + 1 < ntok(); ++ci) {
+    // unordered_map/unordered_set and std::atomic declarations: the
+    // determinism pass needs the names to spot order-sensitive iteration
+    // and to whitelist atomic accumulators.
+    auto declared_name = [&](std::size_t head) -> std::size_t {
+      std::size_t j = skip_template_args(*this, ci + head);
+      if (j == ci + head) return ntok();  // no template argument list
+      while (j < ntok() && (is_ident(j, "const") || is_punct(j, "&") ||
+                            is_punct(j, "*") || is_punct(j, "&&"))) {
+        ++j;
+      }
+      if (j < ntok() && tok(j).kind == TokenKind::kIdentifier &&
+          !is_keyword(tok(j).text)) {
+        return j;
+      }
+      return ntok();
+    };
+    if (std::size_t head = match_named_template_head(*this, ci, "unordered_map",
+                                                     "unordered_set");
+        head != 0 && (ci == 0 || !is_punct(ci - 1, "::"))) {
+      if (std::size_t j = declared_name(head); j < ntok()) {
+        insert_var(j, tok(j).text, &FunctionBody::unordered_vars,
+                   unordered_vars_);
+      }
+      continue;
+    }
+    if (std::size_t head =
+            match_named_template_head(*this, ci, "atomic", "");
+        head != 0 && (ci == 0 || !is_punct(ci - 1, "::"))) {
+      if (std::size_t j = declared_name(head); j < ntok()) {
+        insert_var(j, tok(j).text, &FunctionBody::atomic_vars, atomic_vars_);
+      }
+      continue;
+    }
+
+    bool container = false;
+    std::size_t len = match_raw_type(*this, ci);
+    if (len == 0) {
+      len = match_container_type(*this, ci);
+      container = len != 0;
+    }
+    if (len == 0) continue;
+    // Exclude `unsigned long long`, `static_cast<Int>` heads etc.
+    if (ci > 0) {
+      if (is_ident(ci - 1, "unsigned") || is_punct(ci - 1, "<") ||
+          is_punct(ci - 1, "::")) {
+        continue;
+      }
+    }
+    std::size_t j = ci + len;
+    // Skip cv/ref/ptr declarator decorations.
+    while (j < ntok() && (is_ident(j, "const") || is_punct(j, "&") ||
+                          is_punct(j, "*") || is_punct(j, "&&"))) {
+      ++j;
+    }
+    if (j >= ntok() || tok(j).kind != TokenKind::kIdentifier ||
+        is_keyword(tok(j).text)) {
+      continue;
+    }
+    // Declarator must terminate like a variable, array or parameter.
+    if (j + 1 < ntok()) {
+      const Token& nxt = tok(j + 1);
+      static const std::set<std::string, std::less<>> enders = {
+          "=", ";", ",", "[", ")", ":", "{"};
+      if (!(nxt.kind == TokenKind::kPunct && enders.count(nxt.text))) {
+        continue;  // e.g. a function declaration `Int foo(...)`
+      }
+    }
+    auto member =
+        container ? &FunctionBody::container_vars : &FunctionBody::raw_vars;
+    auto& file_scope = container ? container_vars_ : raw_vars_;
+    insert_var(j, tok(j).text, member, file_scope);
+    // Comma-chained declarators: `Int r0 = a, r1 = b;`
+    std::size_t depth = 0;
+    for (std::size_t k = j + 1; k < ntok(); ++k) {
+      const Token& t = tok(k);
+      if (t.kind != TokenKind::kPunct) continue;
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      if (t.text == ")" || t.text == "]" || t.text == "}") {
+        if (depth == 0) break;  // parameter declaration ended
+        --depth;
+      }
+      if (depth != 0) continue;
+      if (t.text == ";") break;
+      if (t.text == ",") {
+        if (k + 1 < ntok() && tok(k + 1).kind == TokenKind::kIdentifier &&
+            !is_keyword(tok(k + 1).text) && k + 2 < ntok() &&
+            (is_punct(k + 2, "=") || is_punct(k + 2, ";") ||
+             is_punct(k + 2, ",") || is_punct(k + 2, "["))) {
+          insert_var(k + 1, tok(k + 1).text, member, file_scope);
+        } else {
+          break;  // a call argument list, not a declarator chain
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sysmap::lint

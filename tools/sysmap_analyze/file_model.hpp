@@ -1,0 +1,142 @@
+// Shared per-file syntax model for the sysmap_analyze passes.
+//
+// One tokenization, one function-body map, one variable-scope table and
+// one annotation index serve all three passes (guards, determinism,
+// layering).  The model enforces a *discipline*, not the C++ standard:
+// best-effort structure recovered from the token stream is enough to
+// police the rules, and the optional libclang frontend cross-checks the
+// findings that benefit from real type information.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace sysmap::lint {
+
+/// Comment-annotation kinds recognized across passes.  See
+/// docs/STATIC_ANALYSIS.md for the grammar of each.
+enum class AnnotationKind {
+  kRawFastpath,       ///< RAW_FASTPATH(fallback: sym | bounded: why)
+  kOrderIndependent,  ///< ORDER_INDEPENDENT(reason)
+  kLayeringOk,        ///< LAYERING_OK(reason)
+  kNarrowingOk,       ///< NARROWING_OK: reason (line-scoped escape)
+};
+
+struct Annotation {
+  AnnotationKind kind = AnnotationKind::kRawFastpath;
+  std::size_t token_index = 0;  ///< index into all(), comment/preproc token
+  std::size_t line = 0;
+  std::size_t end_line = 0;  ///< last line of the (possibly spliced) clause
+  std::size_t col = 0;
+  std::string clause;        ///< spliced marker text from the marker on
+  bool well_formed = false;  ///< clause parses; only then does it suppress
+  std::string error;         ///< grammar complaint when !well_formed
+  // RAW_FASTPATH details.
+  bool bounded = false;
+  std::string fallback_symbol;  ///< last ::-component of the fallback
+};
+
+struct FunctionBody {
+  std::string name;
+  std::size_t sig_start = 0;  ///< code index of the name token; parameters
+                              ///< live in [sig_start, open)
+  std::size_t open = 0;       ///< code index of '{'
+  std::size_t close = 0;      ///< code index of matching '}'
+  /// A well-formed RAW_FASTPATH marker is attached to this function.
+  bool fastpath = false;
+  bool fastpath_bounded = false;    ///< ... with a bounded: clause
+  bool fastpath_fallback = false;   ///< ... with a fallback: clause
+  std::string fallback_symbol;
+  std::set<std::string> raw_vars;        ///< raw-64 locals/params
+  std::set<std::string> container_vars;  ///< MatI/VecI locals/params
+  std::set<std::string> unordered_vars;  ///< unordered_map/set locals/members
+  std::set<std::string> atomic_vars;     ///< std::atomic locals/members
+};
+
+class FileModel {
+ public:
+  FileModel(std::string path, const std::string& source);
+
+  const std::string& path() const { return path_; }
+
+  // ---- token access --------------------------------------------------------
+  const std::vector<Token>& all() const { return all_; }
+  /// Code stream: indices of non-comment, non-preprocessor tokens.
+  std::size_t ntok() const { return code_.size(); }
+  const Token& tok(std::size_t ci) const { return all_[code_[ci]]; }
+  std::size_t all_index(std::size_t ci) const { return code_[ci]; }
+
+  bool is_ident(std::size_t ci, std::string_view text) const {
+    return tok(ci).kind == TokenKind::kIdentifier && tok(ci).text == text;
+  }
+  bool is_punct(std::size_t ci, std::string_view text) const {
+    return tok(ci).kind == TokenKind::kPunct && tok(ci).text == text;
+  }
+  bool is_keyword(std::string_view text) const;
+
+  /// Code index of the '(' matching the ')' at close_ci (or close_ci when
+  /// unbalanced).  Works for any open/close punctuator pair.
+  std::size_t match_open_back(std::size_t close_ci, std::string_view open,
+                              std::string_view close) const;
+  /// Code index of the ')' matching the '(' at open_ci (or ntok() when
+  /// unbalanced).
+  std::size_t match_close(std::size_t open_ci, std::string_view open,
+                          std::string_view close) const;
+
+  // ---- structure -----------------------------------------------------------
+  const std::vector<FunctionBody>& functions() const { return functions_; }
+  std::vector<FunctionBody>& functions() { return functions_; }
+  /// Innermost function body containing code index ci, or nullptr.
+  const FunctionBody* enclosing_function(std::size_t ci) const;
+  std::string enclosing_function_name(std::size_t ci) const;
+  /// True when any enclosing function carries a well-formed RAW_FASTPATH.
+  bool in_fastpath_function(std::size_t ci) const;
+
+  // ---- variable scopes -----------------------------------------------------
+  bool name_is_raw_at(std::size_t ci, const std::string& name) const;
+  bool name_is_container_at(std::size_t ci, const std::string& name) const;
+  bool name_is_unordered_at(std::size_t ci, const std::string& name) const;
+  bool name_is_atomic_at(std::size_t ci, const std::string& name) const;
+
+  // ---- annotations ---------------------------------------------------------
+  const std::vector<Annotation>& annotations() const { return annotations_; }
+  /// True when a well-formed annotation of `kind` covers `line`: the
+  /// annotation's own lines, or the line directly below its clause (the
+  /// escape-comment convention).
+  bool suppressed_at(std::size_t line, AnnotationKind kind) const;
+
+  /// Every identifier spelled in this file (for run-global symbol lookup).
+  const std::set<std::string>& identifiers() const { return identifiers_; }
+
+ private:
+  void find_functions();
+  void collect_annotations();
+  void collect_declarations();
+  void insert_var(std::size_t ci, const std::string& name,
+                  std::set<std::string> FunctionBody::* member,
+                  std::set<std::string>& file_scope);
+  bool brace_opens_function(std::size_t bi, std::size_t& out_name) const;
+  void parse_annotation(Annotation& a);
+
+  std::string path_;
+  std::vector<Token> all_;
+  std::vector<std::size_t> code_;
+  std::vector<FunctionBody> functions_;
+  std::vector<Annotation> annotations_;
+  std::set<std::string> raw_vars_;        // file scope
+  std::set<std::string> container_vars_;  // file scope
+  std::set<std::string> unordered_vars_;  // file scope
+  std::set<std::string> atomic_vars_;     // file scope
+  std::set<std::string> identifiers_;
+};
+
+/// Shared raw-64 / container type matchers (token counts, 0 = no match).
+std::size_t match_raw_type(const FileModel& m, std::size_t ci);
+std::size_t match_container_type(const FileModel& m, std::size_t ci);
+
+}  // namespace sysmap::lint

@@ -1,11 +1,11 @@
 // Optional libclang AST frontend.
 //
 // When libclang development headers are present at configure time
-// (SYSMAP_LINT_HAVE_LIBCLANG), kernel_lint parses each file a second time
+// (SYSMAP_LINT_HAVE_LIBCLANG), sysmap_analyze parses each file a second time
 // with the real C++ frontend and reports implicit narrowing conversions that
 // the token-level heuristics cannot see (integral conversions buried in
 // overload resolution, list-initialization narrowing, etc.).  Findings
-// inside SYSMAP_RAW_FASTPATH-annotated line ranges are suppressed so both
+// inside RAW_FASTPATH-annotated line ranges are suppressed so both
 // frontends honor the same annotations.
 #pragma once
 
@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "checks.hpp"
+#include "diagnostics.hpp"
 
 namespace sysmap::lint {
 

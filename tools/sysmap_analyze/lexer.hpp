@@ -1,6 +1,6 @@
 // Minimal C++ tokenizer for the kernel exactness lint.
 //
-// kernel_lint enforces a *discipline*, not the C++ standard: the checks in
+// sysmap_analyze enforces a *discipline*, not the C++ standard: the checks in
 // checks.hpp need identifiers, literals, comments (annotations live there)
 // and punctuation with correct line/column positions, through every comment
 // form, string/char literal (including raw strings) and preprocessor line.

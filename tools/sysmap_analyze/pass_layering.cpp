@@ -1,0 +1,118 @@
+#include "pass_layering.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace sysmap::lint {
+
+namespace {
+
+const std::map<std::string, std::set<std::string>>& allowed_deps() {
+  static const std::map<std::string, std::set<std::string>> table = [] {
+    std::map<std::string, std::set<std::string>> t;
+    t["exact"] = {};
+    t["linalg"] = {"exact"};
+    t["opt"] = {"exact", "linalg"};
+    t["model"] = {"exact", "linalg", "opt"};
+    t["support"] = {"exact", "linalg", "model"};
+    t["bitlevel"] = {"exact", "linalg", "model"};
+    t["lattice"] = {"exact", "linalg", "model", "support"};
+    t["mapping"] = t["lattice"];
+    t["mapping"].insert("lattice");
+    t["schedule"] = t["mapping"];
+    t["schedule"].insert("mapping");
+    t["systolic"] = t["schedule"];
+    t["systolic"].insert("schedule");
+    t["search"] = t["systolic"];
+    t["search"].insert("systolic");
+    t["search"].insert("opt");
+    t["baseline"] = t["search"];
+    t["baseline"].insert("search");
+    t["core"] = {};
+    for (const auto& [name, deps] : t) {
+      if (name != "core") t["core"].insert(name);
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Quoted header path of an `#include "..."` preprocessor token, or "".
+std::string quoted_include(const std::string& pp_text) {
+  std::size_t inc = pp_text.find("include");
+  if (inc == std::string::npos) return {};
+  std::size_t open = pp_text.find('"', inc);
+  if (open == std::string::npos) return {};
+  std::size_t close = pp_text.find('"', open + 1);
+  if (close == std::string::npos) return {};
+  return pp_text.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+std::string LayeringPass::module_of(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    std::size_t slash = path.find('/', start);
+    if (slash == std::string::npos) {
+      parts.push_back(path.substr(start));
+      break;
+    }
+    parts.push_back(path.substr(start, slash - start));
+    start = slash + 1;
+  }
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src" && i + 2 < parts.size()) {
+      return allowed_deps().count(parts[i + 1]) ? parts[i + 1]
+                                                : std::string();
+    }
+  }
+  return {};
+}
+
+void LayeringPass::analyze(const FileModel& m, std::vector<Diagnostic>& out) {
+  for (const Annotation& a : m.annotations()) {
+    if (a.kind != AnnotationKind::kLayeringOk || a.well_formed) continue;
+    Diagnostic d;
+    d.file = m.path();
+    d.line = a.line;
+    d.col = a.col;
+    d.pass = "layering";
+    d.rule = "layering-annotation";
+    d.message = a.error;
+    out.push_back(std::move(d));
+  }
+
+  const std::string module = module_of(m.path());
+  if (module.empty()) return;  // umbrella header or file outside src/
+  const std::set<std::string>& allowed = allowed_deps().at(module);
+
+  for (const Token& t : m.all()) {
+    if (t.kind != TokenKind::kPreprocessor) continue;
+    const std::string header = quoted_include(t.text);
+    if (header.empty()) continue;
+    std::size_t slash = header.find('/');
+    if (slash == std::string::npos) continue;  // local or umbrella header
+    const std::string dep = header.substr(0, slash);
+    if (!allowed_deps().count(dep)) continue;  // not a module path
+    if (dep == module || allowed.count(dep)) continue;
+    if (m.suppressed_at(t.line, AnnotationKind::kLayeringOk)) continue;
+    Diagnostic d;
+    d.file = m.path();
+    d.line = t.line;
+    d.col = t.col;
+    d.pass = "layering";
+    d.rule = "layering";
+    d.message = "module '" + module + "' must not include '" + header +
+                "': '" + dep +
+                "' is not beneath it in the module DAG (see "
+                "docs/STATIC_ANALYSIS.md); invert the dependency, move the "
+                "shared piece down, or annotate the include with "
+                "SYSMAP_LAYERING_OK(reason)";
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace sysmap::lint

@@ -1,0 +1,45 @@
+// Pass 3: module layering (rules layering / layering-annotation).
+//
+// src/ is a DAG of modules; an #include is the only dependency edge the
+// build knows about, so the pass polices exactly those.  The allowed
+// downward reach of every module:
+//
+//   exact                       (nothing)
+//   linalg                      exact
+//   opt                         exact linalg
+//   model                       exact linalg opt
+//   support                     exact linalg model
+//   bitlevel                    exact linalg model
+//   lattice                     exact linalg model support
+//   mapping                     exact linalg model support lattice
+//   schedule                    mapping's reach + mapping
+//   systolic                    schedule's reach + schedule
+//   search                      systolic's reach + systolic + opt
+//   baseline                    search's reach + search
+//   core                        every module
+//
+// A module may always include itself.  Files outside src/ (tests, bench,
+// tools) and the src/sysmap.hpp umbrella are unconstrained.  A deliberate
+// exception carries LAYERING_OK(reason) on the include line or the
+// line above it; a malformed marker is itself a finding
+// (layering-annotation), so a suppression can never be reason-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+#include "file_model.hpp"
+
+namespace sysmap::lint {
+
+class LayeringPass {
+ public:
+  void analyze(const FileModel& m, std::vector<Diagnostic>& out);
+
+  /// Module of a path: the component after the last "src" directory, or ""
+  /// when the file is not inside a module (umbrella header, non-src file).
+  static std::string module_of(const std::string& path);
+};
+
+}  // namespace sysmap::lint

@@ -29,21 +29,45 @@ void write_escaped(std::ostream& os, const std::string& s) {
 
 }  // namespace
 
+std::map<std::string, std::size_t> RunReport::pass_counts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const std::string& p : passes) counts[p] = 0;
+  for (const Diagnostic& d : diagnostics) ++counts[d.pass];
+  return counts;
+}
+
 void write_json(std::ostream& os, const RunReport& report) {
-  os << "{\n  \"tool\": \"kernel_lint\",\n  \"files\": [";
+  os << "{\n  \"tool\": \"sysmap_analyze\",\n  \"clang_frontend\": "
+     << (report.clang_frontend ? "true" : "false") << ",\n  \"files\": [";
   for (std::size_t i = 0; i < report.files.size(); ++i) {
     if (i) os << ", ";
     write_escaped(os, report.files[i]);
   }
+  os << "],\n  \"passes\": [";
+  for (std::size_t i = 0; i < report.passes.size(); ++i) {
+    if (i) os << ", ";
+    write_escaped(os, report.passes[i]);
+  }
   os << "],\n  \"annotation_count\": " << report.annotation_count
      << ",\n  \"diagnostic_count\": " << report.diagnostics.size()
-     << ",\n  \"diagnostics\": [";
+     << ",\n  \"pass_counts\": {";
+  const auto counts = report.pass_counts();
+  bool first = true;
+  for (const auto& [pass, n] : counts) {
+    if (!first) os << ", ";
+    first = false;
+    write_escaped(os, pass);
+    os << ": " << n;
+  }
+  os << "},\n  \"diagnostics\": [";
   for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
     const Diagnostic& d = report.diagnostics[i];
     os << (i ? ",\n    {" : "\n    {") << "\"file\": ";
     write_escaped(os, d.file);
     os << ", \"line\": " << d.line << ", \"col\": " << d.col
-       << ", \"rule\": ";
+       << ", \"pass\": ";
+    write_escaped(os, d.pass);
+    os << ", \"rule\": ";
     write_escaped(os, d.rule);
     os << ", \"function\": ";
     write_escaped(os, d.function);

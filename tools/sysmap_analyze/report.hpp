@@ -1,0 +1,33 @@
+// JSON report writer for sysmap_analyze.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace sysmap::lint {
+
+struct RunReport {
+  std::vector<std::string> files;       ///< every file analyzed
+  std::vector<std::string> passes;      ///< passes that ran, in order
+  std::vector<Diagnostic> diagnostics;  ///< merged, sorted (file, line, col)
+  std::size_t annotation_count = 0;     ///< well-formed markers seen, all kinds
+  bool clang_frontend = false;          ///< libclang cross-check was active
+
+  /// Diagnostic count per pass (zero-filled for every pass that ran).
+  std::map<std::string, std::size_t> pass_counts() const;
+};
+
+/// Serializes the report as JSON:
+///   {"tool": "sysmap_analyze", "files": [...], "passes": [...],
+///    "annotation_count": N, "diagnostic_count": N,
+///    "pass_counts": {"guards": N, ...},
+///    "diagnostics": [{"file", "line", "col", "pass", "rule", "function",
+///                     "message"}, ...]}
+void write_json(std::ostream& os, const RunReport& report);
+
+}  // namespace sysmap::lint
