@@ -141,6 +141,8 @@ void emit_json(std::ostream& json, const Case& c,
        << ",\"cache_hits\":" << t.result.cache_hits
        << ",\"cache_misses\":" << t.result.cache_misses
        << ",\"chunks_stolen\":" << t.result.chunks_stolen
+       << ",\"serial_prefix_resolved\":"
+       << (t.result.serial_prefix_resolved ? "true" : "false")
        << ",\"found\":" << (t.result.found ? "true" : "false")
        << ",\"objective\":" << t.result.objective << "}\n";
 }

@@ -5,66 +5,33 @@
 // (dedicated links or a fixed interconnect), and optionally validate the
 // design on the cycle-accurate simulator.
 //
-// Strategy (Section 5's two routes, combined for exactness):
-//  - for k = n-1, the ILP formulation (5.1)-(5.2) produces a candidate and
-//    a lower bound quickly; because of the appendix's gcd caveat the
-//    candidate is verified, and a bounded Procedure-5.1 sweep between the
-//    lower bound and the candidate's objective certifies global optimality;
-//  - otherwise Procedure 5.1 runs directly (optimal for k >= n-3 by the
-//    exact theorems; exact here for every k via the validated dispatcher).
+// The actual engine lives in search::MappingPipeline (search/pipeline.hpp);
+// this header re-exports its vocabulary types under core:: and keeps the
+// one-call facade, so the design-space sweeps can reuse the engine without
+// reaching up the layering DAG.
 #pragma once
 
-#include <optional>
-#include <string>
-
-#include "mapping/conflict.hpp"
-#include "model/algorithm.hpp"
-#include "search/procedure51.hpp"
-#include "systolic/array.hpp"
-#include "systolic/simulator.hpp"
+#include "search/pipeline.hpp"
 
 namespace sysmap::core {
 
-enum class Method {
-  kAuto,          ///< ILP + certification when applicable, else Procedure 5.1
-  kProcedure51,   ///< pure enumeration (paper's Procedure 5.1)
-  kIlpCertified,  ///< force the ILP + certification route (k = n-1 only)
-};
-
-struct MapperOptions {
-  Method method = Method::kAuto;
-  /// Fixed target interconnect (condition 2 of Definition 2.2); nullopt
-  /// designs a dedicated array.
-  std::optional<schedule::Interconnect> target;
-  /// Run the cycle-accurate simulator on the final design.
-  bool simulate = false;
-  /// Objective cap forwarded to Procedure 5.1 (0 = heuristic default).
-  Int max_objective = 0;
-};
-
-struct MappingSolution {
-  bool found = false;
-  VecI pi;
-  Int objective = 0;
-  Int makespan = 0;
-  mapping::ConflictVerdict verdict;
-  std::string method_used;
-  std::optional<systolic::ArrayDesign> array;
-  std::optional<systolic::SimulationReport> simulation;
-  std::uint64_t candidates_tested = 0;
-  std::uint64_t ilp_nodes = 0;
-};
+using Method = search::Method;
+using MapperOptions = search::PipelineOptions;
+using MappingSolution = search::MappingSolution;
 
 class Mapper {
  public:
-  explicit Mapper(MapperOptions options = {}) : options_(options) {}
+  explicit Mapper(MapperOptions options = {})
+      : pipeline_(std::move(options)) {}
 
   /// Solves Problem 2.2 for (algo, S); S has k-1 rows.
   MappingSolution find_time_optimal(
-      const model::UniformDependenceAlgorithm& algo, const MatI& space) const;
+      const model::UniformDependenceAlgorithm& algo, const MatI& space) const {
+    return pipeline_.find_time_optimal(algo, space);
+  }
 
  private:
-  MapperOptions options_;
+  search::MappingPipeline pipeline_;
 };
 
 }  // namespace sysmap::core

@@ -44,9 +44,10 @@ namespace sysmap::mapping {
 /// every field; the hash is FNV-1a over the same bytes-as-words stream.
 struct ConflictKey {
   enum class Kind : std::uint8_t {
-    kConflictRay = 0,   ///< k = n-1: primitive sign-normalized gamma
-    kKernelBasis = 1,   ///< k <= n-2: canonicalized u_{k+1..n} block
-    kSpaceOrbit = 2,    ///< cost orbit of a space matrix S over a box
+    kConflictRay = 0,    ///< k = n-1: primitive sign-normalized gamma
+    kKernelBasis = 1,    ///< k <= n-2: canonicalized u_{k+1..n} block
+    kSpaceOrbit = 2,     ///< cost orbit of a space matrix S over a box
+    kScheduleOrbit = 3,  ///< schedule-search orbit of S for a fixed (J, D)
   };
 
   Kind kind = Kind::kConflictRay;
@@ -87,6 +88,99 @@ inline void append_extents(const model::IndexSet& set,
   for (std::size_t i = 0; i < set.dimension(); ++i) {
     payload.push_back(set.mu(i));
   }
+}
+
+/// Column arrangements that keep the index box invariant: the identity,
+/// then every within-group permutation of equal-extent column groups
+/// (composed across groups).  When the full orbit exceeds
+/// `max_arrangements` only the identity is returned -- a truncated orbit
+/// slice would be representative-dependent and therefore non-canonical,
+/// while the identity alone is always a (coarser) sound canonicalization.
+inline std::vector<std::vector<std::size_t>> equal_extent_arrangements(
+    const model::IndexSet& set, std::size_t n,
+    std::size_t max_arrangements) {
+  std::vector<std::vector<std::size_t>> arrangements;
+  std::vector<std::size_t> identity(n);
+  for (std::size_t c = 0; c < n; ++c) identity[c] = c;
+  arrangements.push_back(identity);
+  // Group columns by extent; count the full orbit first so a blown cap
+  // degrades to the identity arrangement instead of a truncated (and
+  // therefore representative-dependent) orbit slice.
+  std::size_t orbit = 1;
+  std::vector<bool> grouped(n, false);
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t c = 0; c < n; ++c) {
+    if (grouped[c]) continue;
+    std::vector<std::size_t> group{c};
+    grouped[c] = true;
+    for (std::size_t d = c + 1; d < n; ++d) {
+      if (!grouped[d] && set.mu(d) == set.mu(c)) {
+        group.push_back(d);
+        grouped[d] = true;
+      }
+    }
+    for (std::size_t f = 2; f <= group.size(); ++f) {
+      orbit *= f;
+      if (orbit > max_arrangements) break;
+    }
+    if (orbit > max_arrangements) break;
+    if (group.size() > 1) groups.push_back(std::move(group));
+  }
+  if (orbit <= max_arrangements) {
+    for (const std::vector<std::size_t>& group : groups) {
+      std::vector<std::size_t> order(group.begin(), group.end());
+      const std::size_t fixed = arrangements.size();
+      // Compose every non-identity ordering of this group with every
+      // arrangement accumulated so far.
+      while (std::next_permutation(order.begin(), order.end())) {
+        for (std::size_t a = 0; a < fixed; ++a) {
+          std::vector<std::size_t> perm = arrangements[a];
+          for (std::size_t g = 0; g < group.size(); ++g) {
+            perm[group[g]] = arrangements[a][order[g]];
+          }
+          arrangements.push_back(std::move(perm));
+        }
+      }
+      std::sort(order.begin(), order.end());  // restore for reuse
+    }
+  }
+  return arrangements;
+}
+
+/// Lexicographic minimum, over the given column arrangements, of S with
+/// each row sign-normalized (first nonzero entry positive) and rows
+/// sorted -- the shared canonicalization step of the two orbit keys.
+inline std::vector<Int> min_row_canonical_form(
+    const MatI& space,
+    const std::vector<std::vector<std::size_t>>& arrangements) {
+  const std::size_t m = space.rows();
+  const std::size_t n = space.cols();
+  std::vector<Int> best;
+  std::vector<VecI> rows(m, VecI(n, 0));
+  for (const std::vector<std::size_t>& perm : arrangements) {
+    for (std::size_t r = 0; r < m; ++r) {
+      VecI& row = rows[r];
+      for (std::size_t c = 0; c < n; ++c) row[c] = space(r, perm[c]);
+      // Sign-normalize: first nonzero entry positive.
+      for (std::size_t c = 0; c < n; ++c) {
+        if (row[c] == 0) continue;
+        if (row[c] < 0) {
+          for (std::size_t d = c; d < n; ++d) {
+            row[d] = exact::neg_checked(row[d]);
+          }
+        }
+        break;
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    std::vector<Int> flat;
+    flat.reserve(m * n);
+    for (const VecI& row : rows) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    if (best.empty() || flat < best) best = std::move(flat);
+  }
+  return best;
 }
 
 }  // namespace detail
@@ -201,82 +295,10 @@ inline ConflictKey canonical_space_orbit_key(
   const std::size_t m = space.rows();
   const std::size_t n = space.cols();
 
-  // Column arrangements: identity, then every within-group permutation of
-  // equal-mu column groups (composed across groups) while the running
-  // count stays under the cap.
-  std::vector<std::vector<std::size_t>> arrangements;
-  {
-    std::vector<std::size_t> identity(n);
-    for (std::size_t c = 0; c < n; ++c) identity[c] = c;
-    arrangements.push_back(identity);
-    // Group columns by extent; count the full orbit first so a blown cap
-    // degrades to the identity arrangement instead of a truncated (and
-    // therefore representative-dependent) orbit slice.
-    std::size_t orbit = 1;
-    std::vector<bool> grouped(n, false);
-    std::vector<std::vector<std::size_t>> groups;
-    for (std::size_t c = 0; c < n; ++c) {
-      if (grouped[c]) continue;
-      std::vector<std::size_t> group{c};
-      grouped[c] = true;
-      for (std::size_t d = c + 1; d < n; ++d) {
-        if (!grouped[d] && set.mu(d) == set.mu(c)) {
-          group.push_back(d);
-          grouped[d] = true;
-        }
-      }
-      for (std::size_t f = 2; f <= group.size(); ++f) {
-        orbit *= f;
-        if (orbit > max_arrangements) break;
-      }
-      if (orbit > max_arrangements) break;
-      if (group.size() > 1) groups.push_back(std::move(group));
-    }
-    if (orbit <= max_arrangements) {
-      for (const std::vector<std::size_t>& group : groups) {
-        std::vector<std::size_t> order(group.begin(), group.end());
-        const std::size_t fixed = arrangements.size();
-        // Compose every non-identity ordering of this group with every
-        // arrangement accumulated so far.
-        while (std::next_permutation(order.begin(), order.end())) {
-          for (std::size_t a = 0; a < fixed; ++a) {
-            std::vector<std::size_t> perm = arrangements[a];
-            for (std::size_t g = 0; g < group.size(); ++g) {
-              perm[group[g]] = arrangements[a][order[g]];
-            }
-            arrangements.push_back(std::move(perm));
-          }
-        }
-        std::sort(order.begin(), order.end());  // restore for reuse
-      }
-    }
-  }
-
-  std::vector<Int> best;
-  std::vector<VecI> rows(m, VecI(n, 0));
-  for (const std::vector<std::size_t>& perm : arrangements) {
-    for (std::size_t r = 0; r < m; ++r) {
-      VecI& row = rows[r];
-      for (std::size_t c = 0; c < n; ++c) row[c] = space(r, perm[c]);
-      // Sign-normalize: first nonzero entry positive.
-      for (std::size_t c = 0; c < n; ++c) {
-        if (row[c] == 0) continue;
-        if (row[c] < 0) {
-          for (std::size_t d = c; d < n; ++d) {
-            row[d] = exact::neg_checked(row[d]);
-          }
-        }
-        break;
-      }
-    }
-    std::sort(rows.begin(), rows.end());
-    std::vector<Int> flat;
-    flat.reserve(m * n);
-    for (const VecI& row : rows) {
-      flat.insert(flat.end(), row.begin(), row.end());
-    }
-    if (best.empty() || flat < best) best = std::move(flat);
-  }
+  const std::vector<std::vector<std::size_t>> arrangements =
+      detail::equal_extent_arrangements(set, n, max_arrangements);
+  const std::vector<Int> best =
+      detail::min_row_canonical_form(space, arrangements);
 
   ConflictKey key;
   key.kind = ConflictKey::Kind::kSpaceOrbit;
@@ -286,6 +308,83 @@ inline ConflictKey canonical_space_orbit_key(
   key.payload.reserve(set.dimension() + best.size());
   detail::append_extents(set, key.payload);
   key.payload.insert(key.payload.end(), best.begin(), best.end());
+  return key;
+}
+
+/// Canonical form of the SCHEDULE-SEARCH orbit of S for a fixed algorithm
+/// (J, D): two candidates with equal keys have Procedure-5.1 feasible sets
+/// {(f, Pi) : Pi D > 0, rank[S; Pi] = k, [S; Pi] conflict-free over J}
+/// related by an OBJECTIVE-PRESERVING bijection on Pi -- so the optimal
+/// objective f* (and the nonexistence of any feasible Pi up to a bound)
+/// may be attributed across the key.  Three moves generate the orbit:
+///   1. negating a row of S: ker[S; Pi] and rank[S; Pi] are unchanged (the
+///      same Pi stays feasible, level by level);
+///   2. permuting rows of S: likewise (T changes by a left signed
+///      permutation, which preserves kernel and rank);
+///   3. permuting columns by sigma (matrix P, S -> S P) when sigma
+///      (a) preserves the extents, mu_{sigma(c)} = mu_c, and (b) maps the
+///      COLUMNS of the dependence matrix onto themselves as a multiset
+///      (the rows of D permuted by sigma leave the column multiset fixed).
+///      Then Pi -> Pi P^T is the bijection: (a) keeps the difference box
+///      and the objective sum |pi_i| mu_i invariant, (b) makes
+///      (Pi P^T) D = Pi (P^T D) positive exactly when Pi D is, and
+///      conflict-freedom/rank transfer through [S P; Pi] = [S; Pi P^T] P
+///      (a right permutation preserves both kernel membership in the box
+///      and rank).
+/// Everything beyond f* -- the winning Pi itself, its verdict/witness,
+/// routing on a fixed target (which reads S D, not preserved by move 3),
+/// and the array cost -- is NOT invariant; callers must re-derive those on
+/// the actual S (the fused pipeline re-runs the search seeded at
+/// min_objective = f*) and must skip this key entirely when a target
+/// interconnect constrains the search.  The dependence matrix is embedded
+/// in the payload so distinct algorithms over the same box never alias.
+inline ConflictKey canonical_space_schedule_key(
+    const MatI& space, const model::IndexSet& set, const MatI& dependence,
+    std::size_t max_arrangements = 720) {
+  const std::size_t m = space.rows();
+  const std::size_t n = space.cols();
+
+  std::vector<std::vector<std::size_t>> arrangements =
+      detail::equal_extent_arrangements(set, n, max_arrangements);
+  // Keep only the arrangements that fix the dependence-column multiset:
+  // column c of the permuted dependence block reads D(perm[r], c) in row r.
+  if (arrangements.size() > 1) {
+    std::vector<VecI> original(dependence.cols(), VecI(n, 0));
+    for (std::size_t c = 0; c < dependence.cols(); ++c) {
+      for (std::size_t r = 0; r < n; ++r) original[c][r] = dependence(r, c);
+    }
+    std::vector<VecI> sorted_original = original;
+    std::sort(sorted_original.begin(), sorted_original.end());
+    std::vector<std::vector<std::size_t>> valid;
+    std::vector<VecI> permuted(dependence.cols(), VecI(n, 0));
+    for (std::vector<std::size_t>& perm : arrangements) {
+      for (std::size_t c = 0; c < dependence.cols(); ++c) {
+        for (std::size_t r = 0; r < n; ++r) {
+          permuted[c][r] = original[c][perm[r]];
+        }
+      }
+      std::sort(permuted.begin(), permuted.end());
+      if (permuted == sorted_original) valid.push_back(std::move(perm));
+    }
+    arrangements = std::move(valid);
+  }
+  const std::vector<Int> best =
+      detail::min_row_canonical_form(space, arrangements);
+
+  ConflictKey key;
+  key.kind = ConflictKey::Kind::kScheduleOrbit;
+  key.oracle_tag = 0;
+  key.n = static_cast<std::uint32_t>(n);
+  key.k = static_cast<std::uint32_t>(m);
+  key.payload.reserve(set.dimension() + best.size() +
+                      dependence.rows() * dependence.cols());
+  detail::append_extents(set, key.payload);
+  key.payload.insert(key.payload.end(), best.begin(), best.end());
+  for (std::size_t c = 0; c < dependence.cols(); ++c) {
+    for (std::size_t r = 0; r < dependence.rows(); ++r) {
+      key.payload.push_back(dependence(r, c));
+    }
+  }
   return key;
 }
 

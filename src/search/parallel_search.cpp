@@ -161,18 +161,21 @@ SearchResult procedure_5_1_parallel(
         exact::mul_checked(4, exact::mul_checked(mu_max + 1, mu_sum));
   }
 
-  // One pool for the whole search; workers draw from the feed until it
-  // refuses, so nobody idles at level boundaries.
-  support::ThreadPool pool(num_threads);
-
   // One immutable fixed-S context shared by every worker; skipped under
-  // brute force exactly as in the serial driver.
-  std::optional<FixedSpaceContext> ctx;
+  // brute force exactly as in the serial driver, and borrowed from the
+  // caller when one was supplied (same policy as the serial driver).
+  std::optional<FixedSpaceContext> own_ctx;
+  const FixedSpaceContext* ctx = nullptr;
   if (options.use_fixed_space_context &&
       options.oracle != ConflictOracle::kBruteForce) {
-    ctx.emplace(set, space);
+    if (options.context != nullptr) {
+      ctx = options.context;
+    } else {
+      own_ctx.emplace(set, space);
+      ctx = &*own_ctx;
+    }
   }
-  VerdictCache* cache = ctx ? options.verdict_cache : nullptr;
+  VerdictCache* cache = ctx != nullptr ? options.verdict_cache : nullptr;
   std::uint64_t cache_hits0 = 0;
   std::uint64_t cache_misses0 = 0;
   if (cache != nullptr) {
@@ -190,17 +193,25 @@ SearchResult procedure_5_1_parallel(
 
   Feed feed(set, first_f, stride, max_objective);
   std::atomic<std::uint64_t> best_pos(kNoPos);
-  std::vector<WorkerState> states(pool.size());
+  // Slot num_threads belongs to the serial prefix below; chunk records
+  // compose across slots no matter which thread processed them.
+  std::vector<WorkerState> states(num_threads + 1);
 
   const bool batching = ctx && ctx->supports_batch(options.oracle);
-  pool.run([&](std::size_t w) {
-    WorkerState& me = states[w];
+  // The complete per-worker scan loop, shared by the pool workers and the
+  // serial prefix.  draw_cap > 0 bounds how many candidates may be drawn
+  // in total (the prefix budget; the feed is touched by one thread only
+  // then, so the unlocked produced() read is safe).  Returns true when
+  // the scan ended for real -- stream drained or a hit pruned the rest --
+  // and false when only the budget ran out.
+  auto work = [&](WorkerState& me, std::uint64_t draw_cap) -> bool {
     Chunk chunk;
     std::vector<VecI> deps;              // packed batch panel input
     std::size_t deps_used = 0;           // live prefix of `deps`
     std::vector<std::size_t> dep_idx;    // chunk-local survivor positions
     std::vector<std::optional<mapping::ConflictVerdict>> screens;
     for (;;) {
+      if (draw_cap != 0 && feed.produced() >= draw_cap) return false;
       const std::uint64_t bound = best_pos.load(std::memory_order_relaxed);
       if (!feed.draw(chunk_size, bound, chunk)) break;
       ++me.draws;
@@ -292,7 +303,26 @@ SearchResult procedure_5_1_parallel(
       rec.passed = dep_idx.size();
       me.records.push_back(rec);
     }
-  });
+    return true;
+  };
+
+  // Small-problem serial cutoff: tiny streams (a few hundred candidates)
+  // pay more in pool wake-up and chunk traffic than the scan itself costs,
+  // so the calling thread runs the same chunked loop first and the pool is
+  // constructed only when the stream outlives the budget.  Every chunk
+  // flows through the identical code path either way, so the reduction
+  // below composes the statistics exactly as if workers had drawn them.
+  bool serial_resolved = false;
+  if (options.streaming_serial_cutoff > 0) {
+    serial_resolved =
+        work(states[num_threads], options.streaming_serial_cutoff);
+  }
+  if (!serial_resolved) {
+    // One pool for the rest of the stream; workers draw from the feed
+    // until it refuses, so nobody idles at level boundaries.
+    support::ThreadPool pool(num_threads);
+    pool.run([&](std::size_t w) { work(states[w], 0); });
+  }
 
   // Reduction.  Chunks are disjoint contiguous position ranges handed out
   // in order, and the pruning bound never drops below the final winner
@@ -304,6 +334,7 @@ SearchResult procedure_5_1_parallel(
   // records with base <= P therefore reproduces the serial tally, and
   // candidates_tested is P + 1 (or everything produced when nothing hit).
   SearchResult result;
+  result.serial_prefix_resolved = serial_resolved;
   std::size_t best_worker = states.size();
   std::uint64_t winner_pos = kNoPos;
   for (std::size_t w = 0; w < states.size(); ++w) {
@@ -311,7 +342,10 @@ SearchResult procedure_5_1_parallel(
       winner_pos = states[w].pos;
       best_worker = w;
     }
-    if (states[w].draws > 0) result.chunks_stolen += states[w].draws - 1;
+    // The prefix slot runs on the calling thread; its draws steal nothing.
+    if (w < num_threads && states[w].draws > 0) {
+      result.chunks_stolen += states[w].draws - 1;
+    }
   }
   if (best_worker == states.size()) {
     result.candidates_tested = feed.produced();

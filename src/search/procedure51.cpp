@@ -76,15 +76,21 @@ SearchResult procedure_5_1(const model::UniformDependenceAlgorithm& algo,
   // its verdicts are bit-identical to the from-scratch path below.  Brute
   // force consults none of the precomputes (its screen degenerates to the
   // plain rank test), so the context is skipped there outright.
-  std::optional<FixedSpaceContext> ctx;
+  std::optional<FixedSpaceContext> own_ctx;
+  const FixedSpaceContext* ctx = nullptr;
   if (options.use_fixed_space_context &&
       options.oracle != ConflictOracle::kBruteForce) {
-    ctx.emplace(set, space);
+    if (options.context != nullptr) {
+      ctx = options.context;  // caller-owned, built for this exact (J, S)
+    } else {
+      own_ctx.emplace(set, space);
+      ctx = &*own_ctx;
+    }
   }
 
   // The cache is consulted through the context only; counter deltas are
   // reported per search even when the cache object is shared by several.
-  VerdictCache* cache = ctx ? options.verdict_cache : nullptr;
+  VerdictCache* cache = ctx != nullptr ? options.verdict_cache : nullptr;
   std::uint64_t cache_hits0 = 0;
   std::uint64_t cache_misses0 = 0;
   if (cache != nullptr) {

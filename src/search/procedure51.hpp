@@ -24,6 +24,7 @@
 namespace sysmap::search {
 
 class VerdictCache;
+class FixedSpaceContext;
 
 /// Which conflict oracle Step 5(3) uses.
 enum class ConflictOracle {
@@ -55,6 +56,22 @@ struct SearchOptions {
   /// driver's workers; results stay bit-identical -- only the hit/miss
   /// counters below observe it.  Never consulted under kBruteForce.
   VerdictCache* verdict_cache = nullptr;
+  /// Optional caller-owned context for this exact (J, S) pair, borrowed for
+  /// the duration of the call; nullptr lets the search build its own.  Lets
+  /// a driver that runs SEVERAL searches against one space (ILP
+  /// certification sweep + fall-through, orbit-seeded re-runs) pay the
+  /// context construction once.  Ignored when use_fixed_space_context is
+  /// false or the oracle is kBruteForce (matching the own-context policy).
+  const FixedSpaceContext* context = nullptr;
+  /// Streaming driver only: when the total candidate count through
+  /// max_objective is known to be at most this many, the parallel search
+  /// resolves the whole scan serially on the calling thread before
+  /// spinning up (or even constructing) the worker pool -- tiny problems
+  /// otherwise pay more in chunk traffic than the scan itself costs
+  /// (BENCH_search.json showed ~0.09x on 261-candidate cases).  The serial
+  /// prefix reuses the worker code path chunk by chunk, so every statistic
+  /// stays bit-identical.  0 disables the cutoff.
+  std::size_t streaming_serial_cutoff = 1024;
 };
 
 struct SearchResult {
@@ -74,6 +91,11 @@ struct SearchResult {
   /// Streaming scheduler only: chunks drawn from the shared feed beyond
   /// each worker's first draw (the work-stealing metric; 0 when serial).
   std::uint64_t chunks_stolen = 0;
+  /// Streaming scheduler only, advisory: the serial small-problem cutoff
+  /// resolved the search on the calling thread without waking the pool
+  /// (see SearchOptions::streaming_serial_cutoff).  Like the cache and
+  /// steal counters, NOT part of the bit-identical result contract.
+  bool serial_prefix_resolved = false;
 };
 
 /// Runs Procedure 5.1 for algorithm (J, D) and space mapping S.

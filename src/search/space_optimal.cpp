@@ -8,14 +8,12 @@
 #include <stdexcept>
 #include <utility>
 
-// SYSMAP_LAYERING_OK(scoring candidate spaces reuses the mapper facade's
-// end-to-end pipeline; tracked as the search-to-core inversion in ROADMAP.md)
-#include "core/mapper.hpp"
 #include "exact/checked.hpp"
 #include "lattice/kernel.hpp"
 #include "linalg/ops.hpp"
 #include "mapping/canonical_key.hpp"
 #include "search/fixed_space.hpp"
+#include "search/pipeline.hpp"
 #include "support/thread_pool.hpp"
 #include "search/verdict_cache.hpp"
 #include "support/flat_image_set.hpp"
@@ -716,12 +714,16 @@ DesignSpaceResult explore_design_space_seed(
   DesignSpaceResult result;
   std::vector<DesignPoint> points;
 
-  core::Mapper mapper;  // default: ILP + certification / Procedure 5.1
+  // Cold scoring per space (default: ILP + certification / Procedure 5.1);
+  // the sweep consumes (found, pi, makespan) only, so array design is off.
+  PipelineOptions cold;
+  cold.design_array = false;
+  const MappingPipeline pipeline(cold);
   for (const MatI& space : candidate_spaces(n, options)) {
     ++result.spaces_tested;
-    core::MappingSolution solution;
+    MappingSolution solution;
     try {
-      solution = mapper.find_time_optimal(algo, space);
+      solution = pipeline.find_time_optimal(algo, space);
     } catch (const std::exception&) {
       continue;  // defensive: skip degenerate candidates
     }
@@ -780,7 +782,18 @@ DesignSpaceResult explore_design_space(
   SpaceFeed feed(n, options);
   const std::size_t workers =
       options.num_threads <= 1 ? 1 : options.num_threads;
-  const core::Mapper mapper;  // stateless; shared across workers
+  // One fused pipeline persists across every candidate space: shared
+  // verdict cache, schedule-orbit objective reuse, per-space contexts.
+  // score() without a cap is bit-identical to the cold per-space calls the
+  // seed engine makes, so the Pareto set is unchanged (a cap would break
+  // frontier parity: dominated-on-time points can still be on it).
+  PipelineOptions fused_options;
+  fused_options.design_array = false;
+  MappingPipeline pipeline(fused_options);
+  MappingPipeline::FusionOptions fusion;
+  fusion.verdict_cache = options.verdict_cache;
+  fusion.use_schedule_orbit_cache = options.use_schedule_cache;
+  pipeline.enable_fusion(fusion);
   std::vector<std::vector<std::pair<std::uint64_t, DesignPoint>>> accepted(
       workers);
 
@@ -791,9 +804,9 @@ DesignSpaceResult explore_design_space(
     while (feed.draw(kChunk, chunk)) {
       for (std::size_t i = 0; i < chunk.len; ++i) {
         const MatI& space = chunk.spaces[i];
-        core::MappingSolution solution;
+        MappingSolution solution;
         try {
-          solution = mapper.find_time_optimal(algo, space);
+          solution = pipeline.score(algo, space);
         } catch (const std::exception&) {
           continue;  // defensive: skip degenerate candidates
         }
@@ -856,6 +869,189 @@ DesignSpaceResult explore_design_space(
     }
   }
   return result;
+}
+
+// ---- Joint single-winner query: seed engine (parity oracle) ----------------
+
+JointMappingResult joint_time_optimal_mapping_seed(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  JointMappingResult best;
+  PipelineOptions cold;
+  cold.design_array = false;
+  const MappingPipeline pipeline(cold);
+  for (const MatI& space : candidate_spaces(n, options)) {
+    ++best.spaces_tested;
+    MappingSolution solution;
+    try {
+      solution = pipeline.find_time_optimal(algo, space);
+    } catch (const std::exception&) {
+      continue;  // defensive: skip degenerate candidates
+    }
+    if (!solution.found) continue;
+    const ArrayCost cost = evaluate_array_cost(algo, space);
+    const bool better =
+        !best.found || solution.objective < best.objective ||
+        (solution.objective == best.objective &&
+         (cost.total() < best.cost.total() ||
+          (cost.total() == best.cost.total() &&
+           cost.processors < best.cost.processors)));
+    if (better) {
+      best.found = true;
+      best.space = space;
+      best.pi = solution.pi;
+      best.objective = solution.objective;
+      best.makespan = solution.makespan;
+      best.verdict = solution.verdict;
+      best.cost = cost;
+    }
+  }
+  return best;
+}
+
+// ---- Joint single-winner query: fused engine -------------------------------
+
+namespace {
+
+// One worker's running joint incumbent: the lexicographic minimum of
+// (objective, total, processors, global position) over the candidates it
+// evaluated -- exactly the seed's "strictly smaller objective, then cost,
+// then first seen wins" update order.
+struct LocalJointBest {
+  bool found = false;
+  Int objective = 0;
+  Int total = 0;
+  std::uint64_t pos = 0;
+  MatI space;
+  VecI pi;
+  Int makespan = 0;
+  mapping::ConflictVerdict verdict;
+  ArrayCost cost;
+  std::uint64_t truncated = 0;
+
+  bool better_than(const LocalJointBest& other) const {
+    if (objective != other.objective) return objective < other.objective;
+    if (total != other.total) return total < other.total;
+    if (cost.processors != other.cost.processors) {
+      return cost.processors < other.cost.processors;
+    }
+    return pos < other.pos;
+  }
+};
+
+}  // namespace
+
+JointMappingResult joint_time_optimal_mapping(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options) {
+  const std::size_t n = algo.dimension();
+  const model::IndexSet& set = algo.index_set();
+  std::uint64_t points_count = 0;
+  bool points_known = true;
+  try {
+    points_count = set.size_u64();
+  } catch (const exact::OverflowError&) {
+    points_known = false;  // disables the injectivity compare only
+  }
+
+  ImageCountCache counts;
+  ImageCountCache* counts_ptr =
+      options.use_orbit_cache ? &counts : nullptr;
+  SpaceFeed feed(n, options);
+  PipelineOptions fused_options;
+  fused_options.design_array = false;
+  MappingPipeline pipeline(fused_options);
+  MappingPipeline::FusionOptions fusion;
+  fusion.verdict_cache = options.verdict_cache;
+  fusion.use_schedule_orbit_cache = options.use_schedule_cache;
+  pipeline.enable_fusion(fusion);
+
+  // Cross-space incumbent on the schedule objective.  The cap is the best
+  // objective FOUND so far and score() treats it inclusively, so a space
+  // whose optimum ties the incumbent is still fully scored and costed --
+  // the cost tie-breaks and first-seen order are exactly the seed's.  A
+  // truncated space has optimum > cap >= the final minimum, so it could
+  // not have won or tied under any interleaving.
+  std::atomic<Int> best_objective{kNoIncumbent};
+  const std::size_t workers =
+      options.num_threads <= 1 ? 1 : options.num_threads;
+  std::vector<LocalJointBest> locals(workers);
+
+  auto body = [&](std::size_t w) {
+    LocalJointBest& local = locals[w];
+    ProcessorCounter counter(set, options, points_count, points_known,
+                             counts_ptr);
+    SpaceChunk chunk;
+    SweepStats scratch;
+    while (feed.draw(kChunk, chunk)) {
+      for (std::size_t i = 0; i < chunk.len; ++i) {
+        const MatI& space = chunk.spaces[i];
+        const std::uint64_t pos = chunk.base + i;
+        Int cap = MappingPipeline::kNoCap;
+        if (options.use_branch_and_bound) {
+          const Int incumbent =
+              best_objective.load(std::memory_order_relaxed);
+          if (incumbent != kNoIncumbent) cap = incumbent;
+        }
+        MappingSolution solution;
+        try {
+          solution = pipeline.score(algo, space, cap);
+        } catch (const std::exception&) {
+          continue;  // defensive: skip degenerate candidates
+        }
+        if (!solution.found) {
+          if (solution.truncated_by_cap) ++local.truncated;
+          continue;
+        }
+        atomic_fetch_min(best_objective, solution.objective);
+        LocalJointBest candidate;
+        candidate.found = true;
+        candidate.objective = solution.objective;
+        candidate.pos = pos;
+        candidate.space = space;
+        candidate.pi = std::move(solution.pi);
+        candidate.makespan = solution.makespan;
+        candidate.verdict = std::move(solution.verdict);
+        candidate.cost.processors =
+            *counter.count(space, /*exit_above=*/-1, scratch);
+        candidate.cost.wire_length =
+            wire_length_sum(space, algo.dependence_matrix());
+        candidate.total = exact::add_checked(candidate.cost.processors,
+                                             candidate.cost.wire_length);
+        if (!local.found || candidate.better_than(local)) {
+          candidate.truncated = local.truncated;
+          local = std::move(candidate);
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    body(0);
+  } else {
+    support::ThreadPool pool(workers);
+    pool.run(body);
+  }
+
+  JointMappingResult best;
+  best.spaces_tested = feed.produced();
+  const LocalJointBest* winner = nullptr;
+  for (const LocalJointBest& local : locals) {
+    best.truncated_spaces += local.truncated;
+    if (!local.found) continue;
+    if (winner == nullptr || local.better_than(*winner)) winner = &local;
+  }
+  if (winner != nullptr) {
+    best.found = true;
+    best.space = winner->space;
+    best.pi = winner->pi;
+    best.objective = winner->objective;
+    best.makespan = winner->makespan;
+    best.verdict = winner->verdict;
+    best.cost = winner->cost;
+  }
+  return best;
 }
 
 }  // namespace sysmap::search

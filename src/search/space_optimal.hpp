@@ -75,7 +75,15 @@ struct SpaceSearchOptions {
   /// strictly, and cut image walks short once the running count alone
   /// loses strictly.  Never fires on ties, so the seed tie-break order
   /// (fewer processors at equal total, then first-seen) is preserved.
+  /// joint_time_optimal_mapping additionally gates its cross-space
+  /// schedule-objective incumbent (strict-only as well) on this flag.
   bool use_branch_and_bound = true;
+  /// Fused sweeps only (explore_design_space, joint_time_optimal_mapping):
+  /// reuse certified optimal schedule objectives across candidate spaces
+  /// in the same schedule orbit (mapping::canonical_space_schedule_key).
+  /// Bit-identical -- an orbit hit re-runs the search seeded at the
+  /// certified optimum, reproducing the cold winner and statistics.
+  bool use_schedule_cache = true;
 };
 
 struct ArrayCost {
@@ -149,6 +157,43 @@ DesignSpaceResult explore_design_space(
 
 /// The original serial Problem 6.2 engine, preserved as parity oracle.
 DesignSpaceResult explore_design_space_seed(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options = {});
+
+/// The single best point of the Problem 6.2 design space: minimal
+/// schedule objective first, then array cost (total, then processors),
+/// then first-seen candidate order.  Unlike the Pareto sweep this query
+/// has one winner, which is what lets the fused engine truncate hopeless
+/// spaces with a cross-space incumbent bound.
+struct JointMappingResult {
+  bool found = false;
+  MatI space;
+  VecI pi;
+  Int objective = 0;
+  Int makespan = 0;
+  mapping::ConflictVerdict verdict;
+  ArrayCost cost;
+  std::uint64_t spaces_tested = 0;
+  /// Advisory, fast engine only: spaces whose schedule search the
+  /// incumbent objective cut short (their optimum provably exceeds the
+  /// winner's).  EXCLUDED from the bit-identical contract.
+  std::uint64_t truncated_spaces = 0;
+};
+
+/// Fused joint query: one MappingPipeline persists across every candidate
+/// space (shared verdict cache, schedule-orbit reuse), the best objective
+/// found so far caps later searches (strict-only: equal-objective spaces
+/// are never truncated, so cost tie-breaks and the serial winner survive),
+/// and the sweep parallelizes over spaces with a deterministic
+/// (objective, total, processors, pos) reduction -- bit-identical to
+/// joint_time_optimal_mapping_seed for every thread count and cache flag.
+JointMappingResult joint_time_optimal_mapping(
+    const model::UniformDependenceAlgorithm& algo,
+    const SpaceSearchOptions& options = {});
+
+/// The cold-call oracle: per-space core-style scoring with no shared
+/// state, every space fully searched and costed.
+JointMappingResult joint_time_optimal_mapping_seed(
     const model::UniformDependenceAlgorithm& algo,
     const SpaceSearchOptions& options = {});
 

@@ -1,0 +1,12 @@
+// Negative fixture: the layering pass MUST flag this file.
+//
+// A search-layer file reaching UP to the core facade -- the exact
+// inversion space_optimal.cpp used to carry behind a SYSMAP_LAYERING_OK
+// escape until the scoring pipeline moved into search/pipeline.hpp.  With
+// the engine in its own layer there is no legitimate reason left for
+// search code to include core/, and no annotation excuses it here.  Never
+// compiled.
+#include "core/mapper.hpp"
+#include "search/procedure51.hpp"
+
+namespace fixture {}

@@ -229,12 +229,41 @@ TEST(StreamingSearch, SharedCacheKeepsResultsBitIdentical) {
 TEST(StreamingSearch, ChunkStealCounterMovesWork) {
   // With chunk size 1 a multi-level sweep forces many draws; the counter
   // is informational (nondeterministic), but it must at least register
-  // that more than one chunk was drawn overall.
+  // that more than one chunk was drawn overall.  The serial small-problem
+  // cutoff is disabled here -- this case is tiny, and the whole point of
+  // the cutoff is that such streams never reach the worker pool.
   model::UniformDependenceAlgorithm algo = model::matmul(4);
+  SearchOptions opts;
+  opts.streaming_serial_cutoff = 0;
   const SearchResult streaming =
-      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, {}, 1, 1);
+      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, opts, 1, 1);
   ASSERT_TRUE(streaming.found);
   EXPECT_GT(streaming.chunks_stolen, 0u);
+  EXPECT_FALSE(streaming.serial_prefix_resolved);
+}
+
+TEST(StreamingSearch, SerialCutoffResolvesTinyStreamsOnCallerThread) {
+  // Under the default cutoff the same tiny stream resolves on the calling
+  // thread: no chunks are stolen (the pool is never built), the advisory
+  // flag reports the short-circuit, and every contract-covered field is
+  // still bit-identical to the serial sweep.
+  model::UniformDependenceAlgorithm algo = model::matmul(4);
+  const SearchResult serial = procedure_5_1(algo, MatI{{1, 1, -1}});
+  const SearchResult streaming =
+      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, {}, 4, 1);
+  expect_bit_identical(serial, streaming);
+  EXPECT_TRUE(streaming.serial_prefix_resolved);
+  EXPECT_EQ(streaming.chunks_stolen, 0u);
+
+  // A mid-stream budget (smaller than the candidate count) hands the rest
+  // to the pool; the composed statistics must still match the serial scan
+  // exactly, and the flag must report that the pool did run.
+  SearchOptions small;
+  small.streaming_serial_cutoff = 16;
+  const SearchResult handed_off =
+      procedure_5_1_parallel(algo, MatI{{1, 1, -1}}, small, 4, 1);
+  expect_bit_identical(serial, handed_off);
+  EXPECT_FALSE(handed_off.serial_prefix_resolved);
 }
 
 TEST(StreamingSearch, ValidatesShapes) {

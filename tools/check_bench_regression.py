@@ -31,9 +31,13 @@ METRICS = ("candidates_per_sec", "points_per_sec")
 def load_rows(path):
     """Keyed throughput rows from a JSON-lines bench file.
 
-    Summary objects (speedup lines, the multi-S sweep) carry no
-    throughput metric and are skipped; unparsable lines are reported but
-    never fatal -- this gate must not brick CI over formatting drift.
+    Returns (rows, readable).  Summary objects (speedup lines, the
+    multi-S sweep) carry no throughput metric and are skipped;
+    unparsable lines are reported but never fatal -- this gate must not
+    brick CI over formatting drift.  An unreadable file (typically a
+    baseline that does not exist yet on a first-run branch) yields
+    ({}, False) so the caller can degrade to a note instead of a
+    warning.
     """
     rows = {}
     try:
@@ -56,21 +60,31 @@ def load_rows(path):
                 rows[key] = float(obj[metric])
     except OSError as err:
         print(f"note: cannot read {path}: {err}")
-    return rows
+        return rows, False
+    return rows, True
 
 
 def compare_pair(baseline_path, current_path, threshold):
     """One suite's comparison, as a JSON-ready dict."""
-    baseline = load_rows(baseline_path)
-    current = load_rows(current_path)
+    baseline, baseline_readable = load_rows(baseline_path)
+    current, _ = load_rows(current_path)
     result = {
         "baseline": baseline_path,
         "current": current_path,
+        "baseline_missing": not baseline_readable,
         "baseline_rows": len(baseline),
         "current_rows": len(current),
         "compared": 0,
         "regressions": [],
     }
+    if not baseline_readable:
+        # First run of a new suite: there is nothing to gate against yet.
+        # Degrade to a note (warn-not-fail is this tool's contract, and a
+        # missing baseline is not even worth a ::warning:: annotation).
+        print(f"bench-regression: no baseline at {baseline_path} "
+              f"(first run? commit the full-mode bench output to create "
+              f"one); suite skipped")
+        return result
     for key, base_cps in sorted(baseline.items()):
         cur_cps = current.get(key)
         if cur_cps is None or base_cps <= 0:
@@ -113,6 +127,8 @@ def main():
     for res in results:
         total_compared += res["compared"]
         total_regressions += len(res["regressions"])
+        if res["baseline_missing"]:
+            continue  # already reported by compare_pair
         if res["compared"] == 0:
             print(f"bench-regression: nothing to compare for "
                   f"{res['baseline']} vs {res['current']} "
