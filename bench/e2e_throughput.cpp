@@ -208,6 +208,11 @@ int main(int argc, char** argv) {
     json.flush();
   }
 
+  // One obs snapshot per run (obs_enabled:false when compiled out), so
+  // BENCH_e2e.json carries the engine counters next to the timings.
+  json << sysmap::obs::snapshot_json() << "\n";
+  json.flush();
+
   if (!all_parity_ok) {
     std::cerr << "e2e_throughput: parity violations detected\n";
     return 1;

@@ -236,5 +236,7 @@ int main() {
       json.flush();
     }
   }
+  json << sysmap::obs::snapshot_json() << "\n";
+  json.flush();
   return 0;
 }

@@ -287,5 +287,7 @@ int main(int argc, char** argv) {
       all_parity_ok = false;
     }
   }
+  json << sysmap::obs::snapshot_json() << "\n";
+  json.flush();
   return all_parity_ok ? 0 : 1;
 }

@@ -239,5 +239,7 @@ int main(int argc, char** argv) {
          << ",\"parallel_vs_seed\":" << par_speedup << "}\n";
     json.flush();
   }
+  json << sysmap::obs::snapshot_json() << "\n";
+  json.flush();
   return all_parity_ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "exact/checked_int.hpp"
+#include "obs/obs.hpp"
 
 namespace sysmap::exact {
 
@@ -35,10 +36,12 @@ namespace detail {
 
 void record_attempt() noexcept {
   g_attempts.fetch_add(1, std::memory_order_relaxed);
+  SYSMAP_COUNT("exact.fastpath.attempts", 1);
 }
 
 void record_fallback() noexcept {
   g_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  SYSMAP_COUNT("exact.fastpath.bigint_restarts", 1);
 }
 
 }  // namespace detail

@@ -1,0 +1,268 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace sysmap::obs {
+
+namespace {
+
+// Cell layout: three relaxed-atomic uint64 per metric.
+//   [0] total   (counter sum / gauge sum / span ns)    merge: +
+//   [1] events  (increments / samples / invocations)   merge: +
+//   [2] peak    (gauge max / span max ns; counters 0)  merge: max
+// Both merge operators are commutative and associative, so the
+// aggregate over any set of thread blocks is independent of thread
+// interleaving and fold order -- the order-independence the determinism
+// contract requires.
+constexpr std::size_t kCells = 3;
+
+struct ThreadCells {
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics * kCells> cells{};
+};
+
+/// Process-wide metric registry.  Leaked on purpose: thread-exit hooks
+/// fold into it at arbitrary shutdown points, so it must outlive every
+/// thread_local destructor.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> names;  // by id, insertion order
+  std::vector<Kind> kinds;
+  std::map<std::string, MetricId, std::less<>> index;
+  std::vector<ThreadCells*> live;                         // registered sinks
+  std::array<std::uint64_t, kMaxMetrics * kCells> retired{};  // dead threads
+
+  static Registry& instance() {
+    static Registry* r = new Registry;
+    return *r;
+  }
+};
+
+/// Folds one cell into an accumulator with the kind-blind merge rule:
+/// peak cells (index % kCells == 2) take the max, the rest add.
+void fold_cell(std::uint64_t& acc, std::size_t cell_index,
+               std::uint64_t value) {
+  if (cell_index % kCells == 2) {
+    acc = std::max(acc, value);
+  } else {
+    acc += value;
+  }
+}
+
+/// Per-thread sink handle: folds the thread's cells into the retired
+/// block and unregisters on thread exit, so long-lived processes that
+/// churn thread pools keep a bounded live list.
+struct SinkHandle {
+  ThreadCells* cells = nullptr;
+
+  ~SinkHandle() {
+    if (cells == nullptr) return;
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (std::size_t i = 0; i < reg.retired.size(); ++i) {
+      fold_cell(reg.retired[i], i,
+                cells->cells[i].load(std::memory_order_relaxed));
+    }
+    reg.live.erase(std::remove(reg.live.begin(), reg.live.end(), cells),
+                   reg.live.end());
+    delete cells;
+  }
+};
+
+thread_local SinkHandle t_sink;
+
+ThreadCells& thread_cells() {
+  if (t_sink.cells == nullptr) {
+    auto* fresh = new ThreadCells;
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.live.push_back(fresh);
+    t_sink.cells = fresh;
+  }
+  return *t_sink.cells;
+}
+
+std::uint64_t now_ns() noexcept {
+  const auto t =
+      // SYSMAP_ORDER_INDEPENDENT(span durations are advisory metrics with
+      // a commutative merge; no engine result ever reads them)
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kSpan:
+      return "span";
+  }
+  return "?";
+}
+
+void json_escape(std::ostringstream& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out << ' ';  // metric names never contain other control chars
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+MetricId intern(std::string_view name, Kind kind) noexcept {
+  if (!kEnabled) return kInvalidMetric;
+  try {
+    Registry& reg = Registry::instance();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.index.find(name);
+    if (it != reg.index.end()) return it->second;  // first kind wins
+    if (reg.names.size() >= kMaxMetrics) return kInvalidMetric;
+    const MetricId id = static_cast<MetricId>(reg.names.size());
+    reg.names.emplace_back(name);
+    reg.kinds.push_back(kind);
+    reg.index.emplace(reg.names.back(), id);
+    return id;
+  } catch (...) {
+    // Allocation failure while registering a metric must never take the
+    // engines down; degrade to the no-op id.
+    return kInvalidMetric;
+  }
+}
+
+void add(MetricId id, std::uint64_t delta) noexcept {
+  if (!kEnabled || id == kInvalidMetric) return;
+  ThreadCells& c = thread_cells();
+  c.cells[id * kCells].fetch_add(delta, std::memory_order_relaxed);
+  c.cells[id * kCells + 1].fetch_add(1, std::memory_order_relaxed);
+}
+
+void gauge(MetricId id, std::uint64_t value) noexcept {
+  if (!kEnabled || id == kInvalidMetric) return;
+  ThreadCells& c = thread_cells();
+  c.cells[id * kCells].fetch_add(value, std::memory_order_relaxed);
+  c.cells[id * kCells + 1].fetch_add(1, std::memory_order_relaxed);
+  // Only the owning thread writes its peak cell, so load-max-store is a
+  // race-free read-modify-write here.
+  std::atomic<std::uint64_t>& peak = c.cells[id * kCells + 2];
+  if (value > peak.load(std::memory_order_relaxed)) {
+    peak.store(value, std::memory_order_relaxed);
+  }
+}
+
+void span_ns(MetricId id, std::uint64_t ns) noexcept {
+  gauge(id, ns);  // identical cell semantics; kind tags the difference
+}
+
+std::vector<Metric> snapshot() {
+  std::vector<Metric> out;
+  if (!kEnabled) return out;
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  out.resize(reg.names.size());
+  for (std::size_t id = 0; id < reg.names.size(); ++id) {
+    Metric& m = out[id];
+    m.name = reg.names[id];
+    m.kind = reg.kinds[id];
+    std::array<std::uint64_t, kCells> acc{};
+    for (std::size_t cell = 0; cell < kCells; ++cell) {
+      const std::size_t i = id * kCells + cell;
+      acc[cell] = reg.retired[i];
+      for (ThreadCells* tc : reg.live) {
+        fold_cell(acc[cell], i, tc->cells[i].load(std::memory_order_relaxed));
+      }
+    }
+    m.total = acc[0];
+    m.events = acc[1];
+    m.peak = acc[2];
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return out;
+}
+
+void reset() {
+  if (!kEnabled) return;
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.retired.fill(0);
+  for (ThreadCells* tc : reg.live) {
+    for (auto& cell : tc->cells) cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string to_json(const std::vector<Metric>& metrics) {
+  std::ostringstream out;
+  out << "{\"obs_enabled\":" << (kEnabled ? "true" : "false")
+      << ",\"metrics\":{";
+  bool first = true;
+  for (const Metric& m : metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"";
+    json_escape(out, m.name);
+    out << "\":{\"kind\":\"" << kind_name(m.kind) << "\",\"total\":" << m.total
+        << ",\"events\":" << m.events << ",\"peak\":" << m.peak << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string snapshot_json() { return to_json(snapshot()); }
+
+std::string format_table(const std::vector<Metric>& metrics) {
+  if (metrics.empty()) return {};
+  std::size_t width = 0;
+  for (const Metric& m : metrics) width = std::max(width, m.name.size());
+  std::ostringstream out;
+  for (const Metric& m : metrics) {
+    out << m.name;
+    for (std::size_t p = m.name.size(); p < width + 2; ++p) out << ' ';
+    out << kind_name(m.kind) << "  total=" << m.total
+        << "  events=" << m.events;
+    if (m.kind != Kind::kCounter) out << "  peak=" << m.peak;
+    out << "\n";
+  }
+  return out.str();
+}
+
+Span::Span(MetricId id) noexcept : id_(id) {
+  if (kEnabled && id_ != kInvalidMetric) t0_ = now_ns();
+}
+
+Span::~Span() {
+  if (!kEnabled || id_ == kInvalidMetric) return;
+  const std::uint64_t t1 = now_ns();
+  span_ns(id_, t1 >= t0_ ? t1 - t0_ : 0);
+}
+
+}  // namespace sysmap::obs

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exact/checked.hpp"
+#include "obs/obs.hpp"
 #include "search/enumerate.hpp"
 #include "search/fixed_space.hpp"
 #include "support/thread_pool.hpp"
@@ -320,8 +321,11 @@ SearchResult procedure_5_1_parallel(
   if (!serial_resolved) {
     // One pool for the rest of the stream; workers draw from the feed
     // until it refuses, so nobody idles at level boundaries.
+    SYSMAP_COUNT("search.streaming.pool_handoffs", 1);
     support::ThreadPool pool(num_threads);
     pool.run([&](std::size_t w) { work(states[w], 0); });
+  } else {
+    SYSMAP_COUNT("search.streaming.serial_prefix_resolved", 1);
   }
 
   // Reduction.  Chunks are disjoint contiguous position ranges handed out
@@ -376,6 +380,9 @@ SearchResult procedure_5_1_parallel(
     result.cache_hits = s.hits - cache_hits0;
     result.cache_misses = s.misses - cache_misses0;
   }
+  SYSMAP_COUNT("search.streaming.searches", 1);
+  SYSMAP_COUNT("search.streaming.chunks_stolen", result.chunks_stolen);
+  SYSMAP_GAUGE("search.streaming.candidates_tested", result.candidates_tested);
 #if SYSMAP_CONTRACTS_ACTIVE
   if (result.found) {
     // The streaming reduction must hand back exactly what the serial scan

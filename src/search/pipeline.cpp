@@ -10,6 +10,7 @@
 
 #include "exact/checked.hpp"
 #include "mapping/canonical_key.hpp"
+#include "obs/obs.hpp"
 #include "search/fixed_space.hpp"
 #include "search/ilp_formulation.hpp"
 #include "search/verdict_cache.hpp"
@@ -28,6 +29,7 @@ void finalize(const model::UniformDependenceAlgorithm& algo,
               const MatI& space, const PipelineOptions& options,
               MappingSolution& solution) {
   if (!solution.found || !options.design_array) return;
+  SYSMAP_SPAN("search.pipeline.finalize");
   mapping::MappingMatrix t(space, solution.pi);
   if (options.target) {
     std::optional<systolic::ArrayDesign> design =
@@ -165,9 +167,11 @@ struct MappingPipeline::Fusion {
     auto it = entries.find(key);
     if (it == entries.end()) {
       orbit_misses.fetch_add(1, std::memory_order_relaxed);
+      SYSMAP_COUNT("search.pipeline.orbit_misses", 1);
       return std::nullopt;
     }
     orbit_hits.fetch_add(1, std::memory_order_relaxed);
+    SYSMAP_COUNT("search.pipeline.orbit_hits", 1);
     return it->second;
   }
 
@@ -250,6 +254,8 @@ MappingSolution MappingPipeline::score(
 MappingSolution MappingPipeline::solve(
     const model::UniformDependenceAlgorithm& algo, const MatI& space,
     Fusion* fusion, Int cap) const {
+  SYSMAP_SPAN("search.pipeline.solve");
+  SYSMAP_COUNT("search.pipeline.solves", 1);
   const model::IndexSet& set = algo.index_set();
   const MatI& d = algo.dependence_matrix();
   const std::size_t n = algo.dimension();
@@ -273,6 +279,18 @@ MappingSolution MappingPipeline::solve(
                                : default_max_objective(set);
   const bool capped = cap > kNoCap;
   const Int eff_max = capped ? std::min(resolved_max, cap) : resolved_max;
+
+  // Single site for the incumbent-cap verdict: marks the solution, bumps
+  // the fusion stat when fused, and feeds the obs counter.  (A cap without
+  // fusion is legal -- find_time_optimal callers never cap, but score() on
+  // a pipeline without enable_fusion() may.)
+  auto note_truncated = [&solution, fusion] {
+    solution.truncated_by_cap = true;
+    if (fusion != nullptr) {
+      fusion->truncated.fetch_add(1, std::memory_order_relaxed);
+    }
+    SYSMAP_COUNT("search.pipeline.truncated_by_cap", 1);
+  };
 
   SearchOptions search_options;
   search_options.target = options_.target;
@@ -303,10 +321,7 @@ MappingSolution MappingPipeline::solve(
       if (ilp.objective == ilp.lower_bound) {
         // The verified candidate meets the relaxation bound: optimal.
         if (capped && ilp.objective > cap) {
-          solution.truncated_by_cap = true;
-          if (fusion != nullptr) {
-            fusion->truncated.fetch_add(1, std::memory_order_relaxed);
-          }
+          note_truncated();
           return solution;
         }
         solution.found = true;
@@ -329,10 +344,7 @@ MappingSolution MappingPipeline::solve(
         SearchResult swept = procedure_5_1(algo, space, search_options);
         solution.candidates_tested = swept.candidates_tested;
         if (capped && !swept.found && ilp.objective > cap) {
-          solution.truncated_by_cap = true;
-          if (fusion != nullptr) {
-            fusion->truncated.fetch_add(1, std::memory_order_relaxed);
-          }
+          note_truncated();
           return solution;
         }
         solution.found = true;
@@ -386,6 +398,7 @@ MappingSolution MappingPipeline::solve(
           result = std::move(seeded);
           resolved = true;
           fusion->seeded.fetch_add(1, std::memory_order_relaxed);
+          SYSMAP_COUNT("search.pipeline.seeded_searches", 1);
         } else {
           // Defensive only (contract breach): fall back to the full scan.
           search_options.min_objective = 0;
@@ -397,8 +410,7 @@ MappingSolution MappingPipeline::solve(
         resolved = true;
         if (capped && entry->objective > cap &&
             entry->objective <= resolved_max) {
-          solution.truncated_by_cap = true;
-          fusion->truncated.fetch_add(1, std::memory_order_relaxed);
+          note_truncated();
         }
       }
     } else if (entry && !entry->found && eff_max <= entry->bound) {
@@ -406,8 +418,7 @@ MappingSolution MappingPipeline::solve(
       result.candidates_tested = fusion->through(eff_max);
       resolved = true;
       if (capped && eff_max < resolved_max) {
-        solution.truncated_by_cap = true;
-        fusion->truncated.fetch_add(1, std::memory_order_relaxed);
+        note_truncated();
       }
     }
   }
@@ -417,8 +428,7 @@ MappingSolution MappingPipeline::solve(
       fusion->store(*orbit_key, result.found, result.objective, eff_max);
     }
     if (capped && !result.found && eff_max < resolved_max) {
-      solution.truncated_by_cap = true;
-      fusion->truncated.fetch_add(1, std::memory_order_relaxed);
+      note_truncated();
     }
   }
 

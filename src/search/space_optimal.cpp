@@ -12,6 +12,7 @@
 #include "lattice/kernel.hpp"
 #include "linalg/ops.hpp"
 #include "mapping/canonical_key.hpp"
+#include "obs/obs.hpp"
 #include "search/fixed_space.hpp"
 #include "search/pipeline.hpp"
 #include "support/thread_pool.hpp"
@@ -572,6 +573,7 @@ SpaceSearchResult space_optimal_mapping_seed(
 SpaceSearchResult space_optimal_mapping(
     const model::UniformDependenceAlgorithm& algo, const VecI& pi,
     const SpaceSearchOptions& options) {
+  SYSMAP_SPAN("search.space.space_optimal_mapping");
   const std::size_t n = algo.dimension();
   validate_problem61_inputs(algo, pi, options);
   const model::IndexSet& set = algo.index_set();
@@ -766,6 +768,7 @@ DesignSpaceResult explore_design_space_seed(
 DesignSpaceResult explore_design_space(
     const model::UniformDependenceAlgorithm& algo,
     const SpaceSearchOptions& options) {
+  SYSMAP_SPAN("search.space.explore_design_space");
   const std::size_t n = algo.dimension();
   const model::IndexSet& set = algo.index_set();
   std::uint64_t points_count = 0;
@@ -945,6 +948,7 @@ struct LocalJointBest {
 JointMappingResult joint_time_optimal_mapping(
     const model::UniformDependenceAlgorithm& algo,
     const SpaceSearchOptions& options) {
+  SYSMAP_SPAN("search.space.joint_time_optimal_mapping");
   const std::size_t n = algo.dimension();
   const model::IndexSet& set = algo.index_set();
   std::uint64_t points_count = 0;

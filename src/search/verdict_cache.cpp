@@ -1,20 +1,64 @@
 #include "search/verdict_cache.hpp"
 
+#include <cstdio>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace sysmap::search {
+
+namespace {
+
+/// Per-shard obs ids (hits/misses/admissions).  Shards above
+/// kShardLabels share labels modulo the cap so a custom shard_count
+/// cannot exhaust the metric registry; the totals stay exact because
+/// counter merges are commutative sums.
+constexpr std::size_t kShardLabels = 32;
+
+struct ShardMetrics {
+  obs::MetricId hits = obs::kInvalidMetric;
+  obs::MetricId misses = obs::kInvalidMetric;
+  obs::MetricId admissions = obs::kInvalidMetric;
+};
+
+ShardMetrics intern_shard_metrics(const char* cache, std::size_t shard) {
+  ShardMetrics ids;
+  if constexpr (obs::kEnabled) {
+    char name[96];
+    const std::size_t label = shard % kShardLabels;
+    std::snprintf(name, sizeof(name), "search.%s.shard%02zu.hits", cache,
+                  label);
+    ids.hits = obs::intern(name, obs::Kind::kCounter);
+    std::snprintf(name, sizeof(name), "search.%s.shard%02zu.misses", cache,
+                  label);
+    ids.misses = obs::intern(name, obs::Kind::kCounter);
+    std::snprintf(name, sizeof(name), "search.%s.shard%02zu.admissions",
+                  cache, label);
+    ids.admissions = obs::intern(name, obs::Kind::kCounter);
+  }
+  return ids;
+}
+
+}  // namespace
 
 struct VerdictCache::Shard {
   mutable std::mutex mu;
   std::unordered_map<mapping::ConflictKey, Outcome, mapping::ConflictKeyHash>
       map;
+  ShardMetrics metrics;
 };
 
 VerdictCache::VerdictCache(std::size_t shard_count)
     : shard_count_(shard_count == 0 ? 1 : shard_count),
-      shards_(new Shard[shard_count == 0 ? 1 : shard_count]) {}
+      shards_(new Shard[shard_count == 0 ? 1 : shard_count]) {
+  if constexpr (obs::kEnabled) {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      shards_[s].metrics = intern_shard_metrics("verdict_cache", s);
+    }
+  }
+}
 
 VerdictCache::~VerdictCache() = default;
 
@@ -34,10 +78,12 @@ std::optional<VerdictCache::Outcome> VerdictCache::lookup(
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(shard.metrics.hits, 1);
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(shard.metrics.misses, 1);
   return std::nullopt;
 }
 
@@ -50,6 +96,7 @@ void VerdictCache::insert(const mapping::ConflictKey& key, bool conflict_free,
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.map.emplace(key, std::move(outcome)).second) {
     insertions_.fetch_add(1, std::memory_order_relaxed);
+    obs::add(shard.metrics.admissions, 1);
   }
 }
 
@@ -78,11 +125,18 @@ void VerdictCache::clear() {
 struct ImageCountCache::Shard {
   mutable std::mutex mu;
   std::unordered_map<mapping::ConflictKey, Int, mapping::ConflictKeyHash> map;
+  ShardMetrics metrics;
 };
 
 ImageCountCache::ImageCountCache(std::size_t shard_count)
     : shard_count_(shard_count == 0 ? 1 : shard_count),
-      shards_(new Shard[shard_count == 0 ? 1 : shard_count]) {}
+      shards_(new Shard[shard_count == 0 ? 1 : shard_count]) {
+  if constexpr (obs::kEnabled) {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      shards_[s].metrics = intern_shard_metrics("image_count_cache", s);
+    }
+  }
+}
 
 ImageCountCache::~ImageCountCache() = default;
 
@@ -100,17 +154,21 @@ std::optional<Int> ImageCountCache::lookup(
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::add(shard.metrics.hits, 1);
       return it->second;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::add(shard.metrics.misses, 1);
   return std::nullopt;
 }
 
 void ImageCountCache::insert(const mapping::ConflictKey& key, Int count) {
   Shard& shard = shards_[shard_for(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.emplace(key, count);
+  if (shard.map.emplace(key, count).second) {
+    obs::add(shard.metrics.admissions, 1);
+  }
 }
 
 ImageCountCache::Stats ImageCountCache::stats() const {

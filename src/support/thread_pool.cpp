@@ -2,10 +2,14 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace sysmap::support {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
+  SYSMAP_COUNT("support.thread_pool.pools_created", 1);
+  SYSMAP_GAUGE("support.thread_pool.workers", num_threads);
   threads_.reserve(num_threads);
   for (std::size_t w = 0; w < num_threads; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -47,6 +51,7 @@ void ThreadPool::worker_loop(std::size_t index) {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& job) {
+  SYSMAP_COUNT("support.thread_pool.jobs", 1);
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = job;
   error_ = nullptr;

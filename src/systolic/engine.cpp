@@ -51,6 +51,7 @@
 
 #include "exact/bigint.hpp"
 #include "exact/checked.hpp"
+#include "obs/obs.hpp"
 #include "support/thread_pool.hpp"
 #include "support/packed_coord.hpp"
 
@@ -404,7 +405,11 @@ class EpochTable {
     // so the probe always reaches a claimable slot)
     std::size_t i =
         static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) & mask_;
-    while (epoch_[i] == epoch && keys_[i] != key) i = (i + 1) & mask_;
+    if constexpr (obs::kEnabled) ++probes_;
+    while (epoch_[i] == epoch && keys_[i] != key) {
+      i = (i + 1) & mask_;
+      if constexpr (obs::kEnabled) ++probes_;
+    }
     if (epoch_[i] == epoch) return first_[i];
     keys_[i] = key;
     epoch_[i] = epoch;
@@ -412,16 +417,22 @@ class EpochTable {
     return UINT32_MAX;
   }
 
+  /// Probe count accumulated by this worker's table (the chunk sums it
+  /// into the obs counter once, not per probe; always 0 with obs off).
+  std::uint64_t probes() const { return probes_; }
+
  private:
   std::vector<std::uint64_t> keys_;
   std::vector<std::uint32_t> epoch_;
   std::vector<std::uint32_t> first_;
   std::size_t mask_ = 0;
+  std::uint64_t probes_ = 0;
 };
 
 struct ConflictChunk {
   std::vector<ConflictEvent> events;  ///< first kMaxEvents, in seed order
   std::uint64_t total = 0;            ///< uncapped duplicate count
+  std::uint64_t probes = 0;           ///< occupancy-table probes (obs only)
 };
 
 // SYSMAP_RAW_FASTPATH(bounded: event times are t_min + c with
@@ -452,6 +463,7 @@ void conflict_chunk(const FlatPlan& plan,
       }
     }
   }
+  out.probes = table.probes();
 }
 
 /// A stored collision with its global emission tag: the seed reports
@@ -618,6 +630,8 @@ SimulationReport run_flat(const FlatPlan& plan, const ArrayDesign& design,
                           const model::SemanticAlgorithm* semantic,
                           const SimulationOptions& options) {
   SimulationReport report;
+  SYSMAP_GAUGE("systolic.points", plan.points);
+  SYSMAP_GAUGE("systolic.cycles", plan.cycles);
   const std::size_t N = static_cast<std::size_t>(plan.points);
   report.computations = plan.points;
   report.num_processors = design.num_processors();
@@ -657,6 +671,7 @@ SimulationReport run_flat(const FlatPlan& plan, const ArrayDesign& design,
     max_bucket = std::max(max_bucket, bucket_start[c + 1]);
     bucket_start[c + 1] += bucket_start[c];
   }
+  SYSMAP_GAUGE("systolic.max_bucket", max_bucket);
   std::vector<std::uint32_t> order(N);
   {
     std::vector<std::uint32_t> cursor(bucket_start.begin(),
@@ -691,14 +706,17 @@ SimulationReport run_flat(const FlatPlan& plan, const ArrayDesign& design,
       conflict_chunk(plan, bucket_start, order, pe_keys, cuts[w], cuts[w + 1],
                      max_bucket, chunks[w]);
     });
+    std::uint64_t probes = 0;
     for (const ConflictChunk& ch : chunks) {
       report.total_conflicts += ch.total;
+      probes += ch.probes;
       for (const ConflictEvent& ev : ch.events) {
         if (report.conflicts.size() < kMaxEvents) {
           report.conflicts.push_back(ev);
         }
       }
     }
+    SYSMAP_COUNT("systolic.conflict_probes", probes);
   }
 
   // -- data-link collisions ---------------------------------------------
@@ -766,11 +784,14 @@ SimulationReport simulate_engine(const model::UniformDependenceAlgorithm& algo,
                                  const ArrayDesign& design,
                                  const model::SemanticAlgorithm* semantic,
                                  const SimulationOptions& options) {
+  SYSMAP_SPAN("systolic.simulate");
   if (!options.force_fallback) {
     if (std::optional<FlatPlan> plan = FlatPlan::build(algo, design)) {
+      SYSMAP_COUNT("systolic.flat_runs", 1);
       return run_flat(*plan, design, semantic, options);
     }
   }
+  SYSMAP_COUNT("systolic.seed_fallbacks", 1);
   return simulate_seed_impl(algo, design, semantic);
 }
 

@@ -1,0 +1,162 @@
+// sysmap::obs unit tests.  The suite runs in BOTH configurations: with
+// SYSMAP_OBS=ON it checks recording, merging and export; with the default
+// OFF build it checks the compile-away contract (no-op ids, empty
+// snapshots, obs_enabled=false in JSON) so front ends can keep one code
+// path.
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace sysmap {
+namespace {
+
+obs::Metric find_metric(const std::vector<obs::Metric>& all,
+                        const std::string& name) {
+  for (const obs::Metric& m : all) {
+    if (m.name == name) return m;
+  }
+  return {};
+}
+
+TEST(ObsTest, DisabledBuildCompilesAway) {
+  if (obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=ON build";
+  EXPECT_EQ(obs::intern("obs_test.off", obs::Kind::kCounter),
+            obs::kInvalidMetric);
+  SYSMAP_COUNT("obs_test.off.count", 3);
+  SYSMAP_GAUGE("obs_test.off.gauge", 7);
+  EXPECT_TRUE(obs::snapshot().empty());
+  EXPECT_EQ(obs::to_json(obs::snapshot()),
+            "{\"obs_enabled\":false,\"metrics\":{}}");
+}
+
+TEST(ObsTest, OffMacrosDoNotEvaluateArguments) {
+  // The OFF expansion must not run its delta expression (sizeof only);
+  // with obs ON the expression runs exactly once.
+  int evaluations = 0;
+  auto bump = [&evaluations] { return ++evaluations; };
+  SYSMAP_COUNT("obs_test.evaluations", bump());
+  EXPECT_EQ(evaluations, obs::kEnabled ? 1 : 0);
+}
+
+TEST(ObsTest, CounterAccumulates) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  obs::reset();
+  const obs::MetricId id =
+      obs::intern("obs_test.counter", obs::Kind::kCounter);
+  ASSERT_NE(id, obs::kInvalidMetric);
+  obs::add(id, 5);
+  obs::add(id, 7);
+  const obs::Metric m = find_metric(obs::snapshot(), "obs_test.counter");
+  EXPECT_EQ(m.total, 12u);
+  EXPECT_EQ(m.events, 2u);
+  EXPECT_EQ(m.peak, 0u);
+  EXPECT_EQ(m.kind, obs::Kind::kCounter);
+}
+
+TEST(ObsTest, InternIsStablePerName) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  const obs::MetricId a = obs::intern("obs_test.stable", obs::Kind::kGauge);
+  const obs::MetricId b = obs::intern("obs_test.stable", obs::Kind::kGauge);
+  EXPECT_EQ(a, b);
+  ASSERT_NE(a, obs::kInvalidMetric);
+}
+
+TEST(ObsTest, GaugeTracksSumCountPeak) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  obs::reset();
+  const obs::MetricId id = obs::intern("obs_test.gauge", obs::Kind::kGauge);
+  obs::gauge(id, 10);
+  obs::gauge(id, 3);
+  obs::gauge(id, 6);
+  const obs::Metric m = find_metric(obs::snapshot(), "obs_test.gauge");
+  EXPECT_EQ(m.total, 19u);
+  EXPECT_EQ(m.events, 3u);
+  EXPECT_EQ(m.peak, 10u);
+}
+
+TEST(ObsTest, SpanRecordsDurations) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  obs::reset();
+  { SYSMAP_SPAN("obs_test.span"); }
+  { SYSMAP_SPAN("obs_test.span"); }
+  const obs::Metric m = find_metric(obs::snapshot(), "obs_test.span");
+  EXPECT_EQ(m.kind, obs::Kind::kSpan);
+  EXPECT_EQ(m.events, 2u);
+  EXPECT_GE(m.peak, 0u);
+  EXPECT_GE(m.total, m.peak);
+}
+
+TEST(ObsTest, MergeIsExactAcrossThreads) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  obs::reset();
+  const obs::MetricId id =
+      obs::intern("obs_test.threads", obs::Kind::kCounter);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  // Plain std::thread workers fold into the retired block on exit; the
+  // merged total must be exact whatever the join/exit interleaving.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([id] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) obs::add(id, 1);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Pool workers stay alive after run(); their cells merge live.
+  support::ThreadPool pool(kThreads);
+  pool.run([id](std::size_t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) obs::add(id, 1);
+  });
+  const obs::Metric m = find_metric(obs::snapshot(), "obs_test.threads");
+  EXPECT_EQ(m.total, 2u * kThreads * kPerThread);
+  EXPECT_EQ(m.events, 2u * kThreads * kPerThread);
+}
+
+TEST(ObsTest, ResetZeroesEverything) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  const obs::MetricId id = obs::intern("obs_test.reset", obs::Kind::kGauge);
+  obs::gauge(id, 42);
+  obs::reset();
+  const obs::Metric m = find_metric(obs::snapshot(), "obs_test.reset");
+  EXPECT_EQ(m.total, 0u);
+  EXPECT_EQ(m.events, 0u);
+  EXPECT_EQ(m.peak, 0u);
+}
+
+TEST(ObsTest, JsonExportIsSortedAndTyped) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  obs::reset();
+  obs::add(obs::intern("obs_test.json.b", obs::Kind::kCounter), 1);
+  obs::gauge(obs::intern("obs_test.json.a", obs::Kind::kGauge), 2);
+  const std::string json = obs::snapshot_json();
+  EXPECT_NE(json.find("\"obs_enabled\":true"), std::string::npos);
+  const std::size_t a = json.find("obs_test.json.a");
+  const std::size_t b = json.find("obs_test.json.b");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);  // names sorted
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  // Balanced braces, no trailing comma before a closing brace.
+  EXPECT_EQ(json.find(",}"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ObsTest, TableFormatsEveryMetric) {
+  if (!obs::kEnabled) GTEST_SKIP() << "SYSMAP_OBS=OFF build";
+  obs::reset();
+  obs::add(obs::intern("obs_test.table", obs::Kind::kCounter), 9);
+  const std::string table = obs::format_table(obs::snapshot());
+  EXPECT_NE(table.find("obs_test.table"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysmap

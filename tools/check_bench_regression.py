@@ -13,6 +13,7 @@ machine.
 Usage:
   check_bench_regression.py BASELINE CURRENT [BASELINE CURRENT ...]
                             [--threshold 0.30] [--summary out.json]
+  check_bench_regression.py --self-test
 
 Positional arguments form (baseline, current) pairs, so a single
 invocation covers every suite and --summary consolidates all of them
@@ -57,7 +58,16 @@ def load_rows(path):
                 key = (obj.get("case"), obj.get("oracle"), obj.get("mode"))
                 if None in key:
                     continue
-                rows[key] = float(obj[metric])
+                try:
+                    value = float(obj[metric])
+                except (TypeError, ValueError):
+                    # A null or non-numeric metric (a crashed bench rep, a
+                    # hand-edited baseline) must degrade to a note, never
+                    # crash the gate.
+                    print(f"note: {path}:{line_no}: {metric} is not a "
+                          f"number ({obj[metric]!r}); row skipped")
+                    continue
+                rows[key] = value
     except OSError as err:
         print(f"note: cannot read {path}: {err}")
         return rows, False
@@ -87,7 +97,15 @@ def compare_pair(baseline_path, current_path, threshold):
         return result
     for key, base_cps in sorted(baseline.items()):
         cur_cps = current.get(key)
-        if cur_cps is None or base_cps <= 0:
+        if cur_cps is None:
+            continue
+        if base_cps <= 0:
+            # A zero baseline would divide by zero below; it carries no
+            # gating information (the baseline run produced nothing), so
+            # note it and move on rather than crash or silently drop it.
+            print(f"note: {baseline_path}: baseline throughput for "
+                  f"{'/'.join(str(k) for k in key)} is {base_cps}; "
+                  f"row skipped")
             continue
         result["compared"] += 1
         ratio = cur_cps / base_cps
@@ -104,17 +122,87 @@ def compare_pair(baseline_path, current_path, threshold):
     return result
 
 
+def self_test():
+    """Exercises every degrade path on synthetic fixtures.
+
+    Returns 0 when all assertions hold; run by CI so the gate's own
+    crash-resilience (null metrics, zero baselines, missing files) is
+    itself gated.
+    """
+    import os
+    import tempfile
+
+    def row(case, cps):
+        return json.dumps({"case": case, "oracle": "exact", "mode": "full",
+                           "candidates_per_sec": cps})
+
+    failures = []
+
+    def check(name, cond):
+        if not cond:
+            failures.append(name)
+        print(f"self-test: {name}: {'ok' if cond else 'FAIL'}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base.json")
+        cur = os.path.join(tmp, "cur.json")
+        with open(base, "w", encoding="utf-8") as fh:
+            fh.write(row("fast", 1000.0) + "\n")       # regresses below
+            fh.write(row("zero", 0) + "\n")            # zero baseline
+            fh.write(row("null", None) + "\n")         # null metric
+            fh.write(row("text", "not-a-number") + "\n")  # non-numeric
+            fh.write("{malformed\n")                   # unparsable line
+        with open(cur, "w", encoding="utf-8") as fh:
+            fh.write(row("fast", 100.0) + "\n")
+            fh.write(row("zero", 500.0) + "\n")
+            fh.write(row("null", 500.0) + "\n")
+            fh.write(row("text", 500.0) + "\n")
+
+        res = compare_pair(base, cur, threshold=0.30)
+        check("regression detected", len(res["regressions"]) == 1
+              and res["regressions"][0]["case"] == "fast")
+        check("only the numeric positive row compared",
+              res["compared"] == 1)
+        check("null/non-numeric rows dropped at load",
+              res["baseline_rows"] == 2)  # fast + zero survive
+        check("readable baseline not flagged missing",
+              not res["baseline_missing"])
+
+        missing = compare_pair(os.path.join(tmp, "nope.json"), cur,
+                               threshold=0.30)
+        check("missing baseline degrades to a note",
+              missing["baseline_missing"]
+              and missing["compared"] == 0
+              and not missing["regressions"])
+
+        improved = compare_pair(cur, cur, threshold=0.30)
+        check("identical suites report no regression",
+              improved["compared"] == 4 and not improved["regressions"])
+
+    print(f"self-test: {'PASS' if not failures else 'FAIL'} "
+          f"({len(failures)} failing check(s))")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("files", nargs="+", metavar="BASELINE CURRENT",
+    parser.add_argument("files", nargs="*", metavar="BASELINE CURRENT",
                         help="one or more (baseline, current) file pairs")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="fractional slowdown that triggers a warning")
     parser.add_argument("--summary", metavar="OUT.json",
                         help="write a consolidated JSON report here")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture checks and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.error("BASELINE CURRENT file pairs required "
+                     "(or --self-test)")
 
     if len(args.files) % 2 != 0:
         parser.error("arguments must form (baseline, current) pairs")

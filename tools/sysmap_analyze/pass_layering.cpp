@@ -11,6 +11,10 @@ namespace {
 const std::map<std::string, std::set<std::string>>& allowed_deps() {
   static const std::map<std::string, std::set<std::string>> table = [] {
     std::map<std::string, std::set<std::string>> t;
+    // obs is the observability leaf: advisory counters/spans with no
+    // sysmap dependencies, includable from every module (including
+    // exact, the arithmetic bottom of the engine spine).
+    t["obs"] = {};
     t["exact"] = {};
     t["linalg"] = {"exact"};
     t["opt"] = {"exact", "linalg"};
@@ -29,6 +33,9 @@ const std::map<std::string, std::set<std::string>>& allowed_deps() {
     t["search"].insert("opt");
     t["baseline"] = t["search"];
     t["baseline"].insert("search");
+    for (auto& [name, deps] : t) {
+      if (name != "obs") deps.insert("obs");
+    }
     t["core"] = {};
     for (const auto& [name, deps] : t) {
       if (name != "core") t["core"].insert(name);
